@@ -1,0 +1,169 @@
+// Package approxsel is a library of declarative approximate selection
+// predicates, reproducing "Benchmarking Declarative Approximate Selection
+// Predicates" (Hassanzadeh, 2007; the SIGMOD 2007 benchmark study).
+//
+// An approximate selection takes a query string and returns the tuples of a
+// base relation ranked by a similarity predicate. The library ships the
+// paper's thirteen predicates in five classes — overlap (IntersectSize,
+// Jaccard, WeightedMatch, WeightedJaccard), aggregate weighted (Cosine,
+// BM25), language modeling (LM, HMM), edit-based (EditDistance) and
+// combination (GES, GESJaccard, GESapx, SoftTFIDF) — in two interchangeable
+// realizations:
+//
+//   - New builds the fast in-memory realization;
+//   - NewDeclarative builds the paper's realization: plain SQL statements
+//     (Appendices A/B of the thesis) executed by the bundled sqldb engine,
+//     with UDFs for edit similarity, Jaro–Winkler and min-hash values.
+//
+// Both produce identical scores; the declarative path exists to study the
+// approach the paper advocates, and the performance experiments run on it.
+//
+// The package also exposes the benchmark itself: the UIS-style dirty-data
+// generator (GenerateDirty), synthetic clean datasets matching the paper's
+// Table 5.1 statistics (CompanyNames, DBLPTitles), and the IR accuracy
+// metrics (AveragePrecision, MaxF1) used by the evaluation.
+//
+// Quick start:
+//
+//	records := []approxsel.Record{{TID: 1, Text: "AT&T Incorporated"}, ...}
+//	p, err := approxsel.New("BM25", records, approxsel.DefaultConfig())
+//	matches, err := p.Select("AT&T Inc")
+package approxsel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/declarative"
+	"repro/internal/dirty"
+	"repro/internal/eval"
+	"repro/internal/native"
+)
+
+// Record is one tuple of the base relation: a unique identifier and a
+// string attribute.
+type Record = core.Record
+
+// Match is one ranked result of an approximate selection.
+type Match = core.Match
+
+// Config holds the tunable parameters of all predicates; start from
+// DefaultConfig.
+type Config = core.Config
+
+// Predicate is a preprocessed approximate-selection predicate over a fixed
+// base relation. Select returns matches ranked by decreasing similarity.
+type Predicate = core.Predicate
+
+// DefaultConfig returns the paper's parameter settings (§5.3.2): q=2,
+// BM25 k1=1.5/k3=8/b=0.675, HMM a0=0.2, GES cins=0.5 and filter θ=0.8,
+// SoftTFIDF θ=0.8, edit filter θ=0.7, 5 min-hash signatures.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// PredicateNames lists the thirteen benchmark predicates in the order the
+// paper presents them.
+func PredicateNames() []string {
+	out := make([]string, len(core.PredicateNames))
+	copy(out, core.PredicateNames)
+	return out
+}
+
+// New preprocesses the base relation for the named predicate using the
+// in-memory realization.
+func New(name string, records []Record, cfg Config) (Predicate, error) {
+	return native.Build(name, records, cfg)
+}
+
+// NewDeclarative preprocesses the base relation for the named predicate
+// using the declarative (SQL) realization over the bundled engine.
+func NewDeclarative(name string, records []Record, cfg Config) (Predicate, error) {
+	return declarative.Build(name, records, cfg)
+}
+
+// SelectThreshold runs an approximate selection and keeps matches with
+// score ≥ theta: the paper's sim(t_q, t) ≥ θ operation.
+func SelectThreshold(p Predicate, query string, theta float64) ([]Match, error) {
+	ms, err := p.Select(query)
+	if err != nil {
+		return nil, err
+	}
+	out := ms[:0:0]
+	for _, m := range ms {
+		if m.Score >= theta {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// TopK runs an approximate selection and keeps the k best matches.
+func TopK(p Predicate, query string, k int) ([]Match, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("approxsel: negative k %d", k)
+	}
+	ms, err := p.Select(query)
+	if err != nil {
+		return nil, err
+	}
+	if k < len(ms) {
+		ms = ms[:k]
+	}
+	return ms, nil
+}
+
+// ---- benchmark data generation ----
+
+// DirtyParams configure the UIS-style dirty-data generator (§5.1).
+type DirtyParams = dirty.Params
+
+// DirtyDataset is a generated dirty relation with duplicate ground truth.
+type DirtyDataset = dirty.Dataset
+
+// Duplicate distributions for DirtyParams.Dist.
+const (
+	Uniform = dirty.Uniform
+	Zipfian = dirty.Zipfian
+	Poisson = dirty.Poisson
+)
+
+// GenerateDirty injects controlled errors into a clean relation, tracking
+// which clean tuple every duplicate came from.
+func GenerateDirty(clean []string, abbrs [][2]string, p DirtyParams) (*DirtyDataset, error) {
+	return dirty.Generate(clean, abbrs, p)
+}
+
+// CompanyNames generates n synthetic company names matching the statistics
+// of the paper's company dataset (Table 5.1).
+func CompanyNames(n int, seed int64) []string { return datasets.CompanyNames(n, seed) }
+
+// DBLPTitles generates n synthetic paper titles matching the statistics of
+// the paper's DBLP dataset (Table 5.1).
+func DBLPTitles(n int, seed int64) []string { return datasets.DBLPTitles(n, seed) }
+
+// Abbreviations returns the company-domain long/short substitution pairs
+// used for abbreviation errors.
+func Abbreviations() [][2]string { return datasets.Abbreviations() }
+
+// ---- accuracy metrics (§5.2) ----
+
+// AveragePrecision computes the average precision of a ranked TID list
+// against a relevant set (Eq. 5.1).
+func AveragePrecision(ranked []int, relevant map[int]bool) float64 {
+	return eval.AveragePrecision(ranked, relevant)
+}
+
+// MaxF1 computes the maximum F1 over the ranking (Eq. 5.2).
+func MaxF1(ranked []int, relevant map[int]bool) float64 {
+	return eval.MaxF1(ranked, relevant)
+}
+
+// RankedTIDs extracts the TID ranking from a match list, for use with the
+// accuracy metrics.
+func RankedTIDs(ms []Match) []int {
+	out := make([]int, len(ms))
+	for i, m := range ms {
+		out[i] = m.TID
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package approxsel
+
+import (
+	"testing"
+)
+
+func facadeRecords() []Record {
+	names := CompanyNames(60, 3)
+	records := make([]Record, len(names))
+	for i, n := range names {
+		records[i] = Record{TID: i + 1, Text: n}
+	}
+	return records
+}
+
+func TestFacadeNewAndSelect(t *testing.T) {
+	records := facadeRecords()
+	for _, name := range PredicateNames() {
+		p, err := New(name, records, DefaultConfig())
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("Name() = %s, want %s", p.Name(), name)
+		}
+		ms, err := p.Select(records[0].Text)
+		if err != nil {
+			t.Fatalf("%s.Select: %v", name, err)
+		}
+		if len(ms) == 0 || ms[0].TID != 1 {
+			t.Errorf("%s: self query should find record 1 first, got %v", name, ms)
+		}
+	}
+}
+
+func TestFacadeDeclarative(t *testing.T) {
+	records := facadeRecords()[:25]
+	p, err := NewDeclarative("BM25", records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := p.Select(records[2].Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 || ms[0].TID != 3 {
+		t.Fatalf("declarative BM25: %v", ms)
+	}
+}
+
+func TestSelectThreshold(t *testing.T) {
+	records := facadeRecords()
+	p, err := New("Jaccard", records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := p.Select(records[0].Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := SelectThreshold(p, records[0].Text, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(half) > len(all) {
+		t.Fatal("threshold must not grow the result")
+	}
+	for _, m := range half {
+		if m.Score < 0.5 {
+			t.Fatalf("threshold violated: %+v", m)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	records := facadeRecords()
+	p, err := New("BM25", records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := TopK(p, records[0].Text, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) > 3 {
+		t.Fatalf("TopK returned %d", len(top))
+	}
+	if _, err := TopK(p, "x", -1); err == nil {
+		t.Fatal("negative k should error")
+	}
+}
+
+func TestGenerateDirtyFacade(t *testing.T) {
+	ds, err := GenerateDirty(CompanyNames(100, 1), Abbreviations(), DirtyParams{
+		Size: 300, NumClean: 50, Dist: Uniform,
+		ErroneousPct: 0.5, ErrorExtent: 0.2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != 300 {
+		t.Fatalf("records: %d", len(ds.Records))
+	}
+}
+
+func TestMetricsFacade(t *testing.T) {
+	ranked := []int{1, 9, 2}
+	rel := map[int]bool{1: true, 2: true}
+	if ap := AveragePrecision(ranked, rel); ap <= 0 || ap > 1 {
+		t.Fatalf("AP = %v", ap)
+	}
+	if f1 := MaxF1(ranked, rel); f1 <= 0 || f1 > 1 {
+		t.Fatalf("F1 = %v", f1)
+	}
+	if got := RankedTIDs([]Match{{TID: 5}, {TID: 2}}); got[0] != 5 || got[1] != 2 {
+		t.Fatalf("RankedTIDs: %v", got)
+	}
+}
+
+func TestPredicateNamesCopy(t *testing.T) {
+	a := PredicateNames()
+	a[0] = "mutated"
+	if PredicateNames()[0] == "mutated" {
+		t.Fatal("PredicateNames must return a copy")
+	}
+}

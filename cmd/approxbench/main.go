@@ -1,0 +1,139 @@
+// Command approxbench regenerates the paper's evaluation artifacts: every
+// table and figure of Chapter 5, printed as ASCII tables with the paper's
+// reference values noted in each title.
+//
+// Usage:
+//
+//	approxbench                  # reduced scale (minutes)
+//	approxbench -scale 1         # paper scale (5000-tuple datasets, 500 queries)
+//	approxbench -exp figure5.3   # a single experiment
+//	approxbench -impl native     # measure the in-memory realization instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 5, "accuracy scale divisor (1 = paper scale: 5000 tuples, 500 queries)")
+	perfSize := flag.Int("perfsize", 2000, "relation size for Figures 5.2/5.3 (paper: 10000)")
+	perfSizes := flag.String("perfsizes", "1000,2000,4000", "comma-separated sizes for Figure 5.4 (paper: 10000..100000)")
+	perfQueries := flag.Int("perfqueries", 20, "timed queries per performance point (paper: 100)")
+	impl := flag.String("impl", "declarative", "realization measured by performance experiments: declarative|native")
+	exp := flag.String("exp", "all", "experiment: all, table5.1, table5.3, qgram, table5.5, table5.6, figure5.1, table5.7, figure5.2, figure5.3, figure5.4, figure5.5, figure5.6, ablation.minhash, ablation.impl, ablation.q")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	ao := experiments.Scaled(*scale)
+	ao.Seed = *seed
+	po := experiments.PerfDefaults()
+	po.Size = *perfSize
+	po.Queries = *perfQueries
+	po.Seed = *seed
+	po.Impl = *impl
+	po.Sizes = nil
+	for _, s := range strings.Split(*perfSizes, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
+			fmt.Fprintf(os.Stderr, "approxbench: bad -perfsizes entry %q\n", s)
+			os.Exit(2)
+		}
+		po.Sizes = append(po.Sizes, n)
+	}
+
+	w := os.Stdout
+	var err error
+	switch strings.ToLower(*exp) {
+	case "all":
+		err = experiments.RunAll(w, ao, po)
+	case "table5.1":
+		experiments.Table51(ao).Print(w)
+	case "table5.3":
+		var r experiments.Table53Result
+		if r, err = experiments.Table53(ao); err == nil {
+			r.Print(w)
+		}
+	case "qgram":
+		var r experiments.QGramSizeResult
+		if r, err = experiments.QGramSize(ao); err == nil {
+			r.Print(w)
+		}
+	case "table5.5":
+		var r experiments.AccuracyByDataset
+		if r, err = experiments.Table55(ao); err == nil {
+			experiments.PrintTable55(r, w)
+		}
+	case "table5.6":
+		var r experiments.AccuracyByDataset
+		if r, err = experiments.Table56(ao); err == nil {
+			experiments.PrintTable56(r, w)
+		}
+	case "figure5.1":
+		var r experiments.Figure51Result
+		if r, err = experiments.Figure51(ao); err == nil {
+			r.Print(w)
+		}
+	case "table5.7":
+		var r experiments.Table57Result
+		if r, err = experiments.Table57(ao); err == nil {
+			r.Print(w)
+		}
+	case "figure5.2":
+		var r experiments.Figure52Result
+		if r, err = experiments.Figure52(po); err == nil {
+			r.Print(w)
+		}
+	case "figure5.3":
+		var r experiments.Figure53Result
+		if r, err = experiments.Figure53(po); err == nil {
+			r.Print(w)
+		}
+	case "figure5.4":
+		var r experiments.Figure54Result
+		if r, err = experiments.Figure54(po); err == nil {
+			r.Print(w)
+		}
+	case "figure5.5":
+		var r experiments.Figure55Result
+		if r, err = experiments.Figure55(ao, po); err == nil {
+			r.Print(w)
+		}
+	case "figure5.6":
+		var r experiments.Figure56Result
+		if r, err = experiments.Figure56(ao); err == nil {
+			r.Print(w)
+		}
+	case "ablation.minhash":
+		var r experiments.MinHashKResult
+		if r, err = experiments.AblationMinHashK(ao); err == nil {
+			r.Print(w)
+		}
+	case "ablation.impl":
+		var r experiments.ImplOverheadResult
+		if r, err = experiments.AblationImplOverhead(po); err == nil {
+			r.Print(w)
+		}
+	case "ablation.q":
+		var r experiments.QSweepResult
+		if r, err = experiments.AblationQSweep(ao); err == nil {
+			r.Print(w)
+		}
+	case "ablation.dist":
+		var r experiments.DistributionResult
+		if r, err = experiments.AblationDistributions(ao); err == nil {
+			r.Print(w)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "approxbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "approxbench: %v\n", err)
+		os.Exit(1)
+	}
+}

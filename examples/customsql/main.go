@@ -1,0 +1,81 @@
+// Command customsql shows the extensibility story of the declarative
+// framework: building a *new* similarity predicate purely from SQL on the
+// exposed engine, exactly the way the paper's Chapter 4 realizes its
+// predicates. The predicate implemented here is Dice's coefficient
+// (2|Q∩D| / (|Q|+|D|)), which the paper does not ship — a user-defined
+// predicate built from the same BASE_TOKENS machinery.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	approxsel "repro"
+)
+
+func main() {
+	db := approxsel.NewSQLDB()
+
+	// Schema + base relation, as in Appendix A.
+	must(db.Exec("CREATE TABLE base_table (tid INT, string VARCHAR(255))"))
+	companies := approxsel.CompanyNames(200, 5)
+	for i, name := range companies {
+		must(db.Exec("INSERT INTO base_table VALUES (?, ?)",
+			approxsel.SQLInt(int64(i+1)), approxsel.SQLString(name)))
+	}
+
+	// Tokenization in SQL with the INTEGERS trick (q = 2, '$' padding).
+	must(db.Exec("CREATE TABLE integers (i INT)"))
+	for i := 1; i <= 80; i++ {
+		must(db.Exec("INSERT INTO integers VALUES (?)", approxsel.SQLInt(int64(i))))
+	}
+	must(db.Exec(`
+		CREATE TABLE base_tokens (tid INT, token VARCHAR(8))`))
+	must(db.Exec(`
+		INSERT INTO base_tokens (tid, token)
+		SELECT B.tid, SUBSTRING(CONCAT('$', UPPER(REPLACE(B.string, ' ', '$')), '$'), N.i, 2)
+		FROM integers N INNER JOIN base_table B
+		  ON N.i <= LENGTH(REPLACE(B.string, ' ', '$')) + 1`))
+	// Distinct tokens + per-record set sizes, then a token index.
+	must(db.Exec(`CREATE TABLE base_distinct (tid INT, token VARCHAR(8))`))
+	must(db.Exec(`INSERT INTO base_distinct SELECT T.tid, T.token FROM base_tokens T GROUP BY T.tid, T.token`))
+	must(db.Exec(`CREATE TABLE base_card (tid INT, card INT)`))
+	must(db.Exec(`INSERT INTO base_card SELECT T.tid, COUNT(*) FROM base_distinct T GROUP BY T.tid`))
+	must(db.Exec("CREATE INDEX bd_token ON base_distinct (token)"))
+	must(db.Exec("CREATE TABLE query_tokens (token VARCHAR(8))"))
+
+	// A query against the user-defined Dice predicate, scored in one SQL
+	// statement.
+	query := companies[17]
+	fmt.Printf("query: %q\n\n", query)
+	must(db.Exec("DELETE FROM query_tokens"))
+	must(db.Exec(`
+		INSERT INTO query_tokens (token)
+		SELECT SUBSTRING(CONCAT('$', UPPER(REPLACE(B.string, ' ', '$')), '$'), N.i, 2) AS token
+		FROM integers N INNER JOIN (SELECT ? AS string) B
+		  ON N.i <= LENGTH(REPLACE(B.string, ' ', '$')) + 1
+		GROUP BY token`, approxsel.SQLString(query)))
+
+	rows, err := db.Query(`
+		SELECT D.tid, 2.0 * COUNT(*) / (C.card + QC.card) AS dice
+		FROM base_distinct D, query_tokens Q, base_card C,
+		     (SELECT COUNT(*) AS card FROM query_tokens) QC
+		WHERE D.token = Q.token AND D.tid = C.tid
+		GROUP BY D.tid, C.card, QC.card
+		ORDER BY dice DESC, D.tid
+		LIMIT 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top 5 by Dice coefficient (user-defined declarative predicate):")
+	for _, r := range rows.Data {
+		tid := r[0].AsInt()
+		fmt.Printf("  tid %-4d dice %.3f  %s\n", tid, r[1].AsFloat(), companies[tid-1])
+	}
+}
+
+func must(n int, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

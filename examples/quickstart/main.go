@@ -1,0 +1,82 @@
+// Command quickstart shows the smallest useful program: build one predicate
+// over a handful of company names and run approximate selections against it,
+// both with the in-memory realization and the declarative (SQL) one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	approxsel "repro"
+)
+
+func main() {
+	records := []approxsel.Record{
+		{TID: 1, Text: "AT&T Incorporated"},
+		{TID: 2, Text: "AT&T Inc."},
+		{TID: 3, Text: "IBM Incorporated"},
+		{TID: 4, Text: "Morgan Stanley Group Inc."},
+		{TID: 5, Text: "Stanley Morgan Group Inc."},
+		{TID: 6, Text: "Silicon Valley Group, Inc."},
+		{TID: 7, Text: "Beijing Hotel"},
+		{TID: 8, Text: "Hotel Beijing"},
+		{TID: 9, Text: "Beijing Labs"},
+	}
+	cfg := approxsel.DefaultConfig()
+
+	// The paper's strongest all-round predicate: BM25 over 2-grams.
+	bm25, err := approxsel.New("BM25", records, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("BM25 ranking for query 'AT&T Inc':")
+	matches, err := bm25.Select("AT&T Inc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches[:min(4, len(matches))] {
+		fmt.Printf("  tid %d  score %7.3f  %s\n", m.TID, m.Score, text(records, m.TID))
+	}
+
+	// The same predicate, realized purely in SQL over the bundled engine.
+	decl, err := approxsel.NewDeclarative("BM25", records, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, err := approxsel.TopK(decl, "AT&T Inc", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDeclarative BM25 agrees: top match is tid %d (%s), score %.3f\n",
+		top[0].TID, text(records, top[0].TID), top[0].Score)
+
+	// Thresholded selection: the paper's sim(tq, t) >= theta operation.
+	jac, err := approxsel.New("Jaccard", records, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	close, err := approxsel.SelectThreshold(jac, "Beijing Hotel", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nJaccard >= 0.5 for 'Beijing Hotel':")
+	for _, m := range close {
+		fmt.Printf("  tid %d  score %5.3f  %s\n", m.TID, m.Score, text(records, m.TID))
+	}
+}
+
+func text(records []approxsel.Record, tid int) string {
+	for _, r := range records {
+		if r.TID == tid {
+			return r.Text
+		}
+	}
+	return "?"
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

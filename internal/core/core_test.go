@@ -1,0 +1,81 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Q != 2 || cfg.WordQ != 2 {
+		t.Errorf("q-gram sizes: %+v", cfg)
+	}
+	if cfg.BM25K1 != 1.5 || cfg.BM25K3 != 8 || cfg.BM25B != 0.675 {
+		t.Errorf("BM25 params: %+v", cfg)
+	}
+	if cfg.HMMA0 != 0.2 {
+		t.Errorf("HMM a0: %v", cfg.HMMA0)
+	}
+	if cfg.GESCins != 0.5 || cfg.GESThreshold != 0.8 {
+		t.Errorf("GES params: %+v", cfg)
+	}
+	if cfg.SoftTFIDFTheta != 0.8 || cfg.EditTheta != 0.7 {
+		t.Errorf("thresholds: %+v", cfg)
+	}
+	if cfg.MinHashK != 5 {
+		t.Errorf("min-hash K: %v", cfg.MinHashK)
+	}
+	if cfg.PruneRate != 0 {
+		t.Errorf("pruning should default off: %v", cfg.PruneRate)
+	}
+}
+
+func TestPredicateNamesComplete(t *testing.T) {
+	if len(PredicateNames) != 13 {
+		t.Fatalf("the paper benchmarks 13 predicates, got %d", len(PredicateNames))
+	}
+	want := []string{"IntersectSize", "Jaccard", "WeightedMatch", "WeightedJaccard",
+		"Cosine", "BM25", "LM", "HMM", "EditDistance", "GES", "GESJaccard",
+		"GESapx", "SoftTFIDF"}
+	if !reflect.DeepEqual(PredicateNames, want) {
+		t.Fatalf("PredicateNames = %v", PredicateNames)
+	}
+}
+
+func TestSortMatchesContract(t *testing.T) {
+	ms := []Match{
+		{TID: 3, Score: 0.5},
+		{TID: 1, Score: 0.5},
+		{TID: 2, Score: 0.9},
+		{TID: 4, Score: 0.1},
+	}
+	SortMatches(ms)
+	want := []Match{{TID: 2, Score: 0.9}, {TID: 1, Score: 0.5}, {TID: 3, Score: 0.5}, {TID: 4, Score: 0.1}}
+	if !reflect.DeepEqual(ms, want) {
+		t.Fatalf("SortMatches: %v", ms)
+	}
+}
+
+func TestSortMatchesProperty(t *testing.T) {
+	f := func(scores []float64) bool {
+		ms := make([]Match, len(scores))
+		for i, s := range scores {
+			ms[i] = Match{TID: i, Score: s}
+		}
+		SortMatches(ms)
+		if !sort.SliceIsSorted(ms, func(i, j int) bool {
+			if ms[i].Score != ms[j].Score {
+				return ms[i].Score > ms[j].Score
+			}
+			return ms[i].TID < ms[j].TID
+		}) {
+			return false
+		}
+		return len(ms) == len(scores)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package datasets
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCompanyNamesStatistics(t *testing.T) {
+	// Table 5.1: 2139 tuples, avg length ≈ 21.0, words/tuple ≈ 2.9.
+	rows := CompanyNames(2139, 1)
+	s := Describe(rows)
+	if s.Tuples != 2139 {
+		t.Fatalf("tuples = %d", s.Tuples)
+	}
+	if math.Abs(s.AvgTupleLen-21.0) > 3.0 {
+		t.Errorf("avg length %v too far from Table 5.1's 21.0", s.AvgTupleLen)
+	}
+	if math.Abs(s.WordsPerTuple-2.92) > 0.5 {
+		t.Errorf("words/tuple %v too far from Table 5.1's 2.92", s.WordsPerTuple)
+	}
+}
+
+func TestDBLPTitlesStatistics(t *testing.T) {
+	// Table 5.1: 10425 tuples, avg length ≈ 33.5, words/tuple ≈ 4.5.
+	rows := DBLPTitles(10425, 1)
+	s := Describe(rows)
+	if s.Tuples != 10425 {
+		t.Fatalf("tuples = %d", s.Tuples)
+	}
+	if math.Abs(s.AvgTupleLen-33.5) > 5.0 {
+		t.Errorf("avg length %v too far from Table 5.1's 33.55", s.AvgTupleLen)
+	}
+	if math.Abs(s.WordsPerTuple-4.53) > 0.8 {
+		t.Errorf("words/tuple %v too far from Table 5.1's 4.53", s.WordsPerTuple)
+	}
+}
+
+func TestCompanyNamesDistinct(t *testing.T) {
+	rows := CompanyNames(3000, 2)
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if seen[r] {
+			t.Fatalf("duplicate clean company %q", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestDBLPTitlesDistinct(t *testing.T) {
+	rows := DBLPTitles(5000, 2)
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if seen[r] {
+			t.Fatalf("duplicate title %q", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := CompanyNames(100, 5)
+	b := CompanyNames(100, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("CompanyNames not deterministic")
+		}
+	}
+	c := DBLPTitles(100, 5)
+	d := DBLPTitles(100, 5)
+	for i := range c {
+		if c[i] != d[i] {
+			t.Fatal("DBLPTitles not deterministic")
+		}
+	}
+}
+
+func TestSeedChangesOutput(t *testing.T) {
+	a := CompanyNames(50, 1)
+	b := CompanyNames(50, 2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestIncSuffixFrequent(t *testing.T) {
+	// The §5.4 abbreviation argument needs Inc./Incorporated to be frequent.
+	rows := CompanyNames(2000, 3)
+	incish := 0
+	for _, r := range rows {
+		if strings.HasSuffix(r, "Inc.") || strings.HasSuffix(r, "Incorporated") {
+			incish++
+		}
+	}
+	if incish < len(rows)/5 {
+		t.Errorf("only %d/%d companies carry Inc./Incorporated", incish, len(rows))
+	}
+}
+
+func TestAbbreviationsBidirectionalPairs(t *testing.T) {
+	for _, pair := range Abbreviations() {
+		if pair[0] == "" || pair[1] == "" || pair[0] == pair[1] {
+			t.Errorf("bad abbreviation pair %v", pair)
+		}
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	s := Describe(nil)
+	if s.Tuples != 0 || s.AvgTupleLen != 0 || s.WordsPerTuple != 0 {
+		t.Errorf("empty describe: %+v", s)
+	}
+}
+
+func TestNoEmptyStringsGenerated(t *testing.T) {
+	for _, r := range append(CompanyNames(500, 9), DBLPTitles(500, 9)...) {
+		if strings.TrimSpace(r) == "" {
+			t.Fatal("generated empty string")
+		}
+	}
+}

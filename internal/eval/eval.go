@@ -1,0 +1,119 @@
+// Package eval implements the accuracy methodology of §5.2: Average
+// Precision and Maximum F1 over a similarity ranking, and their means over a
+// query workload (MAP and mean max F1). Rankings are never thresholded —
+// the evaluation is deliberately independent of any similarity cutoff.
+package eval
+
+// AveragePrecision computes Eq. 5.1 for one ranked result list:
+//
+//	AP = Σ_r P(r)·rel(r) / |relevant|
+//
+// where P(r) is precision at rank r. Relevant records that were never
+// retrieved contribute nothing to the numerator but stay in the
+// denominator, so missing results are penalized.
+func AveragePrecision(ranked []int, relevant map[int]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	sum := 0.0
+	for r, tid := range ranked {
+		if relevant[tid] {
+			hits++
+			sum += float64(hits) / float64(r+1)
+		}
+	}
+	return sum / float64(len(relevant))
+}
+
+// MaxF1 computes Eq. 5.2: the maximum, over ranks r, of the harmonic mean
+// of precision and recall at r.
+func MaxF1(ranked []int, relevant map[int]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	best := 0.0
+	hits := 0
+	for r, tid := range ranked {
+		if relevant[tid] {
+			hits++
+		}
+		precision := float64(hits) / float64(r+1)
+		recall := float64(hits) / float64(len(relevant))
+		if precision+recall > 0 {
+			if f1 := 2 * precision * recall / (precision + recall); f1 > best {
+				best = f1
+			}
+		}
+	}
+	return best
+}
+
+// PrecisionAt returns the precision of the top-k prefix of the ranking.
+func PrecisionAt(ranked []int, relevant map[int]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k == 0 {
+		return 0
+	}
+	hits := 0
+	for _, tid := range ranked[:k] {
+		if relevant[tid] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAt returns the recall of the top-k prefix of the ranking.
+func RecallAt(ranked []int, relevant map[int]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	hits := 0
+	for _, tid := range ranked[:k] {
+		if relevant[tid] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// Summary aggregates per-query metrics over a workload.
+type Summary struct {
+	MAP       float64
+	MeanMaxF1 float64
+	Queries   int
+}
+
+// Accumulator builds a Summary incrementally.
+type Accumulator struct {
+	apSum, f1Sum float64
+	n            int
+}
+
+// Add records one query's ranking.
+func (a *Accumulator) Add(ranked []int, relevant map[int]bool) {
+	a.apSum += AveragePrecision(ranked, relevant)
+	a.f1Sum += MaxF1(ranked, relevant)
+	a.n++
+}
+
+// Summary returns the means accumulated so far.
+func (a *Accumulator) Summary() Summary {
+	if a.n == 0 {
+		return Summary{}
+	}
+	return Summary{
+		MAP:       a.apSum / float64(a.n),
+		MeanMaxF1: a.f1Sum / float64(a.n),
+		Queries:   a.n,
+	}
+}

@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestAveragePrecisionPerfectRanking(t *testing.T) {
+	ranked := []int{1, 2, 3, 9, 8}
+	relevant := map[int]bool{1: true, 2: true, 3: true}
+	if got := AveragePrecision(ranked, relevant); !approx(got, 1) {
+		t.Errorf("perfect ranking AP = %v, want 1", got)
+	}
+}
+
+func TestAveragePrecisionWorstRanking(t *testing.T) {
+	// Relevant records never retrieved: AP = 0.
+	if got := AveragePrecision([]int{4, 5}, map[int]bool{1: true}); got != 0 {
+		t.Errorf("AP = %v, want 0", got)
+	}
+}
+
+func TestAveragePrecisionKnownValue(t *testing.T) {
+	// Ranking: R N R with 2 relevant (both retrieved):
+	// AP = (1/1 + 2/3)/2 = 5/6.
+	ranked := []int{1, 9, 2}
+	relevant := map[int]bool{1: true, 2: true}
+	if got := AveragePrecision(ranked, relevant); !approx(got, 5.0/6) {
+		t.Errorf("AP = %v, want %v", got, 5.0/6)
+	}
+}
+
+func TestAveragePrecisionPenalizesMissing(t *testing.T) {
+	// One of two relevant records missing: AP = (1/1)/2 = 0.5.
+	ranked := []int{1}
+	relevant := map[int]bool{1: true, 2: true}
+	if got := AveragePrecision(ranked, relevant); !approx(got, 0.5) {
+		t.Errorf("AP = %v, want 0.5", got)
+	}
+}
+
+func TestAveragePrecisionEmptyRelevant(t *testing.T) {
+	if got := AveragePrecision([]int{1}, nil); got != 0 {
+		t.Errorf("AP with no relevant = %v", got)
+	}
+}
+
+func TestMaxF1PerfectRanking(t *testing.T) {
+	ranked := []int{1, 2, 9}
+	relevant := map[int]bool{1: true, 2: true}
+	if got := MaxF1(ranked, relevant); !approx(got, 1) {
+		t.Errorf("max F1 = %v, want 1", got)
+	}
+}
+
+func TestMaxF1KnownValue(t *testing.T) {
+	// Ranking: R N R, 2 relevant. At rank 1: P=1, R=0.5, F1=2/3.
+	// At rank 3: P=2/3, R=1, F1=0.8. Max = 0.8.
+	ranked := []int{1, 9, 2}
+	relevant := map[int]bool{1: true, 2: true}
+	if got := MaxF1(ranked, relevant); !approx(got, 0.8) {
+		t.Errorf("max F1 = %v, want 0.8", got)
+	}
+}
+
+func TestMaxF1NoneRetrieved(t *testing.T) {
+	if got := MaxF1([]int{7, 8}, map[int]bool{1: true}); got != 0 {
+		t.Errorf("max F1 = %v, want 0", got)
+	}
+	if got := MaxF1(nil, map[int]bool{1: true}); got != 0 {
+		t.Errorf("max F1 on empty ranking = %v", got)
+	}
+}
+
+func TestPrecisionRecallAt(t *testing.T) {
+	ranked := []int{1, 9, 2, 8}
+	relevant := map[int]bool{1: true, 2: true, 3: true}
+	if got := PrecisionAt(ranked, relevant, 2); !approx(got, 0.5) {
+		t.Errorf("P@2 = %v", got)
+	}
+	if got := RecallAt(ranked, relevant, 3); !approx(got, 2.0/3) {
+		t.Errorf("R@3 = %v", got)
+	}
+	if got := PrecisionAt(ranked, relevant, 0); got != 0 {
+		t.Errorf("P@0 = %v", got)
+	}
+	if got := PrecisionAt(ranked, relevant, 100); !approx(got, 0.5) {
+		t.Errorf("P@100 clamps to list length: %v", got)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var acc Accumulator
+	acc.Add([]int{1}, map[int]bool{1: true})    // AP 1, F1 1
+	acc.Add([]int{9, 1}, map[int]bool{1: true}) // AP 0.5, F1 2/3
+	s := acc.Summary()
+	if s.Queries != 2 {
+		t.Fatalf("queries = %d", s.Queries)
+	}
+	if !approx(s.MAP, 0.75) {
+		t.Errorf("MAP = %v, want 0.75", s.MAP)
+	}
+	if !approx(s.MeanMaxF1, (1+2.0/3)/2) {
+		t.Errorf("mean max F1 = %v", s.MeanMaxF1)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var acc Accumulator
+	if s := acc.Summary(); s.MAP != 0 || s.MeanMaxF1 != 0 || s.Queries != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestMetricsInUnitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		ranked := r.Perm(n)
+		relevant := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if r.Float64() < 0.3 {
+				relevant[i] = true
+			}
+		}
+		ap := AveragePrecision(ranked, relevant)
+		f1 := MaxF1(ranked, relevant)
+		return ap >= 0 && ap <= 1 && f1 >= 0 && f1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAPBetterRankingScoresHigher(t *testing.T) {
+	relevant := map[int]bool{1: true, 2: true}
+	good := AveragePrecision([]int{1, 2, 7, 8}, relevant)
+	bad := AveragePrecision([]int{7, 8, 1, 2}, relevant)
+	if !(good > bad) {
+		t.Errorf("AP should reward early hits: good=%v bad=%v", good, bad)
+	}
+}

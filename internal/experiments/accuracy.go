@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/eval"
+	"repro/internal/native"
+)
+
+// Table51Result reproduces Table 5.1: statistics of the clean datasets.
+type Table51Result struct {
+	Company datasets.Stats
+	DBLP    datasets.Stats
+}
+
+// Table51 generates the two clean relations at paper scale and describes
+// them.
+func Table51(o Options) Table51Result {
+	return Table51Result{
+		Company: datasets.Describe(datasets.CompanyNames(2139, o.Seed)),
+		DBLP:    datasets.Describe(datasets.DBLPTitles(10425, o.Seed)),
+	}
+}
+
+// Print writes the Table 5.1 reproduction.
+func (r Table51Result) Print(w io.Writer) {
+	t := &table{header: []string{"dataset", "#tuples", "avg tuple length", "#words/tuple"}}
+	t.add("Company Names", fmt.Sprint(r.Company.Tuples), f3(r.Company.AvgTupleLen), f3(r.Company.WordsPerTuple))
+	t.add("DBLP Titles", fmt.Sprint(r.DBLP.Tuples), f3(r.DBLP.AvgTupleLen), f3(r.DBLP.WordsPerTuple))
+	t.write(w, "Table 5.1 — Statistics of Clean Datasets (paper: 2139/21.03/2.92 and 10425/33.55/4.53)")
+}
+
+// Table53Result reproduces Table 5.3: the generated benchmark datasets.
+type Table53Result struct {
+	Specs   []DatasetSpec
+	Records []int // record counts actually generated
+}
+
+// Table53 generates every benchmark dataset and reports its configuration.
+func Table53(o Options) (Table53Result, error) {
+	specs := CompanySpecs(o)
+	r := Table53Result{Specs: specs}
+	for _, spec := range specs {
+		ds, err := buildDataset(spec, o)
+		if err != nil {
+			return r, err
+		}
+		r.Records = append(r.Records, len(ds.Records))
+	}
+	return r, nil
+}
+
+// Print writes the Table 5.3 reproduction.
+func (r Table53Result) Print(w io.Writer) {
+	t := &table{header: []string{"class", "name", "erroneous%", "extent%", "swap%", "abbr%", "records"}}
+	for i, s := range r.Specs {
+		t.add(s.Class, s.Name,
+			fmt.Sprintf("%.0f", s.P.ErroneousPct*100),
+			fmt.Sprintf("%.0f", s.P.ErrorExtent*100),
+			fmt.Sprintf("%.0f", s.P.TokenSwapPct*100),
+			fmt.Sprintf("%.0f", s.P.AbbrPct*100),
+			fmt.Sprint(r.Records[i]))
+	}
+	t.write(w, "Table 5.3 — Benchmark dataset classification")
+}
+
+// QGramSizeResult reproduces the §5.3.3 q-gram size study: MAP of four
+// predicates on the dirty class for q ∈ {2, 3}.
+type QGramSizeResult struct {
+	Qs         []int
+	Predicates []string
+	// MAP[qIndex][predIndex]
+	MAP [][]float64
+}
+
+// QGramSize measures accuracy as a function of q on the dirty datasets.
+func QGramSize(o Options) (QGramSizeResult, error) {
+	r := QGramSizeResult{
+		Qs:         []int{2, 3},
+		Predicates: []string{"Jaccard", "Cosine", "HMM", "BM25"},
+	}
+	dirtySpecs := []DatasetSpec{}
+	for _, s := range CompanySpecs(o) {
+		if s.Class == "Dirty" {
+			dirtySpecs = append(dirtySpecs, s)
+		}
+	}
+	for _, q := range r.Qs {
+		opt := o
+		opt.Config.Q = q
+		sums := make([]float64, len(r.Predicates))
+		for _, spec := range dirtySpecs {
+			res, err := datasetAccuracy(spec, r.Predicates, opt)
+			if err != nil {
+				return r, err
+			}
+			for i, name := range r.Predicates {
+				sums[i] += res[name].MAP
+			}
+		}
+		row := make([]float64, len(sums))
+		for i, s := range sums {
+			row[i] = s / float64(len(dirtySpecs))
+		}
+		r.MAP = append(r.MAP, row)
+	}
+	return r, nil
+}
+
+// Print writes the q-gram size table (§5.3.3; paper: q=2 beats q=3).
+func (r QGramSizeResult) Print(w io.Writer) {
+	t := &table{header: append([]string{"q"}, r.Predicates...)}
+	for i, q := range r.Qs {
+		row := []string{fmt.Sprint(q)}
+		for _, v := range r.MAP[i] {
+			row = append(row, f3(v))
+		}
+		t.add(row...)
+	}
+	t.write(w, "§5.3.3 — MAP vs q-gram size on the dirty class (paper: q=2 best, e.g. Jaccard .736/.671)")
+}
+
+// AccuracyByDataset holds MAP (and mean max F1) per predicate per dataset.
+type AccuracyByDataset struct {
+	Datasets   []string
+	Predicates []string
+	// Summary[datasetIndex][pred name]
+	Summary []map[string]eval.Summary
+}
+
+// accuracyOn runs the full predicate set over the named datasets.
+func accuracyOn(names []string, specs []DatasetSpec, o Options) (AccuracyByDataset, error) {
+	r := AccuracyByDataset{Predicates: names}
+	for _, spec := range specs {
+		res, err := datasetAccuracy(spec, names, o)
+		if err != nil {
+			return r, err
+		}
+		r.Datasets = append(r.Datasets, spec.Name)
+		r.Summary = append(r.Summary, res)
+	}
+	return r, nil
+}
+
+func specsByName(o Options, names ...string) []DatasetSpec {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []DatasetSpec
+	for _, s := range CompanySpecs(o) {
+		if want[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Table55 reproduces Table 5.5: accuracy under abbreviation errors (F1) and
+// token swap errors (F2) for every predicate.
+func Table55(o Options) (AccuracyByDataset, error) {
+	return accuracyOn(core.PredicateNames, specsByName(o, "F1", "F2"), o)
+}
+
+// PrintTable55 writes the Table 5.5 reproduction.
+func PrintTable55(r AccuracyByDataset, w io.Writer) {
+	t := &table{header: append([]string{"predicate"}, r.Datasets...)}
+	for _, name := range r.Predicates {
+		row := []string{name}
+		for i := range r.Datasets {
+			row = append(row, f3(r.Summary[i][name].MAP))
+		}
+		t.add(row...)
+	}
+	t.write(w, "Table 5.5 — MAP under abbreviation (F1) and token swap (F2) errors\n"+
+		"(paper: weighted predicates ≈1.0 on both; Jaccard .96/1.0; edit distance .89/.77; GES 1.0/.94)")
+}
+
+// Table56 reproduces Table 5.6: accuracy under growing edit errors
+// (datasets F3, F4, F5).
+func Table56(o Options) (AccuracyByDataset, error) {
+	return accuracyOn(core.PredicateNames, specsByName(o, "F3", "F4", "F5"), o)
+}
+
+// PrintTable56 writes the Table 5.6 reproduction.
+func PrintTable56(r AccuracyByDataset, w io.Writer) {
+	t := &table{header: append([]string{"predicate"}, r.Datasets...)}
+	for _, name := range r.Predicates {
+		row := []string{name}
+		for i := range r.Datasets {
+			row = append(row, f3(r.Summary[i][name].MAP))
+		}
+		t.add(row...)
+	}
+	t.write(w, "Table 5.6 — MAP under edit errors only (paper groups: GES ≥ BM25/HMM/LM/SoftTFIDF ≥ ED ≥ WM/WJ/Cosine ≥ Jaccard/Xect)")
+}
+
+// Figure51Result reproduces Figure 5.1: MAP per predicate per error class.
+type Figure51Result struct {
+	Classes    []string
+	Predicates []string
+	// MAP[classIndex][pred name]
+	MAP []map[string]float64
+}
+
+// Figure51 averages MAP over the datasets of each class.
+func Figure51(o Options) (Figure51Result, error) {
+	r := Figure51Result{
+		Classes:    []string{"Low", "Medium", "Dirty"},
+		Predicates: core.PredicateNames,
+	}
+	byClass := map[string][]DatasetSpec{}
+	for _, s := range CompanySpecs(o) {
+		if s.Class != "-" {
+			byClass[s.Class] = append(byClass[s.Class], s)
+		}
+	}
+	for _, class := range r.Classes {
+		sums := map[string]float64{}
+		for _, spec := range byClass[class] {
+			res, err := datasetAccuracy(spec, r.Predicates, o)
+			if err != nil {
+				return r, err
+			}
+			for name, s := range res {
+				sums[name] += s.MAP
+			}
+		}
+		avg := map[string]float64{}
+		for name, s := range sums {
+			avg[name] = s / float64(len(byClass[class]))
+		}
+		r.MAP = append(r.MAP, avg)
+	}
+	return r, nil
+}
+
+// Print writes the Figure 5.1 reproduction as a table (one series per
+// class).
+func (r Figure51Result) Print(w io.Writer) {
+	t := &table{header: append([]string{"predicate"}, r.Classes...)}
+	for _, name := range r.Predicates {
+		row := []string{name}
+		for i := range r.Classes {
+			row = append(row, f3(r.MAP[i][name]))
+		}
+		t.add(row...)
+	}
+	t.write(w, "Figure 5.1 — MAP per class (paper: BM25/HMM/LM/SoftTFIDF best everywhere; ED/Xect/Jac worst)")
+}
+
+// Table57Result reproduces Table 5.7: GESJaccard / GESapx accuracy at
+// different filter thresholds on CU1, with exact GES as the reference.
+type Table57Result struct {
+	Thetas     []float64
+	GESJaccard []float64
+	GESapx     []float64
+	GESExact   float64
+}
+
+// Table57 runs the threshold sweep.
+func Table57(o Options) (Table57Result, error) {
+	r := Table57Result{Thetas: []float64{0.7, 0.8, 0.9}}
+	spec := specsByName(o, "CU1")[0]
+	ds, err := buildDataset(spec, o)
+	if err != nil {
+		return r, err
+	}
+	texts, relevant := sampleQueries(ds, o.Queries, o.Seed+spec.P.Seed)
+
+	exact, err := native.Build("GES", ds.Records, o.Config)
+	if err != nil {
+		return r, err
+	}
+	s, err := measureAccuracy(exact, texts, relevant)
+	if err != nil {
+		return r, err
+	}
+	r.GESExact = s.MAP
+
+	for _, theta := range r.Thetas {
+		cfg := o.Config
+		cfg.GESThreshold = theta
+		for _, name := range []string{"GESJaccard", "GESapx"} {
+			p, err := native.Build(name, ds.Records, cfg)
+			if err != nil {
+				return r, err
+			}
+			s, err := measureAccuracy(p, texts, relevant)
+			if err != nil {
+				return r, err
+			}
+			if name == "GESJaccard" {
+				r.GESJaccard = append(r.GESJaccard, s.MAP)
+			} else {
+				r.GESapx = append(r.GESapx, s.MAP)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Print writes the Table 5.7 reproduction.
+func (r Table57Result) Print(w io.Writer) {
+	t := &table{header: []string{"predicate", "θ=0.7", "θ=0.8", "θ=0.9"}}
+	rowJ := []string{"GESJaccard"}
+	rowA := []string{"GESapx"}
+	for i := range r.Thetas {
+		rowJ = append(rowJ, f3(r.GESJaccard[i]))
+		rowA = append(rowA, f3(r.GESapx[i]))
+	}
+	t.add(rowJ...)
+	t.add(rowA...)
+	t.add("GES (no filter)", f3(r.GESExact), "", "")
+	t.write(w, "Table 5.7 — GES filter thresholds on CU1 (paper: GES .697; GESJaccard .692/.683/.603; GESapx .678/.665/.608)")
+}

@@ -1,0 +1,435 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/declarative"
+	"repro/internal/dirty"
+	"repro/internal/native"
+	"repro/internal/tokenize"
+	"repro/internal/weights"
+)
+
+// PerfOptions configure the performance experiments (§5.5). They default to
+// reduced sizes so the full suite runs in minutes; pass paper-scale values
+// to approxbench for the full reproduction.
+type PerfOptions struct {
+	// Size is the DBLP-like dataset size for Figures 5.2/5.3 (paper: 10000).
+	Size int
+	// Sizes is the scalability sweep of Figure 5.4 (paper: 10k–100k).
+	Sizes []int
+	// Queries is the number of timed selection queries (paper: 100).
+	Queries int
+	// Seed drives data generation and query sampling.
+	Seed int64
+	// Config holds predicate parameters.
+	Config core.Config
+	// Impl selects the measured realization: "declarative" (the paper's
+	// framework, default) or "native" (in-memory ablation baseline).
+	Impl string
+}
+
+// PerfDefaults returns reduced-size performance options.
+func PerfDefaults() PerfOptions {
+	return PerfOptions{
+		Size:    2000,
+		Sizes:   []int{1000, 2000, 4000},
+		Queries: 20,
+		Seed:    1,
+		Config:  core.DefaultConfig(),
+		Impl:    "declarative",
+	}
+}
+
+// PaperPerfOptions returns the paper-scale settings (§5.5: 10k records for
+// Figures 5.2/5.3, 10k–100k for Figure 5.4, 100 queries).
+func PaperPerfOptions() PerfOptions {
+	o := PerfDefaults()
+	o.Size = 10000
+	o.Sizes = []int{10000, 20000, 40000, 60000, 80000, 100000}
+	o.Queries = 100
+	return o
+}
+
+// dblpDataset generates the medium-error DBLP-like relation of §5.5 (70%
+// erroneous duplicates, 20% extent, 20% token swap, no abbreviations).
+func dblpDataset(size int, seed int64) (*dirty.Dataset, error) {
+	numClean := size / 10
+	if numClean < 10 {
+		numClean = 10
+	}
+	clean := datasets.DBLPTitles(numClean, seed)
+	return dirty.Generate(clean, nil, dirty.Params{
+		Size: size, NumClean: numClean, Dist: dirty.Uniform,
+		ErroneousPct: 0.70, ErrorExtent: 0.20, TokenSwapPct: 0.20,
+		Seed: seed,
+	})
+}
+
+func buildImpl(impl, name string, records []core.Record, cfg core.Config) (core.Predicate, error) {
+	if impl == "native" {
+		return native.Build(name, records, cfg)
+	}
+	return declarative.Build(name, records, cfg)
+}
+
+// Figure52Result reproduces Figure 5.2: preprocessing time per predicate,
+// split into tokenization and weight-computation phases.
+type Figure52Result struct {
+	Predicates []string
+	Tokenize   []time.Duration
+	Weights    []time.Duration
+	Size       int
+	Impl       string
+}
+
+// Figure52 builds every predicate over the DBLP-like relation and reports
+// its preprocessing phases.
+func Figure52(o PerfOptions) (Figure52Result, error) {
+	r := Figure52Result{Predicates: core.PredicateNames, Size: o.Size, Impl: o.Impl}
+	ds, err := dblpDataset(o.Size, o.Seed)
+	if err != nil {
+		return r, err
+	}
+	for _, name := range r.Predicates {
+		p, err := buildImpl(o.Impl, name, ds.Records, o.Config)
+		if err != nil {
+			return r, err
+		}
+		ph, ok := p.(core.Phased)
+		if !ok {
+			return r, fmt.Errorf("predicate %s does not report phases", name)
+		}
+		tok, w := ph.PreprocessPhases()
+		r.Tokenize = append(r.Tokenize, tok)
+		r.Weights = append(r.Weights, w)
+	}
+	return r, nil
+}
+
+// Print writes the Figure 5.2 reproduction.
+func (r Figure52Result) Print(w io.Writer) {
+	t := &table{header: []string{"predicate", "tokenization", "weights", "total"}}
+	for i, name := range r.Predicates {
+		t.add(name, r.Tokenize[i].Round(time.Millisecond).String(),
+			r.Weights[i].Round(time.Millisecond).String(),
+			(r.Tokenize[i] + r.Weights[i]).Round(time.Millisecond).String())
+	}
+	t.write(w, fmt.Sprintf("Figure 5.2 — Preprocessing time, %d records, %s realization\n"+
+		"(paper: aggregate/LM predicates fast tokenization, slow weights; combination predicates slowest tokenization; GESapx slowest overall)",
+		r.Size, r.Impl))
+}
+
+// Figure53Result reproduces Figure 5.3: average query time per predicate.
+type Figure53Result struct {
+	Predicates []string
+	QueryTime  []time.Duration
+	Size       int
+	Queries    int
+	Impl       string
+}
+
+// Figure53 measures mean Select latency over a random query workload.
+func Figure53(o PerfOptions) (Figure53Result, error) {
+	r := Figure53Result{Predicates: core.PredicateNames, Size: o.Size, Queries: o.Queries, Impl: o.Impl}
+	ds, err := dblpDataset(o.Size, o.Seed)
+	if err != nil {
+		return r, err
+	}
+	texts, _ := sampleQueries(ds, o.Queries, o.Seed+7)
+	for _, name := range r.Predicates {
+		p, err := buildImpl(o.Impl, name, ds.Records, o.Config)
+		if err != nil {
+			return r, err
+		}
+		d, err := timeQueries(p, texts)
+		if err != nil {
+			return r, err
+		}
+		r.QueryTime = append(r.QueryTime, d)
+	}
+	return r, nil
+}
+
+func timeQueries(p core.Predicate, texts []string) (time.Duration, error) {
+	start := time.Now()
+	for _, q := range texts {
+		if _, err := p.Select(q); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(len(texts)), nil
+}
+
+// Print writes the Figure 5.3 reproduction.
+func (r Figure53Result) Print(w io.Writer) {
+	t := &table{header: []string{"predicate", "avg query time"}}
+	for i, name := range r.Predicates {
+		t.add(name, r.QueryTime[i].Round(time.Microsecond).String())
+	}
+	t.write(w, fmt.Sprintf("Figure 5.3 — Query time, %d records, %d queries, %s realization\n"+
+		"(paper: overlap/HMM/BM25 fastest; LM slower (3-table join); GES-based and SoftTFIDF slowest)",
+		r.Size, r.Queries, r.Impl))
+}
+
+// Figure54Groups are the predicate groups of Figure 5.4.
+var Figure54Groups = map[string][]string{
+	"G1":           {"IntersectSize", "WeightedMatch", "HMM"},
+	"G2":           {"Jaccard", "WeightedJaccard", "Cosine", "BM25"},
+	"LM":           {"LM"},
+	"STfIdf (w=3)": {"SoftTFIDF"},
+	"GESJac (w=3)": {"GESJaccard"},
+	"GESapx (w=3)": {"GESapx"},
+}
+
+// figure54GroupOrder fixes the display order.
+var figure54GroupOrder = []string{"G1", "G2", "LM", "STfIdf (w=3)", "GESJac (w=3)", "GESapx (w=3)"}
+
+// Figure54Result reproduces Figure 5.4: query time vs base table size.
+type Figure54Result struct {
+	Sizes  []int
+	Groups []string
+	// Time[groupIndex][sizeIndex]
+	Time [][]time.Duration
+	Impl string
+}
+
+// Figure54 sweeps the base table size. Combination predicates are queried
+// with 3-word query strings, as in the paper; edit distance is excluded
+// (the paper drops it for its poor accuracy).
+func Figure54(o PerfOptions) (Figure54Result, error) {
+	r := Figure54Result{Sizes: o.Sizes, Groups: figure54GroupOrder, Impl: o.Impl}
+	r.Time = make([][]time.Duration, len(r.Groups))
+	for si, size := range o.Sizes {
+		ds, err := dblpDataset(size, o.Seed)
+		if err != nil {
+			return r, err
+		}
+		texts, _ := sampleQueries(ds, o.Queries, o.Seed+13)
+		short := make([]string, len(texts))
+		for i, q := range texts {
+			short[i] = firstWords(q, 3)
+		}
+		for gi, group := range r.Groups {
+			var total time.Duration
+			members := Figure54Groups[group]
+			for _, name := range members {
+				p, err := buildImpl(o.Impl, name, ds.Records, o.Config)
+				if err != nil {
+					return r, err
+				}
+				workload := texts
+				if strings.Contains(group, "w=3") {
+					workload = short
+				}
+				d, err := timeQueries(p, workload)
+				if err != nil {
+					return r, err
+				}
+				total += d
+			}
+			if len(r.Time[gi]) != si {
+				return r, fmt.Errorf("internal: size sweep out of order")
+			}
+			r.Time[gi] = append(r.Time[gi], total/time.Duration(len(members)))
+		}
+	}
+	return r, nil
+}
+
+func firstWords(s string, n int) string {
+	words := strings.Fields(s)
+	if len(words) > n {
+		words = words[:n]
+	}
+	return strings.Join(words, " ")
+}
+
+// Print writes the Figure 5.4 reproduction.
+func (r Figure54Result) Print(w io.Writer) {
+	header := []string{"group"}
+	for _, s := range r.Sizes {
+		header = append(header, fmt.Sprintf("%dk", s/1000))
+	}
+	t := &table{header: header}
+	for gi, g := range r.Groups {
+		row := []string{g}
+		for _, d := range r.Time[gi] {
+			row = append(row, d.Round(time.Microsecond).String())
+		}
+		t.add(row...)
+	}
+	t.write(w, fmt.Sprintf("Figure 5.4 — Query time vs base table size (%s realization)\n"+
+		"(paper: G1 < G2 < LM ≪ combination predicates; all grow roughly linearly)", r.Impl))
+}
+
+// Figure55Result reproduces Figure 5.5: the effect of IDF pruning on MAP
+// and on query time.
+type Figure55Result struct {
+	Rates      []float64
+	Predicates []string
+	// MAP[rateIndex][predIndex], Time[rateIndex][predIndex]
+	MAP  [][]float64
+	Time [][]time.Duration
+}
+
+// Figure55 sweeps the pruning rate over a dirty company dataset. MAP uses
+// the native realization (scores are identical); time uses the configured
+// implementation.
+func Figure55(ao Options, po PerfOptions) (Figure55Result, error) {
+	r := Figure55Result{
+		Rates:      []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5},
+		Predicates: []string{"IntersectSize", "Jaccard", "Cosine", "BM25", "HMM", "LM"},
+	}
+	spec := specsByName(ao, "CU1")[0]
+	ds, err := buildDataset(spec, ao)
+	if err != nil {
+		return r, err
+	}
+	texts, relevant := sampleQueries(ds, ao.Queries, ao.Seed+spec.P.Seed)
+	for _, rate := range r.Rates {
+		cfg := ao.Config
+		cfg.PruneRate = rate
+		maps := make([]float64, len(r.Predicates))
+		times := make([]time.Duration, len(r.Predicates))
+		for i, name := range r.Predicates {
+			np, err := native.Build(name, ds.Records, cfg)
+			if err != nil {
+				return r, err
+			}
+			s, err := measureAccuracy(np, texts, relevant)
+			if err != nil {
+				return r, err
+			}
+			maps[i] = s.MAP
+
+			tp, err := buildImpl(po.Impl, name, ds.Records, cfg)
+			if err != nil {
+				return r, err
+			}
+			d, err := timeQueries(tp, texts[:minInt(po.Queries, len(texts))])
+			if err != nil {
+				return r, err
+			}
+			times[i] = d
+		}
+		r.MAP = append(r.MAP, maps)
+		r.Time = append(r.Time, times)
+	}
+	return r, nil
+}
+
+// Print writes the Figure 5.5 reproduction.
+func (r Figure55Result) Print(w io.Writer) {
+	t := &table{header: append([]string{"rate"}, r.Predicates...)}
+	for i, rate := range r.Rates {
+		row := []string{fmt.Sprintf("%.1f", rate)}
+		for _, v := range r.MAP[i] {
+			row = append(row, f3(v))
+		}
+		t.add(row...)
+	}
+	t.write(w, "Figure 5.5(a) — MAP vs pruning rate (paper: unweighted predicates gain; weighted stable up to ≈0.3)")
+
+	t2 := &table{header: append([]string{"rate"}, r.Predicates...)}
+	for i, rate := range r.Rates {
+		row := []string{fmt.Sprintf("%.1f", rate)}
+		for _, d := range r.Time[i] {
+			row = append(row, d.Round(time.Microsecond).String())
+		}
+		t2.add(row...)
+	}
+	t2.write(w, "Figure 5.5(b) — Query time vs pruning rate (paper: time falls as tokens are pruned)")
+}
+
+// Figure56Result reproduces Figure 5.6: the IDF distribution of 3-grams in
+// the CU1 dataset, as a fixed-width histogram.
+type Figure56Result struct {
+	// BinUpper[i] is the inclusive upper idf bound of bin i.
+	BinUpper []float64
+	// Count[i] is the number of token occurrences whose gram idf falls in
+	// bin i.
+	Count []int
+	Total int
+}
+
+// Figure56 histograms 3-gram IDFs over the CU1 dataset.
+func Figure56(o Options) (Figure56Result, error) {
+	r := Figure56Result{}
+	spec := specsByName(o, "CU1")[0]
+	ds, err := buildDataset(spec, o)
+	if err != nil {
+		return r, err
+	}
+	docs := make([][]string, len(ds.Records))
+	for i, rec := range ds.Records {
+		docs[i] = tokenize.QGrams(rec.Text, 3)
+	}
+	c := weights.Build(docs)
+	minIDF, maxIDF := math.Inf(1), math.Inf(-1)
+	idfOf := map[string]float64{}
+	for _, doc := range docs {
+		for _, t := range doc {
+			if _, ok := idfOf[t]; !ok {
+				v := c.IDF(t)
+				idfOf[t] = v
+				if v < minIDF {
+					minIDF = v
+				}
+				if v > maxIDF {
+					maxIDF = v
+				}
+			}
+		}
+	}
+	const bins = 10
+	width := (maxIDF - minIDF) / bins
+	if width == 0 {
+		width = 1
+	}
+	r.BinUpper = make([]float64, bins)
+	r.Count = make([]int, bins)
+	for i := 0; i < bins; i++ {
+		r.BinUpper[i] = minIDF + width*float64(i+1)
+	}
+	for _, doc := range docs {
+		for _, t := range doc {
+			bin := int((idfOf[t] - minIDF) / width)
+			if bin >= bins {
+				bin = bins - 1
+			}
+			r.Count[bin]++
+			r.Total++
+		}
+	}
+	return r, nil
+}
+
+// Print writes the Figure 5.6 reproduction with a text bar chart.
+func (r Figure56Result) Print(w io.Writer) {
+	t := &table{header: []string{"idf ≤", "tokens", ""}}
+	maxCount := 1
+	for _, c := range r.Count {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, up := range r.BinUpper {
+		bar := strings.Repeat("#", r.Count[i]*40/maxCount)
+		t.add(fmt.Sprintf("%.2f", up), fmt.Sprint(r.Count[i]), bar)
+	}
+	t.write(w, fmt.Sprintf("Figure 5.6 — IDF distribution of 3-grams on CU1 (%d token occurrences; paper: heavy low-IDF mass)", r.Total))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

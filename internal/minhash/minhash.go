@@ -1,0 +1,106 @@
+// Package minhash implements min-wise independent permutations (Broder et
+// al.), the signature scheme the paper uses to approximate the Jaccard
+// similarity between word-token q-gram sets in the GESapx predicate
+// (Eq. 4.8, Appendix B.4.2).
+//
+// A Family is a fixed set of k hash functions; the signature of a token set
+// is the element-wise minimum of each hash over the set. The fraction of
+// equal signature positions is an unbiased estimator of Jaccard similarity.
+package minhash
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// Family is a set of k min-wise independent hash permutations. Families are
+// deterministic for a given seed, so preprocessing is reproducible. A Family
+// is safe for concurrent use once constructed.
+type Family struct {
+	muls []uint64
+	adds []uint64
+}
+
+// NewFamily creates a family of k hash permutations seeded deterministically.
+// k must be positive; the paper's experiments use k = 5 signatures.
+func NewFamily(k int, seed int64) *Family {
+	if k <= 0 {
+		panic("minhash: family size must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &Family{
+		muls: make([]uint64, k),
+		adds: make([]uint64, k),
+	}
+	for i := 0; i < k; i++ {
+		// Odd multipliers give full-period multiplicative mixing over 2^64.
+		f.muls[i] = rng.Uint64() | 1
+		f.adds[i] = rng.Uint64()
+	}
+	return f
+}
+
+// K returns the number of hash functions (the signature length).
+func (f *Family) K() int { return len(f.muls) }
+
+// hash applies the i-th permutation to the FNV base hash of the token. The
+// result is shifted into [0, 2^63) so values round-trip losslessly through
+// int64 columns of the SQL engine (the declarative GESapx realization stores
+// hash values in tables, mirroring the paper's BASE_HASHVALUE relation).
+func (f *Family) hash(i int, base uint64) uint64 {
+	return (base*f.muls[i] + f.adds[i]) >> 1
+}
+
+// HashValue returns the i-th permutation's hash of a single token. The
+// min-hash signature is the per-slot minimum of HashValue over a token set,
+// which is exactly how the declarative realization computes signatures with
+// GROUP BY ... MIN.
+func (f *Family) HashValue(i int, token string) uint64 {
+	return f.hash(i, baseHash(token))
+}
+
+// baseHash computes a 64-bit FNV-1a hash of the token.
+func baseHash(token string) uint64 {
+	h := fnv.New64a()
+	// fnv's Write never fails.
+	_, _ = h.Write([]byte(token))
+	return h.Sum64()
+}
+
+// Signature returns the min-hash signature of a token set. The signature has
+// K() entries; for an empty set every entry is the maximum uint64, so two
+// empty sets compare as identical.
+func (f *Family) Signature(tokens []string) []uint64 {
+	sig := make([]uint64, f.K())
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for _, t := range tokens {
+		b := baseHash(t)
+		for i := range sig {
+			if h := f.hash(i, b); h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+// Similarity estimates the Jaccard similarity of the two underlying sets as
+// the fraction of matching signature entries. Signatures must come from the
+// same Family and therefore have equal length.
+func Similarity(a, b []uint64) float64 {
+	if len(a) != len(b) {
+		panic("minhash: signatures from different families")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	eq := 0
+	for i := range a {
+		if a[i] == b[i] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(len(a))
+}

@@ -1,0 +1,123 @@
+package minhash
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	f1 := NewFamily(8, 42)
+	f2 := NewFamily(8, 42)
+	tokens := []string{"$A", "AB", "B$"}
+	s1 := f1.Signature(tokens)
+	s2 := f2.Signature(tokens)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("same seed must produce same signature; differ at %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	f1 := NewFamily(8, 1)
+	f2 := NewFamily(8, 2)
+	tokens := []string{"$A", "AB", "B$"}
+	s1 := f1.Signature(tokens)
+	s2 := f2.Signature(tokens)
+	same := true
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should (overwhelmingly) produce different signatures")
+	}
+}
+
+func TestIdenticalSetsSimilarityOne(t *testing.T) {
+	f := NewFamily(16, 7)
+	tokens := []string{"x", "y", "z"}
+	a := f.Signature(tokens)
+	b := f.Signature([]string{"z", "y", "x"}) // order must not matter
+	if got := Similarity(a, b); got != 1 {
+		t.Fatalf("identical sets: similarity = %v, want 1", got)
+	}
+}
+
+func TestEmptySets(t *testing.T) {
+	f := NewFamily(4, 7)
+	a := f.Signature(nil)
+	b := f.Signature(nil)
+	if got := Similarity(a, b); got != 1 {
+		t.Fatalf("two empty sets: similarity = %v, want 1", got)
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	f := NewFamily(8, 3)
+	a := f.Signature([]string{"a", "b", "b", "b"})
+	b := f.Signature([]string{"a", "a", "b"})
+	if got := Similarity(a, b); got != 1 {
+		t.Fatalf("min-hash is a set operation; duplicates must not matter, got %v", got)
+	}
+}
+
+func TestKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFamily(0) should panic")
+		}
+	}()
+	NewFamily(0, 1)
+}
+
+func TestMismatchedSignaturesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Similarity with mismatched lengths should panic")
+		}
+	}()
+	Similarity(make([]uint64, 3), make([]uint64, 4))
+}
+
+// TestEstimatorAccuracy checks that the estimator converges to the true
+// Jaccard similarity for large signatures: the paper relies on min-hash
+// being a "provable approximation" of Jaccard.
+func TestEstimatorAccuracy(t *testing.T) {
+	f := NewFamily(512, 11)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 40 + rng.Intn(40)
+		shared := rng.Intn(n)
+		var a, b []string
+		for i := 0; i < shared; i++ {
+			tok := fmt.Sprintf("s%d-%d", trial, i)
+			a = append(a, tok)
+			b = append(b, tok)
+		}
+		for i := shared; i < n; i++ {
+			a = append(a, fmt.Sprintf("a%d-%d", trial, i))
+			b = append(b, fmt.Sprintf("b%d-%d", trial, i))
+		}
+		truth := float64(shared) / float64(2*n-shared)
+		got := Similarity(f.Signature(a), f.Signature(b))
+		if math.Abs(got-truth) > 0.12 {
+			t.Errorf("trial %d: estimate %v too far from truth %v", trial, got, truth)
+		}
+	}
+}
+
+func BenchmarkSignature5(b *testing.B) {
+	f := NewFamily(5, 1)
+	tokens := make([]string, 40)
+	for i := range tokens {
+		tokens[i] = fmt.Sprintf("tok%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Signature(tokens)
+	}
+}

@@ -1,0 +1,114 @@
+package native
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tokenize"
+	"repro/internal/weights"
+)
+
+// The aggregate weighted predicates (§3.2, Appendix B.2) score
+// sim(Q,D) = Σ_{t∈Q∩D} w_q(t,Q)·w_d(t,D) and differ only in the weighting
+// scheme. Token frequency matters, so multisets are preserved.
+
+// wpost is one posting of a weighted inverted index: a record position and
+// the record-side weight of the token in that record.
+type wpost struct {
+	idx int
+	w   float64
+}
+
+// Cosine is the tf-idf cosine similarity predicate (§3.2.1).
+type Cosine struct {
+	phases
+	td       *tokenData
+	postings map[string][]wpost
+	q        int
+}
+
+// NewCosine preprocesses the base relation with normalized tf-idf weights.
+func NewCosine(records []core.Record, cfg core.Config) (*Cosine, error) {
+	if err := validate(records, cfg); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
+	t1 := time.Now()
+	p := &Cosine{td: td, q: cfg.Q, postings: make(map[string][]wpost)}
+	for i, counts := range td.counts {
+		for t, w := range td.corpus.TFIDF(counts) {
+			p.postings[t] = append(p.postings[t], wpost{idx: i, w: w})
+		}
+	}
+	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
+	return p, nil
+}
+
+// Name implements core.Predicate.
+func (p *Cosine) Name() string { return "Cosine" }
+
+// Select ranks records by Σ w_q(t)·w_d(t). Query weights are normalized
+// tf-idf computed with the base relation's idf; tokens unknown to the base
+// relation are dropped from the query vector, as in the declarative plan.
+func (p *Cosine) Select(query string) ([]core.Match, error) {
+	qcounts := p.td.knownOnly(tokenize.Counts(tokenize.QGrams(query, p.q)))
+	qw := p.td.corpus.TFIDF(qcounts)
+	acc := accumulator{}
+	for _, t := range sortedTokens(qw) {
+		wq := qw[t]
+		for _, post := range p.postings[t] {
+			acc[post.idx] += wq * post.w
+		}
+	}
+	return acc.matches(p.td), nil
+}
+
+// BM25 is the BM25 probabilistic weighting predicate (§3.2.2), deployed for
+// data cleaning for the first time in the paper.
+type BM25 struct {
+	phases
+	td       *tokenData
+	postings map[string][]wpost
+	params   weights.BM25Params
+	q        int
+}
+
+// NewBM25 preprocesses the base relation with BM25 record-side weights.
+func NewBM25(records []core.Record, cfg core.Config) (*BM25, error) {
+	if err := validate(records, cfg); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
+	t1 := time.Now()
+	p := &BM25{
+		td:       td,
+		q:        cfg.Q,
+		params:   weights.BM25Params{K1: cfg.BM25K1, K3: cfg.BM25K3, B: cfg.BM25B},
+		postings: make(map[string][]wpost),
+	}
+	for i, counts := range td.counts {
+		for t, w := range td.corpus.BM25Doc(counts, td.dl[i], p.params) {
+			p.postings[t] = append(p.postings[t], wpost{idx: i, w: w})
+		}
+	}
+	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
+	return p, nil
+}
+
+// Name implements core.Predicate.
+func (p *BM25) Name() string { return "BM25" }
+
+// Select ranks records by the BM25 score of Eq. 3.4.
+func (p *BM25) Select(query string) ([]core.Match, error) {
+	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
+	acc := accumulator{}
+	for _, t := range sortedTokens(qcounts) {
+		wq := weights.BM25Query(qcounts[t], p.params)
+		for _, post := range p.postings[t] {
+			acc[post.idx] += wq * post.w
+		}
+	}
+	return acc.matches(p.td), nil
+}

@@ -1,0 +1,216 @@
+// Package native implements all thirteen similarity predicates of the
+// benchmark as direct in-memory algorithms. These implementations serve two
+// roles: they are the fast reference implementations exposed through the
+// public API, and they act as differential-testing oracles for the
+// declarative (SQL) realizations in package declarative — both must produce
+// identical scores.
+package native
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+	"unicode"
+
+	"repro/internal/core"
+	"repro/internal/tokenize"
+	"repro/internal/weights"
+)
+
+// tokenData is the shared result of the tokenization phase: per-record
+// q-gram multisets, their sizes, and corpus statistics, with optional IDF
+// pruning (§5.6) applied.
+type tokenData struct {
+	records []core.Record
+	counts  []map[string]int // q-gram counts per record (after pruning)
+	dl      []int            // multiset sizes (after pruning)
+	corpus  *weights.Corpus  // built over the (pruned) token multisets
+}
+
+// buildTokenData tokenizes every record into q-grams and applies IDF
+// pruning when rate > 0: tokens with idf below
+// min(idf) + rate·(max(idf) − min(idf)) are dropped, and all statistics are
+// recomputed over the pruned relation so that probability distributions
+// remain meaningful (§5.6).
+func buildTokenData(records []core.Record, q int, rate float64) *tokenData {
+	docs := make([][]string, len(records))
+	for i, r := range records {
+		docs[i] = tokenize.QGrams(r.Text, q)
+	}
+	if rate > 0 {
+		docs = pruneDocs(docs, rate)
+	}
+	td := &tokenData{
+		records: records,
+		counts:  make([]map[string]int, len(records)),
+		dl:      make([]int, len(records)),
+	}
+	for i, doc := range docs {
+		td.counts[i] = tokenize.Counts(doc)
+		td.dl[i] = len(doc)
+	}
+	td.corpus = weights.Build(docs)
+	return td
+}
+
+// pruneDocs drops tokens whose idf falls below the pruning threshold.
+func pruneDocs(docs [][]string, rate float64) [][]string {
+	c := weights.Build(docs)
+	minIDF, maxIDF := math.Inf(1), math.Inf(-1)
+	seen := map[string]float64{}
+	for _, doc := range docs {
+		for _, t := range doc {
+			if _, ok := seen[t]; ok {
+				continue
+			}
+			idf := c.IDF(t)
+			seen[t] = idf
+			if idf < minIDF {
+				minIDF = idf
+			}
+			if idf > maxIDF {
+				maxIDF = idf
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return docs
+	}
+	threshold := minIDF + rate*(maxIDF-minIDF)
+	out := make([][]string, len(docs))
+	for i, doc := range docs {
+		kept := make([]string, 0, len(doc))
+		for _, t := range doc {
+			if seen[t] >= threshold {
+				kept = append(kept, t)
+			}
+		}
+		out[i] = kept
+	}
+	return out
+}
+
+// pruneQueryTokens drops query tokens that were pruned away from (or never
+// existed in) the base relation. Join-based scoring skips them anyway; this
+// keeps length-normalized scores consistent with the declarative plans,
+// which join query tokens against base weight tables.
+func (td *tokenData) knownOnly(counts map[string]int) map[string]int {
+	out := make(map[string]int, len(counts))
+	for t, tf := range counts {
+		if td.corpus.Known(t) {
+			out[t] = tf
+		}
+	}
+	return out
+}
+
+// accumulator gathers per-record scores during a Select.
+type accumulator map[int]float64
+
+// matches converts accumulated scores into the sorted Match slice contract.
+func (a accumulator) matches(td *tokenData) []core.Match {
+	out := make([]core.Match, 0, len(a))
+	for idx, score := range a {
+		out = append(out, core.Match{TID: td.records[idx].TID, Score: score})
+	}
+	core.SortMatches(out)
+	return out
+}
+
+// editNormalize prepares a string for the edit-based predicate: whitespace
+// runs collapse to the q-gram pad sequence and letters are upper-cased, so
+// that the q-gram filter and the verification distance operate on the same
+// text (§4.4; see DESIGN.md).
+func editNormalize(s string, q int) string {
+	fields := strings.FieldsFunc(s, unicode.IsSpace)
+	sep := strings.Repeat(string(tokenize.PadRune), maxInt(q-1, 1))
+	return strings.ToUpper(strings.Join(fields, sep))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sortedTokens returns the map's keys in sorted order. Score accumulation
+// iterates tokens in this order so repeated Selects produce bit-identical
+// results (map iteration order would otherwise reassociate float sums).
+func sortedTokens[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for t := range m {
+		keys = append(keys, t)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// validate checks configuration invariants shared by all predicates.
+func validate(records []core.Record, cfg core.Config) error {
+	if cfg.Q < 1 {
+		return fmt.Errorf("native: q-gram size must be ≥ 1, got %d", cfg.Q)
+	}
+	if cfg.WordQ < 1 {
+		return fmt.Errorf("native: word q-gram size must be ≥ 1, got %d", cfg.WordQ)
+	}
+	if cfg.PruneRate < 0 || cfg.PruneRate >= 1 {
+		return fmt.Errorf("native: prune rate must be in [0, 1), got %v", cfg.PruneRate)
+	}
+	seen := make(map[int]bool, len(records))
+	for _, r := range records {
+		if seen[r.TID] {
+			return fmt.Errorf("native: duplicate TID %d in base relation", r.TID)
+		}
+		seen[r.TID] = true
+	}
+	return nil
+}
+
+// phases is the embeddable timing record for core.Phased.
+type phases struct {
+	tokDur time.Duration
+	wDur   time.Duration
+}
+
+// PreprocessPhases returns the tokenization and weight-computation times.
+func (p *phases) PreprocessPhases() (time.Duration, time.Duration) {
+	return p.tokDur, p.wDur
+}
+
+// Build constructs the named predicate over the base relation. Names match
+// core.PredicateNames.
+func Build(name string, records []core.Record, cfg core.Config) (core.Predicate, error) {
+	switch name {
+	case "IntersectSize":
+		return NewIntersectSize(records, cfg)
+	case "Jaccard":
+		return NewJaccard(records, cfg)
+	case "WeightedMatch":
+		return NewWeightedMatch(records, cfg)
+	case "WeightedJaccard":
+		return NewWeightedJaccard(records, cfg)
+	case "Cosine":
+		return NewCosine(records, cfg)
+	case "BM25":
+		return NewBM25(records, cfg)
+	case "LM":
+		return NewLM(records, cfg)
+	case "HMM":
+		return NewHMM(records, cfg)
+	case "EditDistance":
+		return NewEditDistance(records, cfg)
+	case "GES":
+		return NewGES(records, cfg)
+	case "GESJaccard":
+		return NewGESJaccard(records, cfg)
+	case "GESapx":
+		return NewGESapx(records, cfg)
+	case "SoftTFIDF":
+		return NewSoftTFIDF(records, cfg)
+	default:
+		return nil, fmt.Errorf("native: unknown predicate %q", name)
+	}
+}

@@ -1,0 +1,488 @@
+package native
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/minhash"
+	"repro/internal/strutil"
+	"repro/internal/tokenize"
+	"repro/internal/weights"
+)
+
+// The combination predicates (§3.5, §4.5, Appendix B.4) work on word tokens
+// and combine token-level weights with a character-level similarity. All of
+// them upper-case word tokens, consistent with the q-gram tokenization the
+// declarative framework applies to words (Appendix A.3).
+
+// wordData is the shared word-level preprocessing state.
+type wordData struct {
+	records []core.Record
+	words   [][]string // ordered word tokens per record, upper-cased
+	counts  []map[string]int
+	corpus  *weights.Corpus // word-token corpus (idf weights, Eq. 4.7)
+}
+
+func buildWordData(records []core.Record) *wordData {
+	wd := &wordData{
+		records: records,
+		words:   make([][]string, len(records)),
+		counts:  make([]map[string]int, len(records)),
+	}
+	docs := make([][]string, len(records))
+	for i, r := range records {
+		ws := tokenize.Words(strings.ToUpper(r.Text))
+		wd.words[i] = ws
+		wd.counts[i] = tokenize.Counts(ws)
+		docs[i] = ws
+	}
+	wd.corpus = weights.Build(docs)
+	return wd
+}
+
+func queryWords(query string) []string {
+	return tokenize.Words(strings.ToUpper(query))
+}
+
+// GESCost computes the GES transformation cost tc(Q → D) of §3.5 with a
+// token-sequence dynamic program: replacing q_i by d_j costs
+// (1 − sim_edit(q_i,d_j))·w(q_i), inserting d_j costs c_ins·w(d_j), and
+// deleting q_i costs w(q_i). It is exported so the declarative realization's
+// UDF shares the exact same kernel.
+func GESCost(qws []string, qWeights []float64, dws []string, dWeights []float64, cins float64) float64 {
+	n, m := len(qws), len(dws)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = prev[j-1] + cins*dWeights[j-1]
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = prev[0] + qWeights[i-1]
+		for j := 1; j <= m; j++ {
+			repl := prev[j-1] + (1-strutil.EditSimilarity(qws[i-1], dws[j-1]))*qWeights[i-1]
+			del := prev[j] + qWeights[i-1]
+			ins := cur[j-1] + cins*dWeights[j-1]
+			best := repl
+			if del < best {
+				best = del
+			}
+			if ins < best {
+				best = ins
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// GESScore turns a transformation cost into the similarity of Eq. 3.14.
+func GESScore(cost, wtQ float64) float64 {
+	if wtQ == 0 {
+		return 0
+	}
+	frac := cost / wtQ
+	if frac > 1 {
+		frac = 1
+	}
+	return 1 - frac
+}
+
+// gesEval is the shared exact-GES scorer over a word-level base.
+type gesEval struct {
+	wd      *wordData
+	cins    float64
+	weights [][]float64 // per record, per word position, idf weight
+}
+
+func newGESEval(wd *wordData, cins float64) *gesEval {
+	g := &gesEval{wd: wd, cins: cins, weights: make([][]float64, len(wd.words))}
+	for i, ws := range wd.words {
+		w := make([]float64, len(ws))
+		for j, t := range ws {
+			w[j] = wd.corpus.IDF(t)
+		}
+		g.weights[i] = w
+	}
+	return g
+}
+
+// queryWeights returns per-position idf weights and their sum for a query's
+// word tokens; unseen tokens take the average idf (§4.5).
+func (g *gesEval) queryWeights(qws []string) ([]float64, float64) {
+	w := make([]float64, len(qws))
+	wt := 0.0
+	for i, t := range qws {
+		w[i] = g.wd.corpus.IDF(t)
+		wt += w[i]
+	}
+	return w, wt
+}
+
+func (g *gesEval) score(qws []string, qWeights []float64, wtQ float64, idx int) float64 {
+	cost := GESCost(qws, qWeights, g.wd.words[idx], g.weights[idx], g.cins)
+	return GESScore(cost, wtQ)
+}
+
+// GES is the exact generalized edit similarity predicate (Eq. 3.14). Exact
+// scoring touches every record — precisely the cost GESJaccard and GESapx
+// were designed to avoid.
+type GES struct {
+	phases
+	wd  *wordData
+	ges *gesEval
+}
+
+// NewGES preprocesses the base relation for exact GES.
+func NewGES(records []core.Record, cfg core.Config) (*GES, error) {
+	if err := validate(records, cfg); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	wd := buildWordData(records)
+	t1 := time.Now()
+	p := &GES{wd: wd, ges: newGESEval(wd, cfg.GESCins)}
+	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
+	return p, nil
+}
+
+// Name implements core.Predicate.
+func (p *GES) Name() string { return "GES" }
+
+// Select scores every base record with exact GES.
+func (p *GES) Select(query string) ([]core.Match, error) {
+	qws := queryWords(query)
+	if len(qws) == 0 {
+		return nil, nil
+	}
+	qWeights, wtQ := p.ges.queryWeights(qws)
+	out := make([]core.Match, 0, len(p.wd.records))
+	for i, r := range p.wd.records {
+		out = append(out, core.Match{TID: r.TID, Score: p.ges.score(qws, qWeights, wtQ, i)})
+	}
+	core.SortMatches(out)
+	return out, nil
+}
+
+// wordRef locates one distinct word of one record.
+type wordRef struct {
+	rec  int
+	word int
+}
+
+// GESJaccard filters candidates with the over-estimating Jaccard bound of
+// Eq. 4.7 before verifying them with exact GES.
+type GESJaccard struct {
+	phases
+	wd    *wordData
+	ges   *gesEval
+	vocab [][]string // distinct words per record
+	sizes [][]int    // distinct q-gram set size per (record, word)
+	index map[string][]wordRef
+	q     int
+	theta float64
+}
+
+// NewGESJaccard preprocesses the base relation for the filtered predicate.
+func NewGESJaccard(records []core.Record, cfg core.Config) (*GESJaccard, error) {
+	if err := validate(records, cfg); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	wd := buildWordData(records)
+	p := &GESJaccard{
+		wd:    wd,
+		q:     cfg.WordQ,
+		theta: cfg.GESThreshold,
+		vocab: make([][]string, len(records)),
+		sizes: make([][]int, len(records)),
+		index: make(map[string][]wordRef),
+	}
+	for i := range records {
+		p.vocab[i] = tokenize.Distinct(wd.words[i])
+	}
+	t1 := time.Now()
+	for i, vocab := range p.vocab {
+		p.sizes[i] = make([]int, len(vocab))
+		for j, w := range vocab {
+			grams := tokenize.Distinct(tokenize.WordQGrams(w, p.q))
+			p.sizes[i][j] = len(grams)
+			for _, g := range grams {
+				p.index[g] = append(p.index[g], wordRef{rec: i, word: j})
+			}
+		}
+	}
+	p.ges = newGESEval(wd, cfg.GESCins)
+	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
+	return p, nil
+}
+
+// Name implements core.Predicate.
+func (p *GESJaccard) Name() string { return "GESJaccard" }
+
+// Select generates candidates whose Eq. 4.7 over-estimate reaches θ, then
+// ranks them by exact GES score.
+func (p *GESJaccard) Select(query string) ([]core.Match, error) {
+	qws := queryWords(query)
+	if len(qws) == 0 {
+		return nil, nil
+	}
+	qWeights, wtQ := p.ges.queryWeights(qws)
+	if wtQ == 0 {
+		return nil, nil
+	}
+	dq := 1 - 1.0/float64(p.q)
+	twoOverQ := 2.0 / float64(p.q)
+
+	// maxsim per record per distinct query word.
+	maxsim := map[int][]float64{}
+	distinctQ := tokenize.Distinct(qws)
+	for qi, t := range distinctQ {
+		grams := tokenize.Distinct(tokenize.WordQGrams(t, p.q))
+		common := map[wordRef]int{}
+		for _, g := range grams {
+			for _, ref := range p.index[g] {
+				common[ref]++
+			}
+		}
+		for ref, c := range common {
+			jac := float64(c) / float64(len(grams)+p.sizes[ref.rec][ref.word]-c)
+			ms, ok := maxsim[ref.rec]
+			if !ok {
+				ms = make([]float64, len(distinctQ))
+				maxsim[ref.rec] = ms
+			}
+			if jac > ms[qi] {
+				ms[qi] = jac
+			}
+		}
+	}
+
+	// Filter score over matched query words only (Fig. 4.6's SQL shape).
+	acc := accumulator{}
+	for rec, ms := range maxsim {
+		score := 0.0
+		for qi, t := range distinctQ {
+			if ms[qi] == 0 {
+				continue
+			}
+			score += p.wd.corpus.IDF(t) * (twoOverQ*ms[qi] + dq)
+		}
+		score = (1.0 / wtQ) * score // match the SQL plan's association order
+		if score >= p.theta {
+			acc[rec] = p.ges.score(qws, qWeights, wtQ, rec)
+		}
+	}
+	return acc.matches2(p.wd.records), nil
+}
+
+// GESapx replaces the token-level Jaccard of GESJaccard with a min-hash
+// estimate (Eq. 4.8), trading accuracy for faster filtering.
+type GESapx struct {
+	phases
+	wd     *wordData
+	ges    *gesEval
+	vocab  [][]string
+	family *minhash.Family
+	// index maps (hash slot, signature value) to the words whose signature
+	// has that value in that slot — the declarative join's shape.
+	index map[sigKey][]wordRef
+	q     int
+	theta float64
+}
+
+type sigKey struct {
+	fid   int
+	value uint64
+}
+
+// NewGESapx preprocesses the base relation with min-hash signatures.
+func NewGESapx(records []core.Record, cfg core.Config) (*GESapx, error) {
+	if err := validate(records, cfg); err != nil {
+		return nil, err
+	}
+	if cfg.MinHashK <= 0 {
+		cfg.MinHashK = core.DefaultConfig().MinHashK
+	}
+	t0 := time.Now()
+	wd := buildWordData(records)
+	p := &GESapx{
+		wd:     wd,
+		q:      cfg.WordQ,
+		theta:  cfg.GESThreshold,
+		family: minhash.NewFamily(cfg.MinHashK, cfg.MinHashSeed),
+		vocab:  make([][]string, len(records)),
+		index:  make(map[sigKey][]wordRef),
+	}
+	for i := range records {
+		p.vocab[i] = tokenize.Distinct(wd.words[i])
+	}
+	t1 := time.Now()
+	for i, vocab := range p.vocab {
+		for j, w := range vocab {
+			sig := p.family.Signature(tokenize.Distinct(tokenize.WordQGrams(w, p.q)))
+			for fid, v := range sig {
+				k := sigKey{fid: fid, value: v}
+				p.index[k] = append(p.index[k], wordRef{rec: i, word: j})
+			}
+		}
+	}
+	p.ges = newGESEval(wd, cfg.GESCins)
+	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
+	return p, nil
+}
+
+// Name implements core.Predicate.
+func (p *GESapx) Name() string { return "GESapx" }
+
+// Select generates candidates with the min-hash estimate of Eq. 4.8 and
+// ranks them by exact GES score.
+func (p *GESapx) Select(query string) ([]core.Match, error) {
+	qws := queryWords(query)
+	if len(qws) == 0 {
+		return nil, nil
+	}
+	qWeights, wtQ := p.ges.queryWeights(qws)
+	if wtQ == 0 {
+		return nil, nil
+	}
+	dq := 1 - 1.0/float64(p.q)
+	twoOverQ := 2.0 / float64(p.q)
+	k := float64(p.family.K())
+
+	maxsim := map[int][]float64{}
+	distinctQ := tokenize.Distinct(qws)
+	for qi, t := range distinctQ {
+		sig := p.family.Signature(tokenize.Distinct(tokenize.WordQGrams(t, p.q)))
+		matchCount := map[wordRef]int{}
+		for fid, v := range sig {
+			for _, ref := range p.index[sigKey{fid: fid, value: v}] {
+				matchCount[ref]++
+			}
+		}
+		for ref, c := range matchCount {
+			sim := float64(c) / k
+			ms, ok := maxsim[ref.rec]
+			if !ok {
+				ms = make([]float64, len(distinctQ))
+				maxsim[ref.rec] = ms
+			}
+			if sim > ms[qi] {
+				ms[qi] = sim
+			}
+		}
+	}
+
+	acc := accumulator{}
+	for rec, ms := range maxsim {
+		score := 0.0
+		for qi, t := range distinctQ {
+			if ms[qi] == 0 {
+				continue
+			}
+			score += p.wd.corpus.IDF(t) * (twoOverQ*ms[qi] + dq)
+		}
+		score = (1.0 / wtQ) * score // match the SQL plan's association order
+		if score >= p.theta {
+			acc[rec] = p.ges.score(qws, qWeights, wtQ, rec)
+		}
+	}
+	return acc.matches2(p.wd.records), nil
+}
+
+// SoftTFIDF combines normalized tf-idf word weights with Jaro–Winkler
+// word-level similarity (Eq. 3.15), the configuration Cohen et al. found
+// strongest and the paper confirms (§5.3.2).
+type SoftTFIDF struct {
+	phases
+	wd      *wordData
+	weights []map[string]float64 // normalized tf-idf per record
+	theta   float64
+}
+
+// NewSoftTFIDF preprocesses the base relation for SoftTFIDF.
+func NewSoftTFIDF(records []core.Record, cfg core.Config) (*SoftTFIDF, error) {
+	if err := validate(records, cfg); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	wd := buildWordData(records)
+	t1 := time.Now()
+	p := &SoftTFIDF{wd: wd, theta: cfg.SoftTFIDFTheta, weights: make([]map[string]float64, len(records))}
+	for i, counts := range wd.counts {
+		p.weights[i] = wd.corpus.TFIDF(counts)
+	}
+	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
+	return p, nil
+}
+
+// Name implements core.Predicate.
+func (p *SoftTFIDF) Name() string { return "SoftTFIDF" }
+
+// Select ranks records by Eq. 3.15: for every query word within θ of some
+// record word (CLOSE set), the contribution is w_q(t)·w_d(argmax)·maxsim.
+// Multiplicities follow the declarative cross-product: repeated query or
+// record word occurrences contribute repeatedly, and argmax ties all count.
+func (p *SoftTFIDF) Select(query string) ([]core.Match, error) {
+	qws := queryWords(query)
+	if len(qws) == 0 {
+		return nil, nil
+	}
+	qcounts := tokenize.Counts(qws)
+	qw := p.wd.corpus.TFIDF(knownCounts(qcounts, p.wd.corpus))
+	acc := accumulator{}
+	for i := range p.wd.records {
+		recWords := p.wd.words[i]
+		if len(recWords) == 0 {
+			continue
+		}
+		total := 0.0
+		matched := false
+		for _, t := range sortedTokens(qw) {
+			wq := qw[t]
+			maxsim := 0.0
+			for _, r := range recWords {
+				if sim := strutil.JaroWinkler(t, r); sim >= p.theta && sim > maxsim {
+					maxsim = sim
+				}
+			}
+			if maxsim == 0 {
+				continue
+			}
+			matched = true
+			qtf := float64(qcounts[t])
+			for _, r := range recWords {
+				if strutil.JaroWinkler(t, r) == maxsim {
+					total += qtf * wq * p.weights[i][r] * maxsim
+				}
+			}
+		}
+		if matched {
+			acc[i] = total
+		}
+	}
+	return acc.matches2(p.wd.records), nil
+}
+
+// knownCounts filters a count map to tokens known to the corpus.
+func knownCounts(counts map[string]int, c *weights.Corpus) map[string]int {
+	out := make(map[string]int, len(counts))
+	for t, tf := range counts {
+		if c.Known(t) {
+			out[t] = tf
+		}
+	}
+	return out
+}
+
+// matches2 is accumulator.matches for word-level predicates (which do not
+// carry a tokenData).
+func (a accumulator) matches2(records []core.Record) []core.Match {
+	out := make([]core.Match, 0, len(a))
+	for idx, score := range a {
+		out = append(out, core.Match{TID: records[idx].TID, Score: score})
+	}
+	core.SortMatches(out)
+	return out
+}

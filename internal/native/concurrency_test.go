@@ -1,0 +1,79 @@
+package native
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestConcurrentSelect verifies that native predicates are safe for
+// concurrent Select calls once constructed (they are read-only after
+// preprocessing). Run with -race to catch violations.
+func TestConcurrentSelect(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.EditTheta = 0.6
+	queries := []string{
+		"Morgan Stanley Group Inc.",
+		"AT&T Incorporated",
+		"Beijing Hotel",
+		"Stanley Morgn Gruop",
+	}
+	for _, name := range core.PredicateNames {
+		p, err := Build(name, companyRecords, cfg)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		// Reference results computed sequentially.
+		want := make([][]core.Match, len(queries))
+		for i, q := range queries {
+			want[i], err = p.Select(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, 4*len(queries))
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i, q := range queries {
+					ms, err := p.Select(q)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(ms) != len(want[i]) {
+						errs <- errMismatch(name, q, len(ms), len(want[i]))
+						return
+					}
+					for j := range ms {
+						if ms[j] != want[i][j] {
+							errs <- errMismatch(name, q, j, j)
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+type mismatchError struct {
+	pred, query string
+	got, want   int
+}
+
+func (e mismatchError) Error() string {
+	return e.pred + " concurrent Select mismatch on " + e.query
+}
+
+func errMismatch(pred, query string, got, want int) error {
+	return mismatchError{pred: pred, query: query, got: got, want: want}
+}

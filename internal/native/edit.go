@@ -1,0 +1,222 @@
+package native
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/strutil"
+	"repro/internal/tokenize"
+)
+
+// EditDistance is the edit-based predicate (§3.4/§4.4): records are ranked
+// by edit similarity 1 − d/max(|Q|,|D|). Following Gravano et al. [11], a
+// q-gram candidate filter (count + length filtering, no false negatives)
+// narrows the base relation before exact verification with a banded
+// dynamic program, when a similarity threshold θ is configured.
+//
+// Both the filter and the verified distance operate on the edit-normalized
+// string (upper-cased, whitespace runs replaced by the q-gram pad sequence)
+// so the filter's no-false-negative guarantee is exact for the similarity
+// actually scored.
+type EditDistance struct {
+	phases
+	td       *tokenData
+	postings map[string][]wpost // w carries the record-side gram tf
+	// posIndex maps gram → per-record sorted start positions, built when
+	// the positional filter is enabled.
+	posIndex   map[string][]posPost
+	norm       []string // edit-normalized text per record
+	grams      []int    // padded q-gram counts per record
+	q          int
+	theta      float64
+	positional bool
+}
+
+// posPost is one positional posting: a record and the sorted positions at
+// which the gram occurs in the record's padded normalized string.
+type posPost struct {
+	idx       int
+	positions []int32
+}
+
+// NewEditDistance preprocesses the base relation for the edit predicate.
+func NewEditDistance(records []core.Record, cfg core.Config) (*EditDistance, error) {
+	if err := validate(records, cfg); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	// The candidate filter must see unpruned grams: pruning would break the
+	// no-false-negative guarantee, so the edit predicate ignores PruneRate
+	// for its gram index (§5.6 notes pruning suits weighted predicates).
+	td := buildTokenData(records, cfg.Q, 0)
+	t1 := time.Now()
+	p := &EditDistance{
+		td:         td,
+		q:          cfg.Q,
+		theta:      cfg.EditTheta,
+		positional: cfg.EditPositional,
+		postings:   make(map[string][]wpost),
+		norm:       make([]string, len(records)),
+		grams:      make([]int, len(records)),
+	}
+	if p.positional {
+		p.posIndex = make(map[string][]posPost)
+	}
+	for i, r := range records {
+		p.norm[i] = editNormalize(r.Text, cfg.Q)
+		p.grams[i] = td.dl[i]
+		for t, tf := range td.counts[i] {
+			p.postings[t] = append(p.postings[t], wpost{idx: i, w: float64(tf)})
+		}
+		if p.positional {
+			for t, poss := range gramPositions(r.Text, cfg.Q) {
+				p.posIndex[t] = append(p.posIndex[t], posPost{idx: i, positions: poss})
+			}
+		}
+	}
+	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
+	return p, nil
+}
+
+// gramPositions returns, per gram, the sorted start positions within the
+// padded normalized string.
+func gramPositions(text string, q int) map[string][]int32 {
+	grams := tokenize.QGrams(text, q)
+	out := make(map[string][]int32)
+	for i, g := range grams {
+		out[g] = append(out[g], int32(i))
+	}
+	return out
+}
+
+// matchWithin counts the maximum number of one-to-one gram-occurrence pairs
+// whose positions differ by at most k. Both position lists are sorted; the
+// greedy two-pointer scan is optimal for interval constraints.
+func matchWithin(a, b []int32, k int) int {
+	matched := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		d := int(a[i]) - int(b[j])
+		switch {
+		case d > k:
+			j++
+		case -d > k:
+			i++
+		default:
+			matched++
+			i++
+			j++
+		}
+	}
+	return matched
+}
+
+// Name implements core.Predicate.
+func (p *EditDistance) Name() string { return "EditDistance" }
+
+// Select ranks records by edit similarity. With a positive threshold the
+// q-gram filter prunes candidates before verification; with θ = 0 the whole
+// base relation is scored exactly (used by the accuracy study, which does
+// not threshold rankings).
+func (p *EditDistance) Select(query string) ([]core.Match, error) {
+	qnorm := editNormalize(query, p.q)
+	qlen := len([]rune(qnorm))
+	acc := accumulator{}
+
+	if p.theta <= 0 {
+		for i := range p.norm {
+			acc[i] = editSim(qnorm, qlen, p.norm[i])
+		}
+		return acc.matches(p.td), nil
+	}
+
+	// Candidate generation: count matching grams. The positional variant
+	// only counts occurrences whose positions are within the record's edit
+	// budget (a strictly tighter, still false-negative-free filter); the
+	// default counts multiset overlap.
+	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
+	qgrams := 0
+	for _, tf := range qcounts {
+		qgrams += tf
+	}
+	kFor := func(idx int) int {
+		dlen := len([]rune(p.norm[idx]))
+		maxLen := qlen
+		if dlen > maxLen {
+			maxLen = dlen
+		}
+		return int((1 - p.theta) * float64(maxLen))
+	}
+	common := map[int]int{}
+	if p.positional {
+		for t, qp := range gramPositions(query, p.q) {
+			for _, post := range p.posIndex[t] {
+				common[post.idx] += matchWithin(qp, post.positions, kFor(post.idx))
+			}
+		}
+	} else {
+		for t, qtf := range qcounts {
+			for _, post := range p.postings[t] {
+				m := int(post.w)
+				if qtf < m {
+					m = qtf
+				}
+				common[post.idx] += m
+			}
+		}
+	}
+	for idx, c := range common {
+		dlen := len([]rune(p.norm[idx]))
+		maxLen := qlen
+		if dlen > maxLen {
+			maxLen = dlen
+		}
+		if maxLen == 0 {
+			acc[idx] = 1
+			continue
+		}
+		k := int((1 - p.theta) * float64(maxLen))
+		// Length filter.
+		if abs(qlen-dlen) > k {
+			continue
+		}
+		// Count filter: one edit operation destroys at most q grams of the
+		// padded gram multiset.
+		maxG := qgrams
+		if p.grams[idx] > maxG {
+			maxG = p.grams[idx]
+		}
+		if c < maxG-k*p.q {
+			continue
+		}
+		d, ok := strutil.LevenshteinWithin(qnorm, p.norm[idx], k)
+		if !ok {
+			continue
+		}
+		sim := 1 - float64(d)/float64(maxLen)
+		if sim >= p.theta {
+			acc[idx] = sim
+		}
+	}
+	return acc.matches(p.td), nil
+}
+
+// editSim computes the edit similarity against a normalized record.
+func editSim(qnorm string, qlen int, dnorm string) float64 {
+	dlen := len([]rune(dnorm))
+	maxLen := qlen
+	if dlen > maxLen {
+		maxLen = dlen
+	}
+	if maxLen == 0 {
+		return 1
+	}
+	return 1 - float64(strutil.Levenshtein(qnorm, dnorm))/float64(maxLen)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,121 @@
+package native
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tokenize"
+)
+
+// The language modeling predicates (§3.3, Appendix B.3) are the
+// probabilistic predicates the paper introduces for data cleaning.
+
+// LM is the Ponte–Croft language modeling predicate, scored with the
+// algebraically rewritten Eq. 4.4 so that only tokens shared by query and
+// record (plus one precomputed per-record term) participate.
+type LM struct {
+	phases
+	td *tokenData
+	// postings carry, per (token, record), the combined per-match log term
+	// log pm − log(1−pm) − log(cf/cs).
+	postings map[string][]wpost
+	sumComp  []float64 // Σ_{t∈D} log(1−pm), the BASE_SUMCOMPMBASE term
+	q        int
+}
+
+// NewLM preprocesses the base relation for the language modeling predicate.
+func NewLM(records []core.Record, cfg core.Config) (*LM, error) {
+	if err := validate(records, cfg); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
+	t1 := time.Now()
+	p := &LM{
+		td:       td,
+		q:        cfg.Q,
+		postings: make(map[string][]wpost),
+		sumComp:  make([]float64, len(td.counts)),
+	}
+	for i, counts := range td.counts {
+		rec := td.corpus.LM(counts, td.dl[i])
+		p.sumComp[i] = rec.SumCompLog
+		for t, pm := range rec.PM {
+			term := math.Log(pm) - math.Log(1.0-pm) - math.Log(td.corpus.CFCS(t))
+			p.postings[t] = append(p.postings[t], wpost{idx: i, w: term})
+		}
+	}
+	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
+	return p, nil
+}
+
+// Name implements core.Predicate.
+func (p *LM) Name() string { return "LM" }
+
+// Select ranks records by p̂(Q|M_D) (Eq. 4.4). Each query token occurrence
+// contributes its per-match log term, matching the declarative join of
+// BASE_PM with the query token multiset.
+func (p *LM) Select(query string) ([]core.Match, error) {
+	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
+	acc := accumulator{}
+	matched := map[int]bool{}
+	for _, t := range sortedTokens(qcounts) {
+		tf := qcounts[t]
+		for _, post := range p.postings[t] {
+			acc[post.idx] += float64(tf) * post.w
+			matched[post.idx] = true
+		}
+	}
+	for idx := range matched {
+		acc[idx] = math.Exp(acc[idx] + p.sumComp[idx])
+	}
+	return acc.matches(p.td), nil
+}
+
+// HMM is the two-state Hidden Markov Model predicate: the similarity is the
+// product, over query token occurrences matched in the record, of
+// 1 + a1·P(t|D)/(a0·P(t|GE)) (rewritten Eq. 4.6).
+type HMM struct {
+	phases
+	td       *tokenData
+	postings map[string][]wpost // w = log weight
+	q        int
+}
+
+// NewHMM preprocesses the base relation for the HMM predicate.
+func NewHMM(records []core.Record, cfg core.Config) (*HMM, error) {
+	if err := validate(records, cfg); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
+	t1 := time.Now()
+	p := &HMM{td: td, q: cfg.Q, postings: make(map[string][]wpost)}
+	for i, counts := range td.counts {
+		for t, w := range td.corpus.HMM(counts, td.dl[i], cfg.HMMA0) {
+			p.postings[t] = append(p.postings[t], wpost{idx: i, w: math.Log(w)})
+		}
+	}
+	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
+	return p, nil
+}
+
+// Name implements core.Predicate.
+func (p *HMM) Name() string { return "HMM" }
+
+// Select ranks records by the rewritten HMM score.
+func (p *HMM) Select(query string) ([]core.Match, error) {
+	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
+	acc := accumulator{}
+	for _, t := range sortedTokens(qcounts) {
+		tf := qcounts[t]
+		for _, post := range p.postings[t] {
+			acc[post.idx] += float64(tf) * post.w
+		}
+	}
+	for idx, logScore := range acc {
+		acc[idx] = math.Exp(logScore)
+	}
+	return acc.matches(p.td), nil
+}

@@ -1,0 +1,228 @@
+package native
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tokenize"
+)
+
+// The overlap predicates (§3.1, Appendix B.1) operate on the *sets* of
+// q-gram tokens of query and record: duplicates are collapsed, mirroring the
+// distinct-token tables the declarative framework stores for this class
+// (§5.5.1 notes the "small difference which is due to storing distinct
+// tokens only").
+
+// IntersectSize is sim(Q,D) = |Q ∩ D| (Eq. 3.1).
+type IntersectSize struct {
+	phases
+	td       *tokenData
+	postings map[string][]int
+	q        int
+}
+
+// NewIntersectSize preprocesses the base relation for IntersectSize.
+func NewIntersectSize(records []core.Record, cfg core.Config) (*IntersectSize, error) {
+	if err := validate(records, cfg); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
+	t1 := time.Now()
+	p := &IntersectSize{td: td, q: cfg.Q, postings: distinctPostings(td)}
+	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
+	return p, nil
+}
+
+// distinctPostings maps each token to the records containing it.
+func distinctPostings(td *tokenData) map[string][]int {
+	postings := make(map[string][]int)
+	for i, counts := range td.counts {
+		for t := range counts {
+			postings[t] = append(postings[t], i)
+		}
+	}
+	return postings
+}
+
+// Name implements core.Predicate.
+func (p *IntersectSize) Name() string { return "IntersectSize" }
+
+// Select ranks records by the number of distinct shared tokens.
+func (p *IntersectSize) Select(query string) ([]core.Match, error) {
+	acc := accumulator{}
+	for t := range tokenize.Counts(tokenize.QGrams(query, p.q)) {
+		for _, idx := range p.postings[t] {
+			acc[idx]++
+		}
+	}
+	return acc.matches(p.td), nil
+}
+
+// Jaccard is sim(Q,D) = |Q ∩ D| / |Q ∪ D| (Eq. 3.2).
+type Jaccard struct {
+	phases
+	td       *tokenData
+	postings map[string][]int
+	setLen   []int // distinct token count per record
+	q        int
+}
+
+// NewJaccard preprocesses the base relation for the Jaccard coefficient.
+func NewJaccard(records []core.Record, cfg core.Config) (*Jaccard, error) {
+	if err := validate(records, cfg); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
+	t1 := time.Now()
+	p := &Jaccard{td: td, q: cfg.Q, postings: distinctPostings(td)}
+	p.setLen = make([]int, len(td.counts))
+	for i, counts := range td.counts {
+		p.setLen[i] = len(counts)
+	}
+	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
+	return p, nil
+}
+
+// Name implements core.Predicate.
+func (p *Jaccard) Name() string { return "Jaccard" }
+
+// Select ranks records by Jaccard coefficient over distinct tokens. The
+// query length counts all distinct query tokens, matching the declarative
+// plan's COUNT(*) over QUERY_TOKENS.
+func (p *Jaccard) Select(query string) ([]core.Match, error) {
+	qset := tokenize.Counts(tokenize.QGrams(query, p.q))
+	inter := map[int]int{}
+	for t := range qset {
+		for _, idx := range p.postings[t] {
+			inter[idx]++
+		}
+	}
+	acc := accumulator{}
+	qlen := len(qset)
+	for idx, common := range inter {
+		acc[idx] = float64(common) / float64(p.setLen[idx]+qlen-common)
+	}
+	return acc.matches(p.td), nil
+}
+
+// WeightedMatch is Σ_{t∈Q∩D} w(t) with Robertson–Sparck Jones weights
+// (§3.1, §5.3.1).
+type WeightedMatch struct {
+	phases
+	td       *tokenData
+	postings map[string][]int
+	rs       map[string]float64
+	q        int
+}
+
+// NewWeightedMatch preprocesses the base relation for WeightedMatch.
+func NewWeightedMatch(records []core.Record, cfg core.Config) (*WeightedMatch, error) {
+	if err := validate(records, cfg); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
+	t1 := time.Now()
+	p := &WeightedMatch{td: td, q: cfg.Q, postings: distinctPostings(td), rs: rsTable(td)}
+	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
+	return p, nil
+}
+
+// rsTable precomputes RS weights for every known token.
+func rsTable(td *tokenData) map[string]float64 {
+	rs := make(map[string]float64)
+	for _, counts := range td.counts {
+		for t := range counts {
+			if _, ok := rs[t]; !ok {
+				rs[t] = td.corpus.RS(t)
+			}
+		}
+	}
+	return rs
+}
+
+// Name implements core.Predicate.
+func (p *WeightedMatch) Name() string { return "WeightedMatch" }
+
+// Select ranks records by the summed RS weight of shared distinct tokens.
+func (p *WeightedMatch) Select(query string) ([]core.Match, error) {
+	acc := accumulator{}
+	qset := tokenize.Counts(tokenize.QGrams(query, p.q))
+	for _, t := range sortedTokens(qset) {
+		w, ok := p.rs[t]
+		if !ok {
+			continue
+		}
+		for _, idx := range p.postings[t] {
+			acc[idx] += w
+		}
+	}
+	return acc.matches(p.td), nil
+}
+
+// WeightedJaccard divides the weight of the intersection by the weight of
+// the union, both under RS weights (§3.1).
+type WeightedJaccard struct {
+	phases
+	td       *tokenData
+	postings map[string][]int
+	rs       map[string]float64
+	wlen     []float64 // summed weight of each record's distinct tokens
+	q        int
+}
+
+// NewWeightedJaccard preprocesses the base relation for WeightedJaccard.
+func NewWeightedJaccard(records []core.Record, cfg core.Config) (*WeightedJaccard, error) {
+	if err := validate(records, cfg); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
+	t1 := time.Now()
+	p := &WeightedJaccard{td: td, q: cfg.Q, postings: distinctPostings(td), rs: rsTable(td)}
+	p.wlen = make([]float64, len(td.counts))
+	for i, counts := range td.counts {
+		for t := range counts {
+			p.wlen[i] += p.rs[t]
+		}
+	}
+	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
+	return p, nil
+}
+
+// Name implements core.Predicate.
+func (p *WeightedJaccard) Name() string { return "WeightedJaccard" }
+
+// Select ranks records by weighted Jaccard. Query token weights come from
+// the base relation's weight table, so unseen query tokens contribute
+// nothing to the union weight (join semantics of the declarative plan).
+func (p *WeightedJaccard) Select(query string) ([]core.Match, error) {
+	qset := tokenize.Counts(tokenize.QGrams(query, p.q))
+	qlen := 0.0
+	for _, t := range sortedTokens(qset) {
+		if w, ok := p.rs[t]; ok {
+			qlen += w
+		}
+	}
+	inter := map[int]float64{}
+	for _, t := range sortedTokens(qset) {
+		w, ok := p.rs[t]
+		if !ok {
+			continue
+		}
+		for _, idx := range p.postings[t] {
+			inter[idx] += w
+		}
+	}
+	acc := accumulator{}
+	for idx, common := range inter {
+		den := p.wlen[idx] + qlen - common
+		if den == 0 {
+			continue
+		}
+		acc[idx] = common / den
+	}
+	return acc.matches(p.td), nil
+}

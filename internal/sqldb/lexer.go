@@ -1,0 +1,199 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token categories.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp    // operators and punctuation: ( ) , + - * / % = < > <= >= <> != . ?
+	tokParam // ? placeholder
+)
+
+type token struct {
+	kind tokKind
+	text string // upper-cased for identifiers? no: original text; matching is case-insensitive
+	pos  int
+}
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits src into tokens. It understands single-quoted strings with ”
+// escaping, line comments (-- ...), and multi-character operators.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: s, pos: start})
+		case c == '`' || c == '"':
+			// Quoted identifier.
+			q := c
+			l.pos++
+			j := strings.IndexByte(l.src[l.pos:], q)
+			if j < 0 {
+				return nil, fmt.Errorf("sqldb: unterminated quoted identifier at offset %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[l.pos : l.pos+j], pos: start})
+			l.pos += j + 1
+		case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.lexNumber(), pos: start})
+		case isIdentStart(c):
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.lexIdent(), pos: start})
+		case c == '?':
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokParam, text: "?", pos: start})
+		default:
+			op, err := l.lexOp()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokOp, text: op, pos: start})
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexString() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return sb.String(), nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			// Basic backslash escapes, MySQL style.
+			l.pos++
+			e := l.src[l.pos]
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				sb.WriteByte(e)
+			}
+			l.pos++
+			continue
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("sqldb: unterminated string literal at offset %d", start)
+}
+
+func (l *lexer) lexNumber() string {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			// Exponent, possibly signed.
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			return l.src[start:l.pos]
+		}
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexIdent() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexOp() (string, error) {
+	two := ""
+	if l.pos+2 <= len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+		return two, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '+', '-', '*', '/', '%', '=', '<', '>', '.', ';':
+		l.pos++
+		return string(c), nil
+	}
+	return "", fmt.Errorf("sqldb: unexpected character %q at offset %d", rune(c), l.pos)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || isDigit(c)
+}

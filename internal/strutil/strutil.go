@@ -1,0 +1,240 @@
+// Package strutil implements the character-level string similarity kernels
+// used throughout the benchmark: Levenshtein edit distance and edit
+// similarity (paper §3.4), and the Jaro and Jaro–Winkler measures used as
+// the word-level similarity inside SoftTFIDF (paper §3.5, §5.3.2).
+//
+// All functions operate on Unicode code points (runes), not bytes, so that
+// multi-byte characters count as single edit units.
+package strutil
+
+// Levenshtein returns the classic Levenshtein edit distance between a and b:
+// the minimum number of single-character insertions, deletions and
+// substitutions required to transform a into b. Copy has cost zero and all
+// other operations unit cost, matching the paper's §3.4 cost model.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	n, m := len(ra), len(rb)
+	if n == 0 {
+		return m
+	}
+	if m == 0 {
+		return n
+	}
+	// Single-row dynamic program: prev holds row i-1, cur is built in place.
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		ai := ra[i-1]
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if ai == rb[j-1] {
+				cost = 0
+			}
+			d := prev[j-1] + cost        // substitute / copy
+			if v := prev[j] + 1; v < d { // delete
+				d = v
+			}
+			if v := cur[j-1] + 1; v < d { // insert
+				d = v
+			}
+			cur[j] = d
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// LevenshteinWithin computes the Levenshtein distance between a and b if it
+// is at most k, using a banded dynamic program in O(k·min(n,m)) time. The
+// boolean result reports whether the true distance is ≤ k; when it is false
+// the returned distance is an unspecified value > k.
+//
+// This is the kernel behind the q-gram filtered edit predicate: candidates
+// that survive count/length filtering are verified with a small band.
+func LevenshteinWithin(a, b string, k int) (int, bool) {
+	if k < 0 {
+		return 0, false
+	}
+	ra, rb := []rune(a), []rune(b)
+	n, m := len(ra), len(rb)
+	if n > m {
+		ra, rb = rb, ra
+		n, m = m, n
+	}
+	if m-n > k {
+		return m - n, false
+	}
+	const inf = 1 << 29
+	// Band of width 2k+1 around the diagonal.
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		if j <= k {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= n; i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > m {
+			hi = m
+		}
+		if lo > 1 {
+			cur[lo-1] = inf
+		} else {
+			cur[0] = i
+		}
+		ai := ra[i-1]
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ai == rb[j-1] {
+				cost = 0
+			}
+			d := prev[j-1] + cost
+			if v := prev[j] + 1; v < d {
+				d = v
+			}
+			if j > lo || lo == 1 {
+				if v := cur[j-1] + 1; v < d {
+					d = v
+				}
+			}
+			cur[j] = d
+			if d < rowMin {
+				rowMin = d
+			}
+		}
+		if hi < m {
+			cur[hi+1] = inf
+		}
+		if rowMin > k {
+			return rowMin, false
+		}
+		prev, cur = cur, prev
+	}
+	if prev[m] > k {
+		return prev[m], false
+	}
+	return prev[m], true
+}
+
+// EditSimilarity returns the edit similarity of the paper's Eq. 3.13:
+//
+//	sim_edit(Q, D) = 1 − tc(Q, D) / max{|Q|, |D|}
+//
+// where tc is the Levenshtein distance. Two empty strings have similarity 1.
+// The result is always in [0, 1].
+func EditSimilarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	if maxLen == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// Jaro returns the Jaro similarity between a and b, in [0, 1]. Characters
+// match if they are equal and no farther apart than
+// ⌊max(|a|,|b|)/2⌋−1 positions; t is half the number of transpositions among
+// matched characters:
+//
+//	jaro = (m/|a| + m/|b| + (m−t)/m) / 3
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, la)
+	matchedB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window
+		if hi >= lb {
+			hi = lb - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if !matchedB[j] && ra[i] == rb[j] {
+				matchedA[i] = true
+				matchedB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters in order.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinklerPrefixScale is the standard Winkler prefix scaling factor p.
+const JaroWinklerPrefixScale = 0.1
+
+// JaroWinklerMaxPrefix is the standard cap on the common-prefix length used
+// by the Winkler adjustment.
+const JaroWinklerMaxPrefix = 4
+
+// JaroWinkler returns the Jaro–Winkler similarity between a and b:
+// the Jaro similarity boosted by the length ℓ (≤ 4) of the common prefix,
+//
+//	jw = jaro + ℓ·p·(1 − jaro), p = 0.1
+//
+// This is the word-level predicate the paper pairs with SoftTFIDF (θ=0.8).
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	ra, rb := []rune(a), []rune(b)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < JaroWinklerMaxPrefix {
+		if ra[prefix] != rb[prefix] {
+			break
+		}
+		prefix++
+	}
+	return j + float64(prefix)*JaroWinklerPrefixScale*(1-j)
+}

@@ -1,0 +1,215 @@
+package strutil
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"intention", "execution", 5},
+		{"Saturday", "Sunday", 3},
+		{"gumbo", "gambol", 2},
+		{"Morgan Stanley", "Stanley Morgan", 14},
+		{"a", "b", 1},
+		{"ab", "ba", 2},
+		{"日本語", "日本", 1},
+		{"日本語", "本日語", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetry(t *testing.T) {
+	f := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinIdentity(t *testing.T) {
+	f := func(a string) bool {
+		return Levenshtein(a, a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangleInequality(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		d := Levenshtein(a, b)
+		la, lb := len([]rune(a)), len([]rune(b))
+		diff := la - lb
+		if diff < 0 {
+			diff = -diff
+		}
+		maxLen := la
+		if lb > maxLen {
+			maxLen = lb
+		}
+		return d >= diff && d <= maxLen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinWithinMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := "abcde"
+	randStr := func(n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		return sb.String()
+	}
+	for i := 0; i < 500; i++ {
+		a := randStr(rng.Intn(12))
+		b := randStr(rng.Intn(12))
+		full := Levenshtein(a, b)
+		for k := 0; k <= 12; k++ {
+			d, ok := LevenshteinWithin(a, b, k)
+			if ok != (full <= k) {
+				t.Fatalf("LevenshteinWithin(%q,%q,%d): ok=%v, full=%d", a, b, k, ok, full)
+			}
+			if ok && d != full {
+				t.Fatalf("LevenshteinWithin(%q,%q,%d) = %d, want %d", a, b, k, d, full)
+			}
+		}
+	}
+}
+
+func TestLevenshteinWithinNegativeK(t *testing.T) {
+	if _, ok := LevenshteinWithin("a", "a", -1); ok {
+		t.Error("LevenshteinWithin with k<0 should report false")
+	}
+}
+
+func TestEditSimilarityKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"abc", "abc", 1},
+		{"abc", "abd", 1 - 1.0/3},
+		{"abcd", "", 0},
+	}
+	for _, c := range cases {
+		if got := EditSimilarity(c.a, c.b); !close(got, c.want) {
+			t.Errorf("EditSimilarity(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditSimilarityRange(t *testing.T) {
+	f := func(a, b string) bool {
+		s := EditSimilarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.944444},
+		{"DIXON", "DICKSONX", 0.766667},
+		{"JELLYFISH", "SMELLYFISH", 0.896296},
+		{"", "", 1},
+		{"a", "", 0},
+		{"", "a", 0},
+		{"abc", "abc", 1},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := Jaro(c.a, c.b); !close(got, c.want) {
+			t.Errorf("Jaro(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.961111},
+		{"DIXON", "DICKSONX", 0.813333},
+		{"STANLEY", "VALLEY", 0.746032},
+		{"abc", "abc", 1},
+	}
+	for _, c := range cases {
+		if got := JaroWinkler(c.a, c.b); !close(got, c.want) {
+			t.Errorf("JaroWinkler(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroSymmetryAndRange(t *testing.T) {
+	f := func(a, b string) bool {
+		s1, s2 := Jaro(a, b), Jaro(b, a)
+		return close(s1, s2) && s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroWinklerDominatesJaro(t *testing.T) {
+	f := func(a, b string) bool {
+		return JaroWinkler(a, b) >= Jaro(a, b)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroWinklerRange(t *testing.T) {
+	f := func(a, b string) bool {
+		s := JaroWinkler(a, b)
+		return s >= 0 && s <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-5
+}

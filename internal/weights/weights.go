@@ -1,0 +1,263 @@
+// Package weights implements the token weighting schemes of the paper's
+// framework chapter: idf and Robertson–Sparck Jones weights for the weighted
+// overlap predicates (§3.1, §5.3.1), normalized tf-idf (§3.2.1), BM25
+// (§3.2.2), the Ponte–Croft language model quantities (§3.3.1) and the
+// two-state HMM weights (§3.3.2).
+//
+// A Corpus summarizes a tokenized base relation; the per-record weight
+// functions mirror, term for term, the SQL preprocessing of Appendix B.
+package weights
+
+import (
+	"math"
+	"sort"
+)
+
+// Corpus holds the collection statistics of a tokenized base relation.
+type Corpus struct {
+	n      int            // number of records
+	df     map[string]int // records containing each token
+	cf     map[string]int // total occurrences of each token
+	cs     int            // total number of tokens in the collection
+	sumPML map[string]float64
+	avgdl  float64
+	avgIDF float64
+}
+
+// Build computes corpus statistics from one token multiset per record.
+func Build(docs [][]string) *Corpus {
+	c := &Corpus{
+		df:     make(map[string]int),
+		cf:     make(map[string]int),
+		sumPML: make(map[string]float64),
+	}
+	c.n = len(docs)
+	totalDL := 0
+	for _, doc := range docs {
+		counts := make(map[string]int, len(doc))
+		for _, t := range doc {
+			counts[t]++
+		}
+		dl := len(doc)
+		totalDL += dl
+		c.cs += dl
+		for t, tf := range counts {
+			c.df[t]++
+			c.cf[t] += tf
+			if dl > 0 {
+				c.sumPML[t] += float64(tf) / float64(dl)
+			}
+		}
+	}
+	if c.n > 0 {
+		c.avgdl = float64(totalDL) / float64(c.n)
+	}
+	if len(c.df) > 0 {
+		// Sorted iteration keeps the average bit-deterministic across runs.
+		tokens := make([]string, 0, len(c.df))
+		for t := range c.df {
+			tokens = append(tokens, t)
+		}
+		sort.Strings(tokens)
+		sum := 0.0
+		for _, t := range tokens {
+			sum += c.idfKnown(t)
+		}
+		c.avgIDF = sum / float64(len(c.df))
+	}
+	return c
+}
+
+// NumRecords returns N, the number of records in the base relation.
+func (c *Corpus) NumRecords() int { return c.n }
+
+// DF returns the document frequency of a token (records containing it).
+func (c *Corpus) DF(token string) int { return c.df[token] }
+
+// CF returns the collection frequency of a token (total occurrences).
+func (c *Corpus) CF(token string) int { return c.cf[token] }
+
+// CS returns the raw collection size: the total number of tokens.
+func (c *Corpus) CS() int { return c.cs }
+
+// AvgDL returns the average number of tokens per record.
+func (c *Corpus) AvgDL() float64 { return c.avgdl }
+
+// Known reports whether the token occurs anywhere in the base relation.
+func (c *Corpus) Known(token string) bool { return c.df[token] > 0 }
+
+// Tokens returns the number of distinct tokens in the corpus.
+func (c *Corpus) Tokens() int { return len(c.df) }
+
+func (c *Corpus) idfKnown(token string) float64 {
+	return math.Log(float64(c.n)) - math.Log(float64(c.df[token]))
+}
+
+// IDF returns the inverse document frequency weight used by the tf-idf and
+// combination predicates: log(N) − log(df). Tokens absent from the base
+// relation receive the average idf over all known tokens, the paper's
+// convention for unseen query tokens (§4.5).
+func (c *Corpus) IDF(token string) float64 {
+	if c.df[token] == 0 {
+		return c.avgIDF
+	}
+	return c.idfKnown(token)
+}
+
+// AvgIDF returns the mean idf over all tokens of the base relation, the
+// weight assigned to unseen query tokens.
+func (c *Corpus) AvgIDF() float64 { return c.avgIDF }
+
+// RS returns the modified Robertson–Sparck Jones weight of Eq. 3.5:
+//
+//	w(1)(t) = log((N − n_t + 0.5) / (n_t + 0.5))
+//
+// This is the weighting scheme the paper selects for the weighted overlap
+// predicates (§5.3.1) and the idf part of BM25. It can be negative for
+// tokens occurring in more than half the records.
+func (c *Corpus) RS(token string) float64 {
+	nt := float64(c.df[token])
+	n := float64(c.n)
+	return math.Log(n-nt+0.5) - math.Log(nt+0.5)
+}
+
+// Pavg returns the mean probability of the token in the records containing
+// it (Eq. 3.8); zero for unseen tokens.
+func (c *Corpus) Pavg(token string) float64 {
+	df := c.df[token]
+	if df == 0 {
+		return 0
+	}
+	return c.sumPML[token] / float64(df)
+}
+
+// CFCS returns cf_t/cs, the background probability of a token (Eq. 3.7's
+// "otherwise" branch); zero when the collection is empty.
+func (c *Corpus) CFCS(token string) float64 {
+	if c.cs == 0 {
+		return 0
+	}
+	return float64(c.cf[token]) / float64(c.cs)
+}
+
+// TFIDF computes the normalized tf-idf weights of one record (§3.2.1):
+//
+//	w(t, S) = tf(t,S)·idf(t) / sqrt(Σ_t' (tf(t',S)·idf(t'))²)
+//
+// Only tokens known to the corpus participate, mirroring the SQL join with
+// BASE_IDF; unknown tokens would otherwise distort the norm relative to the
+// declarative realization.
+func (c *Corpus) TFIDF(counts map[string]int) map[string]float64 {
+	// Iterate tokens in sorted order so the float norm (and therefore every
+	// weight) is bit-identical across calls regardless of map order.
+	tokens := make([]string, 0, len(counts))
+	for t := range counts {
+		if c.Known(t) {
+			tokens = append(tokens, t)
+		}
+	}
+	sort.Strings(tokens)
+	norm := 0.0
+	for _, t := range tokens {
+		w := float64(counts[t]) * c.idfKnown(t)
+		norm += w * w
+	}
+	out := make(map[string]float64, len(tokens))
+	if norm == 0 {
+		return out
+	}
+	norm = math.Sqrt(norm)
+	for _, t := range tokens {
+		out[t] = float64(counts[t]) * c.idfKnown(t) / norm
+	}
+	return out
+}
+
+// BM25Params are the free parameters of the BM25 predicate. The paper sets
+// k1=1.5, k3=8 and b=0.675 (§5.3.2, mid-range of the TREC-4 settings).
+type BM25Params struct {
+	K1 float64
+	K3 float64
+	B  float64
+}
+
+// DefaultBM25 returns the paper's parameter settings.
+func DefaultBM25() BM25Params { return BM25Params{K1: 1.5, K3: 8, B: 0.675} }
+
+// BM25Doc computes the record-side BM25 weights w_d(t, D) of Eq. 3.4 for a
+// record with token counts and total length dl:
+//
+//	w_d(t,D) = w(1)(t) · (k1+1)·tf / (K(D) + tf)
+//	K(D)     = k1·((1−b) + b·|D|/avgdl)
+func (c *Corpus) BM25Doc(counts map[string]int, dl int, p BM25Params) map[string]float64 {
+	kd := p.K1 * ((1 - p.B) + p.B*float64(dl)/c.avgdl)
+	out := make(map[string]float64, len(counts))
+	for t, tf := range counts {
+		tff := float64(tf)
+		out[t] = c.RS(t) * (p.K1 + 1) * tff / (kd + tff)
+	}
+	return out
+}
+
+// BM25Query computes the query-side weight w_q(t, Q) = (k3+1)·tf/(k3+tf).
+func BM25Query(tf int, p BM25Params) float64 {
+	tff := float64(tf)
+	return (p.K3 + 1) * tff / (p.K3 + tff)
+}
+
+// LMRecord holds the language-model quantities of one record (§3.3.1): the
+// smoothed probability p̂(t|M_D) for each token of the record, and
+// Σ_{t∈D} log(1 − p̂(t|M_D)), the term the declarative realization stores in
+// BASE_SUMCOMPMBASE.
+type LMRecord struct {
+	PM         map[string]float64
+	SumCompLog float64
+}
+
+// LM computes the language-model record quantities:
+//
+//	p̂(t|M_D) = p̂_ml(t,D)^(1−R̂) · p̂_avg(t)^R̂    for tf(t,D) > 0
+//	R̂_t,D    = 1/(1+f̄) · (f̄/(1+f̄))^tf,  f̄ = p̂_avg(t)·dl_D
+func (c *Corpus) LM(counts map[string]int, dl int) LMRecord {
+	rec := LMRecord{PM: make(map[string]float64, len(counts))}
+	if dl == 0 {
+		return rec
+	}
+	for t, tf := range counts {
+		pml := float64(tf) / float64(dl)
+		pavg := c.Pavg(t)
+		fbar := pavg * float64(dl)
+		risk := (1.0 / (1.0 + fbar)) * math.Pow(fbar/(1.0+fbar), float64(tf))
+		pm := math.Pow(pml, 1.0-risk) * math.Pow(pavg, risk)
+		// A token that always occurs alone yields pm = 1 and an infinite
+		// log(1−pm); clamp just below 1 so degenerate single-token records
+		// stay rankable.
+		if pm > 1-1e-12 {
+			pm = 1 - 1e-12
+		}
+		rec.PM[t] = pm
+		rec.SumCompLog += math.Log(1.0 - pm)
+	}
+	return rec
+}
+
+// HMM computes the per-token weights of the rewritten two-state HMM score
+// (Eq. 4.6): weight(t) = 1 + a1·P(t|D) / (a0·P(t|GE)), with P(t|D) the
+// maximum-likelihood estimate tf/dl and P(t|GE) = cf/cs. The similarity is
+// the product over matched query tokens of these weights.
+func (c *Corpus) HMM(counts map[string]int, dl int, a0 float64) map[string]float64 {
+	a1 := 1 - a0
+	out := make(map[string]float64, len(counts))
+	if dl == 0 {
+		return out
+	}
+	for t, tf := range counts {
+		ptge := c.CFCS(t)
+		if ptge == 0 {
+			continue
+		}
+		pml := float64(tf) / float64(dl)
+		out[t] = 1 + a1*pml/(a0*ptge)
+	}
+	return out
+}

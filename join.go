@@ -1,0 +1,61 @@
+package approxsel
+
+import "fmt"
+
+// JoinPair is one result of an approximate join: a probe tuple matched to a
+// base tuple with their similarity score.
+type JoinPair struct {
+	ProbeTID int
+	BaseTID  int
+	Score    float64
+}
+
+// ApproximateJoin evaluates the approximate join R ⋈_sim≥θ S the paper
+// describes as the general operation behind approximate selection (§1):
+// the base relation is the one the predicate was preprocessed over, and
+// every probe record runs as a selection query. Pairs are returned grouped
+// by probe record, each group ranked by decreasing score.
+func ApproximateJoin(base Predicate, probe []Record, theta float64) ([]JoinPair, error) {
+	var out []JoinPair
+	for _, r := range probe {
+		ms, err := SelectThreshold(base, r.Text, theta)
+		if err != nil {
+			return nil, fmt.Errorf("approxsel: join probe tid %d: %w", r.TID, err)
+		}
+		for _, m := range ms {
+			out = append(out, JoinPair{ProbeTID: r.TID, BaseTID: m.TID, Score: m.Score})
+		}
+	}
+	return out, nil
+}
+
+// SelfJoin evaluates the approximate self-join used for de-duplication:
+// every record of the predicate's base relation probes the relation itself.
+// Self pairs are dropped and each unordered pair is reported once, with
+// the smaller TID first.
+func SelfJoin(base Predicate, records []Record, theta float64) ([]JoinPair, error) {
+	seen := make(map[[2]int]bool)
+	var out []JoinPair
+	for _, r := range records {
+		ms, err := SelectThreshold(base, r.Text, theta)
+		if err != nil {
+			return nil, fmt.Errorf("approxsel: self-join tid %d: %w", r.TID, err)
+		}
+		for _, m := range ms {
+			if m.TID == r.TID {
+				continue
+			}
+			a, b := r.TID, m.TID
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int{a, b}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, JoinPair{ProbeTID: a, BaseTID: b, Score: m.Score})
+		}
+	}
+	return out, nil
+}

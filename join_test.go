@@ -1,0 +1,79 @@
+package approxsel
+
+import "testing"
+
+func TestApproximateJoin(t *testing.T) {
+	base := []Record{
+		{TID: 1, Text: "Morgan Stanley Group Inc."},
+		{TID: 2, Text: "Beijing Hotel"},
+		{TID: 3, Text: "Pacific Mills Incorporated"},
+	}
+	probe := []Record{
+		{TID: 100, Text: "Morgan Stanley Group Inc"},
+		{TID: 200, Text: "Hotel Beijing"},
+		{TID: 300, Text: "zzzz qqqq"},
+	}
+	p, err := New("Jaccard", base, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := ApproximateJoin(p, probe, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[[2]int]bool{}
+	for _, pr := range pairs {
+		got[[2]int{pr.ProbeTID, pr.BaseTID}] = true
+		if pr.Score < 0.5 {
+			t.Fatalf("threshold violated: %+v", pr)
+		}
+	}
+	if !got[[2]int{100, 1}] {
+		t.Error("join missed (100, 1)")
+	}
+	if !got[[2]int{200, 2}] {
+		t.Error("join missed the token-swapped (200, 2)")
+	}
+	for pair := range got {
+		if pair[0] == 300 {
+			t.Errorf("garbage probe matched: %v", pair)
+		}
+	}
+}
+
+func TestSelfJoinDedup(t *testing.T) {
+	records := []Record{
+		{TID: 1, Text: "Morgan Stanley Group Inc."},
+		{TID: 2, Text: "Morgan Stanley Group Inc"},
+		{TID: 3, Text: "Beijing Hotel"},
+		{TID: 4, Text: "Beijing Hotel"},
+		{TID: 5, Text: "Quantum Widgets Ltd."},
+	}
+	p, err := New("Jaccard", records, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := SelfJoin(p, records, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[[2]int]bool{}
+	for _, pr := range pairs {
+		if pr.ProbeTID >= pr.BaseTID {
+			t.Fatalf("pair not ordered: %+v", pr)
+		}
+		key := [2]int{pr.ProbeTID, pr.BaseTID}
+		if got[key] {
+			t.Fatalf("duplicate pair: %+v", pr)
+		}
+		got[key] = true
+	}
+	if !got[[2]int{1, 2}] || !got[[2]int{3, 4}] {
+		t.Fatalf("self-join missed duplicate pairs: %v", got)
+	}
+	for pair := range got {
+		if pair[0] == 5 || pair[1] == 5 {
+			t.Errorf("unique record matched: %v", pair)
+		}
+	}
+}
