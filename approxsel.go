@@ -10,35 +10,50 @@
 // combination (GES, GESJaccard, GESapx, SoftTFIDF) — in two interchangeable
 // realizations:
 //
-//   - New builds the fast in-memory realization;
-//   - NewDeclarative builds the paper's realization: plain SQL statements
-//     (Appendices A/B of the thesis) executed by the bundled sqldb engine,
-//     with UDFs for edit similarity, Jaro–Winkler and min-hash values.
+//   - Native (the default) is the fast in-memory realization;
+//   - Declarative (WithRealization(Declarative)) is the paper's
+//     realization: plain SQL statements (Appendices A/B of the thesis)
+//     executed by the bundled sqldb engine, with UDFs for edit similarity,
+//     Jaro–Winkler and min-hash values.
 //
 // Both produce identical scores; the declarative path exists to study the
 // approach the paper advocates, and the performance experiments run on it.
+//
+// Construction goes through a pluggable predicate registry. New resolves a
+// predicate name against the chosen realization (WithRealization, default
+// Native) and applies functional options on top of the paper's defaults:
+//
+//	records := []approxsel.Record{{TID: 1, Text: "AT&T Incorporated"}, ...}
+//	p, err := approxsel.New("BM25", records,
+//	        approxsel.WithQ(3), approxsel.WithPruneRate(0.1))
+//	matches, err := p.Select("AT&T Inc")
+//
+// Applications plug their own predicates into the same framework with
+// Register — the extensibility story the paper argues for — and enumerate
+// everything New can build with PredicateNames and Realizations.
+//
+// Selections take options too: SelectCtx pushes Limit(k) and Threshold(θ)
+// down into the predicate (a k-bounded heap instead of a full sort of the
+// candidate set), and SelectBatch probes many queries through a worker pool
+// honoring context cancellation:
+//
+//	top, err := approxsel.SelectCtx(ctx, p, "AT&T Inc", approxsel.Limit(10))
+//	res, err := approxsel.SelectBatch(ctx, p, queries, approxsel.Workers(8))
 //
 // The package also exposes the benchmark itself: the UIS-style dirty-data
 // generator (GenerateDirty), synthetic clean datasets matching the paper's
 // Table 5.1 statistics (CompanyNames, DBLPTitles), and the IR accuracy
 // metrics (AveragePrecision, MaxF1) used by the evaluation.
-//
-// Quick start:
-//
-//	records := []approxsel.Record{{TID: 1, Text: "AT&T Incorporated"}, ...}
-//	p, err := approxsel.New("BM25", records, approxsel.DefaultConfig())
-//	matches, err := p.Select("AT&T Inc")
 package approxsel
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/datasets"
-	"repro/internal/declarative"
 	"repro/internal/dirty"
 	"repro/internal/eval"
-	"repro/internal/native"
 )
 
 // Record is one tuple of the base relation: a unique identifier and a
@@ -61,55 +76,66 @@ type Predicate = core.Predicate
 // SoftTFIDF θ=0.8, edit filter θ=0.7, 5 min-hash signatures.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
-// PredicateNames lists the thirteen benchmark predicates in the order the
-// paper presents them.
-func PredicateNames() []string {
-	out := make([]string, len(core.PredicateNames))
-	copy(out, core.PredicateNames)
-	return out
-}
-
-// New preprocesses the base relation for the named predicate using the
-// in-memory realization.
-func New(name string, records []Record, cfg Config) (Predicate, error) {
-	return native.Build(name, records, cfg)
+// New preprocesses the base relation for the named predicate, resolving the
+// name through the predicate registry. With no options it builds the
+// in-memory realization under the paper's DefaultConfig; options select the
+// realization (WithRealization) and adjust parameters (WithQ, WithBM25,
+// ...). A Config value is itself an option replacing the whole parameter
+// set, so the original call form New(name, records, cfg) keeps working.
+func New(name string, records []Record, opts ...BuildOption) (Predicate, error) {
+	settings := core.BuildSettings{
+		Config:      core.DefaultConfig(),
+		Realization: string(Native),
+	}
+	for _, o := range opts {
+		o.ApplyBuild(&settings)
+	}
+	builder, err := lookupBuilder(Realization(settings.Realization), name)
+	if err != nil {
+		return nil, err
+	}
+	return builder(records, settings.Config)
 }
 
 // NewDeclarative preprocesses the base relation for the named predicate
 // using the declarative (SQL) realization over the bundled engine.
+//
+// Deprecated: use New with WithRealization(Declarative). This wrapper is
+// kept so existing callers compile unchanged.
 func NewDeclarative(name string, records []Record, cfg Config) (Predicate, error) {
-	return declarative.Build(name, records, cfg)
+	return New(name, records, WithConfig(cfg), WithRealization(Declarative))
+}
+
+// SelectCtx runs one approximate selection with per-selection options. A
+// Limit or Threshold is pushed down into the predicate when it supports it
+// (core.ContextPredicate — all native predicates), replacing the full sort
+// of the candidate set with a k-bounded heap and pre-materialization
+// filtering; for other predicates the options are applied as a post-filter
+// with identical results. The context is checked before probing, and
+// cancellation mid-batch is honored by SelectBatch.
+func SelectCtx(ctx context.Context, p Predicate, query string, opts ...SelectOption) ([]Match, error) {
+	return core.SelectWithOptions(ctx, p, query, selectOptions(opts))
 }
 
 // SelectThreshold runs an approximate selection and keeps matches with
-// score ≥ theta: the paper's sim(t_q, t) ≥ θ operation.
+// score ≥ theta: the paper's sim(t_q, t) ≥ θ operation. It delegates to the
+// option-based path, so predicates with push-down filter before
+// materializing the ranking.
 func SelectThreshold(p Predicate, query string, theta float64) ([]Match, error) {
-	ms, err := p.Select(query)
-	if err != nil {
-		return nil, err
-	}
-	out := ms[:0:0]
-	for _, m := range ms {
-		if m.Score >= theta {
-			out = append(out, m)
-		}
-	}
-	return out, nil
+	return SelectCtx(context.Background(), p, query, Threshold(theta))
 }
 
-// TopK runs an approximate selection and keeps the k best matches.
+// TopK runs an approximate selection and keeps the k best matches. It
+// delegates to the option-based path, so predicates with push-down rank
+// with a k-bounded heap instead of sorting the full candidate set.
 func TopK(p Predicate, query string, k int) ([]Match, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("approxsel: negative k %d", k)
 	}
-	ms, err := p.Select(query)
-	if err != nil {
-		return nil, err
+	if k == 0 {
+		return []Match{}, nil
 	}
-	if k < len(ms) {
-		ms = ms[:k]
-	}
-	return ms, nil
+	return SelectCtx(context.Background(), p, query, Limit(k))
 }
 
 // ---- benchmark data generation ----

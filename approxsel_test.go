@@ -1,6 +1,8 @@
 package approxsel
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -122,5 +124,117 @@ func TestPredicateNamesCopy(t *testing.T) {
 	a[0] = "mutated"
 	if PredicateNames()[0] == "mutated" {
 		t.Fatal("PredicateNames must return a copy")
+	}
+}
+
+// TestSelectCtxLimitDifferential checks the acceptance contract of the
+// push-down: for every one of the thirteen predicates, the heap top-k path
+// (SelectCtx with Limit) must return exactly sort-then-truncate of the full
+// ranking, and the threshold push-down exactly post-filtering.
+func TestSelectCtxLimitDifferential(t *testing.T) {
+	records := facadeRecords()
+	ctx := context.Background()
+	for _, name := range PredicateNames() {
+		p, err := New(name, records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, query := range []string{records[0].Text, records[9].Text + " inc", "zzzz"} {
+			full, err := p.Select(query)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for _, k := range []int{1, 3, 7, len(full), len(full) + 10} {
+				want := full
+				if k < len(want) {
+					want = want[:k]
+				}
+				got, err := SelectCtx(ctx, p, query, Limit(k))
+				if err != nil {
+					t.Fatalf("%s k=%d: %v", name, k, err)
+				}
+				if !matchesEqual(got, want) {
+					t.Fatalf("%s k=%d query %q: heap top-k diverged from sort-then-truncate\ngot:  %+v\nwant: %+v",
+						name, k, query, got, want)
+				}
+			}
+			for _, theta := range []float64{0.2, 0.5} {
+				var want []Match
+				for _, m := range full {
+					if m.Score >= theta {
+						want = append(want, m)
+					}
+				}
+				got, err := SelectCtx(ctx, p, query, Threshold(theta))
+				if err != nil {
+					t.Fatalf("%s θ=%v: %v", name, theta, err)
+				}
+				if !matchesEqual(got, want) {
+					t.Fatalf("%s θ=%v query %q: threshold push-down diverged from post-filter",
+						name, theta, query)
+				}
+			}
+		}
+	}
+}
+
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSelectCtxDeclarativeShim checks the post-filter shim path: the
+// declarative realization (no push-down) must honor the same options with
+// the same results.
+func TestSelectCtxDeclarativeShim(t *testing.T) {
+	records := facadeRecords()[:20]
+	ctx := context.Background()
+	p, err := New("BM25", records, WithRealization(Declarative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := p.Select(records[3].Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SelectCtx(ctx, p, records[3].Text, Limit(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := full
+	if len(want) > 4 {
+		want = want[:4]
+	}
+	if !matchesEqual(got, want) {
+		t.Fatalf("declarative shim diverged: %+v vs %+v", got, want)
+	}
+	ctx2, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := SelectCtx(ctx2, p, "x"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SelectCtx: %v", err)
+	}
+}
+
+// TestTopKZero pins the historical TopK(p, q, 0) behavior: empty, not
+// unlimited (Limit(0) means unlimited in the option layer).
+func TestTopKZero(t *testing.T) {
+	records := facadeRecords()[:10]
+	p, err := New("Jaccard", records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := TopK(p, records[0].Text, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("TopK k=0 must be empty, got %d", len(ms))
 	}
 }

@@ -1,0 +1,122 @@
+package approxsel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// batchSettings is the state assembled by BatchOptions: the worker-pool
+// size and the per-probe selection options shared by every query.
+type batchSettings struct {
+	workers int
+	sel     core.SelectOptions
+}
+
+// BatchError is the error SelectBatch returns when one probe fails: it
+// records which query failed so callers (the joins, which probe records)
+// can name the culprit. It unwraps to the probe's own error.
+type BatchError struct {
+	// Query is the index into the queries slice of the failing probe.
+	Query int
+	Err   error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("approxsel: batch query %d: %v", e.Query, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// SelectBatch probes one predicate with many queries through a worker pool
+// and returns one ranked match slice per query, in query order. Results are
+// identical to probing sequentially: workers only decide which query runs
+// where, never the per-query ranking.
+//
+// The pool size comes from Workers (default GOMAXPROCS). Predicates that do
+// not declare concurrent probing safe (the declarative realization, whose
+// predicates share mutable query tables in their SQL database) are probed
+// by a single worker regardless. Per-probe options (Limit, Threshold) apply
+// to every query of the batch.
+//
+// Cancellation is honored at query granularity: when ctx is cancelled,
+// workers finish their in-flight probe, pending queries are abandoned, and
+// the context error is returned.
+func SelectBatch(ctx context.Context, p Predicate, queries []string, opts ...BatchOption) ([][]Match, error) {
+	var b batchSettings
+	for _, o := range opts {
+		o.applyBatch(&b)
+	}
+	workers := b.workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if !core.ConcurrentSafe(p) {
+		workers = 1
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([][]Match, len(queries))
+	if len(queries) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := range queries {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ms, err := core.SelectWithOptions(ctx, p, queries[i], b.sel)
+				if err != nil {
+					fail(&BatchError{Query: i, Err: err})
+					return
+				}
+				out[i] = ms
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The feeder may have stopped on parent cancellation while every
+	// in-flight probe finished cleanly; don't report a partial batch as
+	// complete.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

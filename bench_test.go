@@ -8,7 +8,9 @@ package approxsel
 // scale and prints the tables.
 
 import (
+	"context"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
@@ -254,3 +256,73 @@ func BenchmarkSelectDeclarativeBM25(b *testing.B)    { benchPredicate(b, "BM25",
 func BenchmarkSelectDeclarativeJaccard(b *testing.B) { benchPredicate(b, "Jaccard", true) }
 func BenchmarkSelectDeclarativeHMM(b *testing.B)     { benchPredicate(b, "HMM", true) }
 func BenchmarkSelectDeclarativeLM(b *testing.B)      { benchPredicate(b, "LM", true) }
+
+// ---- batch probing and top-k push-down (the options API) ----
+
+func dblpPredicate(b *testing.B, size int) (Predicate, []string) {
+	b.Helper()
+	titles := DBLPTitles(size, 7)
+	records := make([]Record, len(titles))
+	for i, title := range titles {
+		records[i] = Record{TID: i + 1, Text: title}
+	}
+	p, err := New("BM25", records)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]string, 100)
+	for i := range queries {
+		queries[i] = titles[(i*37)%len(titles)]
+	}
+	return p, queries
+}
+
+func benchSelectBatch(b *testing.B, workers int) {
+	p, queries := dblpPredicate(b, 2000)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectBatch(ctx, p, queries, Workers(workers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectBatchWorkers1 is the sequential baseline of the batch API.
+func BenchmarkSelectBatchWorkers1(b *testing.B) { benchSelectBatch(b, 1) }
+
+// BenchmarkSelectBatchWorkersMax probes the same batch with a
+// GOMAXPROCS-sized worker pool.
+func BenchmarkSelectBatchWorkersMax(b *testing.B) {
+	benchSelectBatch(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkSelectFullSort ranks the entire candidate set and truncates to
+// ten matches afterwards — the pre-push-down TopK path.
+func BenchmarkSelectFullSort(b *testing.B) {
+	p, queries := dblpPredicate(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := p.Select(queries[i%len(queries)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ms) > 10 {
+			ms = ms[:10]
+		}
+		_ = ms
+	}
+}
+
+// BenchmarkSelectHeapTopK pushes Limit(10) down into the predicate, which
+// keeps a 10-bounded heap instead of sorting the full candidate set.
+func BenchmarkSelectHeapTopK(b *testing.B) {
+	p, queries := dblpPredicate(b, 5000)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectCtx(ctx, p, queries[i%len(queries)], Limit(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

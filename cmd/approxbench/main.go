@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	approxsel "repro"
 	"repro/internal/experiments"
 )
 
@@ -27,7 +28,21 @@ func main() {
 	impl := flag.String("impl", "declarative", "realization measured by performance experiments: declarative|native")
 	exp := flag.String("exp", "all", "experiment: all, table5.1, table5.3, qgram, table5.5, table5.6, figure5.1, table5.7, figure5.2, figure5.3, figure5.4, figure5.5, figure5.6, ablation.minhash, ablation.impl, ablation.q")
 	seed := flag.Int64("seed", 1, "generation seed")
+	list := flag.Bool("list", false, "list the registered predicates and realizations, then exit")
 	flag.Parse()
+
+	if *list {
+		fmt.Print("realizations:")
+		for _, r := range approxsel.Realizations() {
+			fmt.Printf(" %s", r)
+		}
+		fmt.Println()
+		fmt.Println("predicates:")
+		for _, name := range approxsel.PredicateNames() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
+	}
 
 	ao := experiments.Scaled(*scale)
 	ao.Seed = *seed

@@ -23,8 +23,7 @@ func main() {
 		records[i] = approxsel.Record{TID: i + 1, Text: title}
 	}
 
-	cfg := approxsel.DefaultConfig()
-	bm25, err := approxsel.New("BM25", records, cfg)
+	bm25, err := approxsel.New("BM25", records)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,10 +54,8 @@ func main() {
 	fmt.Println("\nIDF pruning trade-off (BM25):")
 	fmt.Println("  rate   preprocess    query-avg   top1-hits/20")
 	for _, rate := range []float64{0, 0.2, 0.4} {
-		c := cfg
-		c.PruneRate = rate
 		start := time.Now()
-		p, err := approxsel.New("BM25", records, c)
+		p, err := approxsel.New("BM25", records, approxsel.WithPruneRate(rate))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -41,20 +42,26 @@ func main() {
 	fmt.Println("---------------  -----")
 	var best approxsel.Predicate
 	bestMAP := -1.0
+	evalRecs := make([]approxsel.Record, *queries)
+	evalQueries := make([]string, *queries)
+	for i := range evalRecs {
+		evalRecs[i] = ds.Records[(i*7919)%len(ds.Records)]
+		evalQueries[i] = evalRecs[i].Text
+	}
 	for _, name := range predNames {
 		p, err := approxsel.New(name, ds.Records, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
+		// All evaluation queries probe through the batch worker pool.
+		res, err := approxsel.SelectBatch(context.Background(), p, evalQueries)
+		if err != nil {
+			log.Fatal(err)
+		}
 		sum := 0.0
-		for i := 0; i < *queries; i++ {
-			rec := ds.Records[(i*7919)%len(ds.Records)]
-			ms, err := p.Select(rec.Text)
-			if err != nil {
-				log.Fatal(err)
-			}
+		for i, ms := range res {
 			relevant := map[int]bool{}
-			for _, tid := range ds.Clusters[ds.Cluster[rec.TID]] {
+			for _, tid := range ds.Clusters[ds.Cluster[evalRecs[i].TID]] {
 				relevant[tid] = true
 			}
 			sum += approxsel.AveragePrecision(approxsel.RankedTIDs(ms), relevant)

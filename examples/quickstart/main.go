@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,24 +23,26 @@ func main() {
 		{TID: 8, Text: "Hotel Beijing"},
 		{TID: 9, Text: "Beijing Labs"},
 	}
-	cfg := approxsel.DefaultConfig()
+	ctx := context.Background()
 
-	// The paper's strongest all-round predicate: BM25 over 2-grams.
-	bm25, err := approxsel.New("BM25", records, cfg)
+	// The paper's strongest all-round predicate: BM25 over 2-grams. With no
+	// options New uses the paper's defaults and the in-memory realization.
+	bm25, err := approxsel.New("BM25", records)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("BM25 ranking for query 'AT&T Inc':")
-	matches, err := bm25.Select("AT&T Inc")
+	fmt.Println("BM25 top 4 for query 'AT&T Inc':")
+	matches, err := approxsel.SelectCtx(ctx, bm25, "AT&T Inc", approxsel.Limit(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, m := range matches[:min(4, len(matches))] {
+	for _, m := range matches {
 		fmt.Printf("  tid %d  score %7.3f  %s\n", m.TID, m.Score, text(records, m.TID))
 	}
 
 	// The same predicate, realized purely in SQL over the bundled engine.
-	decl, err := approxsel.NewDeclarative("BM25", records, cfg)
+	decl, err := approxsel.New("BM25", records,
+		approxsel.WithRealization(approxsel.Declarative))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,18 +53,42 @@ func main() {
 	fmt.Printf("\nDeclarative BM25 agrees: top match is tid %d (%s), score %.3f\n",
 		top[0].TID, text(records, top[0].TID), top[0].Score)
 
-	// Thresholded selection: the paper's sim(tq, t) >= theta operation.
-	jac, err := approxsel.New("Jaccard", records, cfg)
+	// Thresholded selection: the paper's sim(tq, t) >= theta operation,
+	// with a functional option tweaking one parameter on top of the
+	// defaults.
+	jac, err := approxsel.New("Jaccard", records, approxsel.WithQ(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	close, err := approxsel.SelectThreshold(jac, "Beijing Hotel", 0.5)
+	close, err := approxsel.SelectCtx(ctx, jac, "Beijing Hotel", approxsel.Threshold(0.5))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nJaccard >= 0.5 for 'Beijing Hotel':")
 	for _, m := range close {
 		fmt.Printf("  tid %d  score %5.3f  %s\n", m.TID, m.Score, text(records, m.TID))
+	}
+
+	// Batched probing: every record queries the base relation through a
+	// worker pool, here keeping each record's best non-trivial match.
+	queries := make([]string, len(records))
+	for i, r := range records {
+		queries[i] = r.Text
+	}
+	res, err := approxsel.SelectBatch(ctx, bm25, queries,
+		approxsel.Workers(4), approxsel.Limit(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nBatch probe, best other match per record:")
+	for i, ms := range res {
+		for _, m := range ms {
+			if m.TID == records[i].TID {
+				continue
+			}
+			fmt.Printf("  %-28s -> tid %d (%s)\n", records[i].Text, m.TID, text(records, m.TID))
+			break
+		}
 	}
 }
 
@@ -72,11 +99,4 @@ func text(records []approxsel.Record, tid int) string {
 		}
 	}
 	return "?"
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

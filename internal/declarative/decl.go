@@ -283,3 +283,20 @@ func Build(name string, records []core.Record, cfg core.Config) (core.Predicate,
 		return nil, fmt.Errorf("declarative: unknown predicate %q", name)
 	}
 }
+
+// Builders is the registration table of the declarative realization: one
+// BuilderFunc per benchmark predicate, in terms of which the facade's
+// registry resolves New with WithRealization(Declarative).
+//
+// Declarative predicates share mutable query tables inside their SQL
+// database, so they deliberately do not implement core.ConcurrentProber:
+// batch probing over them serializes onto a single worker.
+func Builders() map[string]core.BuilderFunc {
+	out := make(map[string]core.BuilderFunc, len(core.PredicateNames))
+	for _, name := range core.PredicateNames {
+		out[name] = func(records []core.Record, cfg core.Config) (core.Predicate, error) {
+			return Build(name, records, cfg)
+		}
+	}
+	return out
+}

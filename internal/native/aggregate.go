@@ -48,10 +48,10 @@ func NewCosine(records []core.Record, cfg core.Config) (*Cosine, error) {
 // Name implements core.Predicate.
 func (p *Cosine) Name() string { return "Cosine" }
 
-// Select ranks records by Σ w_q(t)·w_d(t). Query weights are normalized
+// selectOpts ranks records by Σ w_q(t)·w_d(t). Query weights are normalized
 // tf-idf computed with the base relation's idf; tokens unknown to the base
 // relation are dropped from the query vector, as in the declarative plan.
-func (p *Cosine) Select(query string) ([]core.Match, error) {
+func (p *Cosine) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qcounts := p.td.knownOnly(tokenize.Counts(tokenize.QGrams(query, p.q)))
 	qw := p.td.corpus.TFIDF(qcounts)
 	acc := accumulator{}
@@ -61,7 +61,7 @@ func (p *Cosine) Select(query string) ([]core.Match, error) {
 			acc[post.idx] += wq * post.w
 		}
 	}
-	return acc.matches(p.td), nil
+	return acc.matches(p.td, opts), nil
 }
 
 // BM25 is the BM25 probabilistic weighting predicate (§3.2.2), deployed for
@@ -100,8 +100,8 @@ func NewBM25(records []core.Record, cfg core.Config) (*BM25, error) {
 // Name implements core.Predicate.
 func (p *BM25) Name() string { return "BM25" }
 
-// Select ranks records by the BM25 score of Eq. 3.4.
-func (p *BM25) Select(query string) ([]core.Match, error) {
+// selectOpts ranks records by the BM25 score of Eq. 3.4.
+func (p *BM25) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
 	acc := accumulator{}
 	for _, t := range sortedTokens(qcounts) {
@@ -110,5 +110,5 @@ func (p *BM25) Select(query string) ([]core.Match, error) {
 			acc[post.idx] += wq * post.w
 		}
 	}
-	return acc.matches(p.td), nil
+	return acc.matches(p.td, opts), nil
 }

@@ -109,14 +109,18 @@ func (td *tokenData) knownOnly(counts map[string]int) map[string]int {
 // accumulator gathers per-record scores during a Select.
 type accumulator map[int]float64
 
-// matches converts accumulated scores into the sorted Match slice contract.
-func (a accumulator) matches(td *tokenData) []core.Match {
+// matches converts accumulated scores into the ranked Match slice contract,
+// applying any selection options: below-threshold scores are dropped before
+// materialization and a limit switches the full sort to a k-bounded heap.
+func (a accumulator) matches(td *tokenData, opts core.SelectOptions) []core.Match {
 	out := make([]core.Match, 0, len(a))
 	for idx, score := range a {
+		if !opts.Keeps(score) {
+			continue
+		}
 		out = append(out, core.Match{TID: td.records[idx].TID, Score: score})
 	}
-	core.SortMatches(out)
-	return out
+	return core.FinishMatches(out, opts)
 }
 
 // editNormalize prepares a string for the edit-based predicate: whitespace

@@ -150,8 +150,8 @@ func NewGES(records []core.Record, cfg core.Config) (*GES, error) {
 // Name implements core.Predicate.
 func (p *GES) Name() string { return "GES" }
 
-// Select scores every base record with exact GES.
-func (p *GES) Select(query string) ([]core.Match, error) {
+// selectOpts scores every base record with exact GES.
+func (p *GES) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qws := queryWords(query)
 	if len(qws) == 0 {
 		return nil, nil
@@ -159,10 +159,13 @@ func (p *GES) Select(query string) ([]core.Match, error) {
 	qWeights, wtQ := p.ges.queryWeights(qws)
 	out := make([]core.Match, 0, len(p.wd.records))
 	for i, r := range p.wd.records {
-		out = append(out, core.Match{TID: r.TID, Score: p.ges.score(qws, qWeights, wtQ, i)})
+		score := p.ges.score(qws, qWeights, wtQ, i)
+		if !opts.Keeps(score) {
+			continue
+		}
+		out = append(out, core.Match{TID: r.TID, Score: score})
 	}
-	core.SortMatches(out)
-	return out, nil
+	return core.FinishMatches(out, opts), nil
 }
 
 // wordRef locates one distinct word of one record.
@@ -221,9 +224,9 @@ func NewGESJaccard(records []core.Record, cfg core.Config) (*GESJaccard, error) 
 // Name implements core.Predicate.
 func (p *GESJaccard) Name() string { return "GESJaccard" }
 
-// Select generates candidates whose Eq. 4.7 over-estimate reaches θ, then
+// selectOpts generates candidates whose Eq. 4.7 over-estimate reaches θ, then
 // ranks them by exact GES score.
-func (p *GESJaccard) Select(query string) ([]core.Match, error) {
+func (p *GESJaccard) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qws := queryWords(query)
 	if len(qws) == 0 {
 		return nil, nil
@@ -274,7 +277,7 @@ func (p *GESJaccard) Select(query string) ([]core.Match, error) {
 			acc[rec] = p.ges.score(qws, qWeights, wtQ, rec)
 		}
 	}
-	return acc.matches2(p.wd.records), nil
+	return acc.matches2(p.wd.records, opts), nil
 }
 
 // GESapx replaces the token-level Jaccard of GESJaccard with a min-hash
@@ -336,9 +339,9 @@ func NewGESapx(records []core.Record, cfg core.Config) (*GESapx, error) {
 // Name implements core.Predicate.
 func (p *GESapx) Name() string { return "GESapx" }
 
-// Select generates candidates with the min-hash estimate of Eq. 4.8 and
+// selectOpts generates candidates with the min-hash estimate of Eq. 4.8 and
 // ranks them by exact GES score.
-func (p *GESapx) Select(query string) ([]core.Match, error) {
+func (p *GESapx) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qws := queryWords(query)
 	if len(qws) == 0 {
 		return nil, nil
@@ -388,7 +391,7 @@ func (p *GESapx) Select(query string) ([]core.Match, error) {
 			acc[rec] = p.ges.score(qws, qWeights, wtQ, rec)
 		}
 	}
-	return acc.matches2(p.wd.records), nil
+	return acc.matches2(p.wd.records, opts), nil
 }
 
 // SoftTFIDF combines normalized tf-idf word weights with Jaro–Winkler
@@ -420,11 +423,11 @@ func NewSoftTFIDF(records []core.Record, cfg core.Config) (*SoftTFIDF, error) {
 // Name implements core.Predicate.
 func (p *SoftTFIDF) Name() string { return "SoftTFIDF" }
 
-// Select ranks records by Eq. 3.15: for every query word within θ of some
+// selectOpts ranks records by Eq. 3.15: for every query word within θ of some
 // record word (CLOSE set), the contribution is w_q(t)·w_d(argmax)·maxsim.
 // Multiplicities follow the declarative cross-product: repeated query or
 // record word occurrences contribute repeatedly, and argmax ties all count.
-func (p *SoftTFIDF) Select(query string) ([]core.Match, error) {
+func (p *SoftTFIDF) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qws := queryWords(query)
 	if len(qws) == 0 {
 		return nil, nil
@@ -462,7 +465,7 @@ func (p *SoftTFIDF) Select(query string) ([]core.Match, error) {
 			acc[i] = total
 		}
 	}
-	return acc.matches2(p.wd.records), nil
+	return acc.matches2(p.wd.records, opts), nil
 }
 
 // knownCounts filters a count map to tokens known to the corpus.
@@ -478,11 +481,13 @@ func knownCounts(counts map[string]int, c *weights.Corpus) map[string]int {
 
 // matches2 is accumulator.matches for word-level predicates (which do not
 // carry a tokenData).
-func (a accumulator) matches2(records []core.Record) []core.Match {
+func (a accumulator) matches2(records []core.Record, opts core.SelectOptions) []core.Match {
 	out := make([]core.Match, 0, len(a))
 	for idx, score := range a {
+		if !opts.Keeps(score) {
+			continue
+		}
 		out = append(out, core.Match{TID: records[idx].TID, Score: score})
 	}
-	core.SortMatches(out)
-	return out
+	return core.FinishMatches(out, opts)
 }

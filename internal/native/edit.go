@@ -114,11 +114,11 @@ func matchWithin(a, b []int32, k int) int {
 // Name implements core.Predicate.
 func (p *EditDistance) Name() string { return "EditDistance" }
 
-// Select ranks records by edit similarity. With a positive threshold the
+// selectOpts ranks records by edit similarity. With a positive threshold the
 // q-gram filter prunes candidates before verification; with θ = 0 the whole
 // base relation is scored exactly (used by the accuracy study, which does
 // not threshold rankings).
-func (p *EditDistance) Select(query string) ([]core.Match, error) {
+func (p *EditDistance) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qnorm := editNormalize(query, p.q)
 	qlen := len([]rune(qnorm))
 	acc := accumulator{}
@@ -127,7 +127,7 @@ func (p *EditDistance) Select(query string) ([]core.Match, error) {
 		for i := range p.norm {
 			acc[i] = editSim(qnorm, qlen, p.norm[i])
 		}
-		return acc.matches(p.td), nil
+		return acc.matches(p.td, opts), nil
 	}
 
 	// Candidate generation: count matching grams. The positional variant
@@ -198,7 +198,7 @@ func (p *EditDistance) Select(query string) ([]core.Match, error) {
 			acc[idx] = sim
 		}
 	}
-	return acc.matches(p.td), nil
+	return acc.matches(p.td, opts), nil
 }
 
 // editSim computes the edit similarity against a normalized record.

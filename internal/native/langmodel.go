@@ -53,10 +53,10 @@ func NewLM(records []core.Record, cfg core.Config) (*LM, error) {
 // Name implements core.Predicate.
 func (p *LM) Name() string { return "LM" }
 
-// Select ranks records by p̂(Q|M_D) (Eq. 4.4). Each query token occurrence
+// selectOpts ranks records by p̂(Q|M_D) (Eq. 4.4). Each query token occurrence
 // contributes its per-match log term, matching the declarative join of
 // BASE_PM with the query token multiset.
-func (p *LM) Select(query string) ([]core.Match, error) {
+func (p *LM) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
 	acc := accumulator{}
 	matched := map[int]bool{}
@@ -70,7 +70,7 @@ func (p *LM) Select(query string) ([]core.Match, error) {
 	for idx := range matched {
 		acc[idx] = math.Exp(acc[idx] + p.sumComp[idx])
 	}
-	return acc.matches(p.td), nil
+	return acc.matches(p.td, opts), nil
 }
 
 // HMM is the two-state Hidden Markov Model predicate: the similarity is the
@@ -104,8 +104,8 @@ func NewHMM(records []core.Record, cfg core.Config) (*HMM, error) {
 // Name implements core.Predicate.
 func (p *HMM) Name() string { return "HMM" }
 
-// Select ranks records by the rewritten HMM score.
-func (p *HMM) Select(query string) ([]core.Match, error) {
+// selectOpts ranks records by the rewritten HMM score.
+func (p *HMM) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
 	acc := accumulator{}
 	for _, t := range sortedTokens(qcounts) {
@@ -117,5 +117,5 @@ func (p *HMM) Select(query string) ([]core.Match, error) {
 	for idx, logScore := range acc {
 		acc[idx] = math.Exp(logScore)
 	}
-	return acc.matches(p.td), nil
+	return acc.matches(p.td, opts), nil
 }

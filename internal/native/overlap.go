@@ -48,15 +48,15 @@ func distinctPostings(td *tokenData) map[string][]int {
 // Name implements core.Predicate.
 func (p *IntersectSize) Name() string { return "IntersectSize" }
 
-// Select ranks records by the number of distinct shared tokens.
-func (p *IntersectSize) Select(query string) ([]core.Match, error) {
+// selectOpts ranks records by the number of distinct shared tokens.
+func (p *IntersectSize) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	acc := accumulator{}
 	for t := range tokenize.Counts(tokenize.QGrams(query, p.q)) {
 		for _, idx := range p.postings[t] {
 			acc[idx]++
 		}
 	}
-	return acc.matches(p.td), nil
+	return acc.matches(p.td, opts), nil
 }
 
 // Jaccard is sim(Q,D) = |Q ∩ D| / |Q ∪ D| (Eq. 3.2).
@@ -88,10 +88,10 @@ func NewJaccard(records []core.Record, cfg core.Config) (*Jaccard, error) {
 // Name implements core.Predicate.
 func (p *Jaccard) Name() string { return "Jaccard" }
 
-// Select ranks records by Jaccard coefficient over distinct tokens. The
+// selectOpts ranks records by Jaccard coefficient over distinct tokens. The
 // query length counts all distinct query tokens, matching the declarative
 // plan's COUNT(*) over QUERY_TOKENS.
-func (p *Jaccard) Select(query string) ([]core.Match, error) {
+func (p *Jaccard) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qset := tokenize.Counts(tokenize.QGrams(query, p.q))
 	inter := map[int]int{}
 	for t := range qset {
@@ -104,7 +104,7 @@ func (p *Jaccard) Select(query string) ([]core.Match, error) {
 	for idx, common := range inter {
 		acc[idx] = float64(common) / float64(p.setLen[idx]+qlen-common)
 	}
-	return acc.matches(p.td), nil
+	return acc.matches(p.td, opts), nil
 }
 
 // WeightedMatch is Σ_{t∈Q∩D} w(t) with Robertson–Sparck Jones weights
@@ -146,8 +146,8 @@ func rsTable(td *tokenData) map[string]float64 {
 // Name implements core.Predicate.
 func (p *WeightedMatch) Name() string { return "WeightedMatch" }
 
-// Select ranks records by the summed RS weight of shared distinct tokens.
-func (p *WeightedMatch) Select(query string) ([]core.Match, error) {
+// selectOpts ranks records by the summed RS weight of shared distinct tokens.
+func (p *WeightedMatch) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	acc := accumulator{}
 	qset := tokenize.Counts(tokenize.QGrams(query, p.q))
 	for _, t := range sortedTokens(qset) {
@@ -159,7 +159,7 @@ func (p *WeightedMatch) Select(query string) ([]core.Match, error) {
 			acc[idx] += w
 		}
 	}
-	return acc.matches(p.td), nil
+	return acc.matches(p.td, opts), nil
 }
 
 // WeightedJaccard divides the weight of the intersection by the weight of
@@ -195,10 +195,10 @@ func NewWeightedJaccard(records []core.Record, cfg core.Config) (*WeightedJaccar
 // Name implements core.Predicate.
 func (p *WeightedJaccard) Name() string { return "WeightedJaccard" }
 
-// Select ranks records by weighted Jaccard. Query token weights come from
+// selectOpts ranks records by weighted Jaccard. Query token weights come from
 // the base relation's weight table, so unseen query tokens contribute
 // nothing to the union weight (join semantics of the declarative plan).
-func (p *WeightedJaccard) Select(query string) ([]core.Match, error) {
+func (p *WeightedJaccard) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qset := tokenize.Counts(tokenize.QGrams(query, p.q))
 	qlen := 0.0
 	for _, t := range sortedTokens(qset) {
@@ -224,5 +224,5 @@ func (p *WeightedJaccard) Select(query string) ([]core.Match, error) {
 		}
 		acc[idx] = common / den
 	}
-	return acc.matches(p.td), nil
+	return acc.matches(p.td, opts), nil
 }

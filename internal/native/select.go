@@ -1,0 +1,172 @@
+package native
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// Every native predicate implements core.Predicate through a plain Select
+// and core.ContextPredicate through SelectCtx: the options-aware selectOpts
+// path is shared, so a limit or threshold is pushed down into ranking (a
+// k-bounded heap and pre-materialization filtering) instead of being
+// post-applied to the full sorted candidate set.
+//
+// Context cancellation is honored at query granularity: a Select already in
+// flight runs to completion, which keeps the scoring loops branch-free.
+
+// ConcurrentProbeSafe implements core.ConcurrentProber for every native
+// predicate via the embedded phases record: after preprocessing the
+// predicates are read-only, so concurrent Selects are safe (verified under
+// -race by TestConcurrentSelect).
+func (*phases) ConcurrentProbeSafe() bool { return true }
+
+func selectCtx(ctx context.Context, f func(string, core.SelectOptions) ([]core.Match, error), query string, opts core.SelectOptions) ([]core.Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return f(query, opts)
+}
+
+// Select implements core.Predicate.
+func (p *IntersectSize) Select(query string) ([]core.Match, error) {
+	return p.selectOpts(query, core.SelectOptions{})
+}
+
+// SelectCtx implements core.ContextPredicate.
+func (p *IntersectSize) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]core.Match, error) {
+	return selectCtx(ctx, p.selectOpts, query, opts)
+}
+
+// Select implements core.Predicate.
+func (p *Jaccard) Select(query string) ([]core.Match, error) {
+	return p.selectOpts(query, core.SelectOptions{})
+}
+
+// SelectCtx implements core.ContextPredicate.
+func (p *Jaccard) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]core.Match, error) {
+	return selectCtx(ctx, p.selectOpts, query, opts)
+}
+
+// Select implements core.Predicate.
+func (p *WeightedMatch) Select(query string) ([]core.Match, error) {
+	return p.selectOpts(query, core.SelectOptions{})
+}
+
+// SelectCtx implements core.ContextPredicate.
+func (p *WeightedMatch) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]core.Match, error) {
+	return selectCtx(ctx, p.selectOpts, query, opts)
+}
+
+// Select implements core.Predicate.
+func (p *WeightedJaccard) Select(query string) ([]core.Match, error) {
+	return p.selectOpts(query, core.SelectOptions{})
+}
+
+// SelectCtx implements core.ContextPredicate.
+func (p *WeightedJaccard) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]core.Match, error) {
+	return selectCtx(ctx, p.selectOpts, query, opts)
+}
+
+// Select implements core.Predicate.
+func (p *Cosine) Select(query string) ([]core.Match, error) {
+	return p.selectOpts(query, core.SelectOptions{})
+}
+
+// SelectCtx implements core.ContextPredicate.
+func (p *Cosine) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]core.Match, error) {
+	return selectCtx(ctx, p.selectOpts, query, opts)
+}
+
+// Select implements core.Predicate.
+func (p *BM25) Select(query string) ([]core.Match, error) {
+	return p.selectOpts(query, core.SelectOptions{})
+}
+
+// SelectCtx implements core.ContextPredicate.
+func (p *BM25) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]core.Match, error) {
+	return selectCtx(ctx, p.selectOpts, query, opts)
+}
+
+// Select implements core.Predicate.
+func (p *LM) Select(query string) ([]core.Match, error) {
+	return p.selectOpts(query, core.SelectOptions{})
+}
+
+// SelectCtx implements core.ContextPredicate.
+func (p *LM) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]core.Match, error) {
+	return selectCtx(ctx, p.selectOpts, query, opts)
+}
+
+// Select implements core.Predicate.
+func (p *HMM) Select(query string) ([]core.Match, error) {
+	return p.selectOpts(query, core.SelectOptions{})
+}
+
+// SelectCtx implements core.ContextPredicate.
+func (p *HMM) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]core.Match, error) {
+	return selectCtx(ctx, p.selectOpts, query, opts)
+}
+
+// Select implements core.Predicate.
+func (p *EditDistance) Select(query string) ([]core.Match, error) {
+	return p.selectOpts(query, core.SelectOptions{})
+}
+
+// SelectCtx implements core.ContextPredicate.
+func (p *EditDistance) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]core.Match, error) {
+	return selectCtx(ctx, p.selectOpts, query, opts)
+}
+
+// Select implements core.Predicate.
+func (p *GES) Select(query string) ([]core.Match, error) {
+	return p.selectOpts(query, core.SelectOptions{})
+}
+
+// SelectCtx implements core.ContextPredicate.
+func (p *GES) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]core.Match, error) {
+	return selectCtx(ctx, p.selectOpts, query, opts)
+}
+
+// Select implements core.Predicate.
+func (p *GESJaccard) Select(query string) ([]core.Match, error) {
+	return p.selectOpts(query, core.SelectOptions{})
+}
+
+// SelectCtx implements core.ContextPredicate.
+func (p *GESJaccard) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]core.Match, error) {
+	return selectCtx(ctx, p.selectOpts, query, opts)
+}
+
+// Select implements core.Predicate.
+func (p *GESapx) Select(query string) ([]core.Match, error) {
+	return p.selectOpts(query, core.SelectOptions{})
+}
+
+// SelectCtx implements core.ContextPredicate.
+func (p *GESapx) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]core.Match, error) {
+	return selectCtx(ctx, p.selectOpts, query, opts)
+}
+
+// Select implements core.Predicate.
+func (p *SoftTFIDF) Select(query string) ([]core.Match, error) {
+	return p.selectOpts(query, core.SelectOptions{})
+}
+
+// SelectCtx implements core.ContextPredicate.
+func (p *SoftTFIDF) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]core.Match, error) {
+	return selectCtx(ctx, p.selectOpts, query, opts)
+}
+
+// Builders is the registration table of the native realization: one
+// BuilderFunc per benchmark predicate, in terms of which the facade's
+// registry resolves New.
+func Builders() map[string]core.BuilderFunc {
+	out := make(map[string]core.BuilderFunc, len(core.PredicateNames))
+	for _, name := range core.PredicateNames {
+		out[name] = func(records []core.Record, cfg core.Config) (core.Predicate, error) {
+			return Build(name, records, cfg)
+		}
+	}
+	return out
+}

@@ -1,6 +1,10 @@
 package approxsel
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
 
 // JoinPair is one result of an approximate join: a probe tuple matched to a
 // base tuple with their similarity score.
@@ -15,15 +19,26 @@ type JoinPair struct {
 // the base relation is the one the predicate was preprocessed over, and
 // every probe record runs as a selection query. Pairs are returned grouped
 // by probe record, each group ranked by decreasing score.
+//
+// It is ApproximateJoinCtx with a background context and the default
+// worker pool.
 func ApproximateJoin(base Predicate, probe []Record, theta float64) ([]JoinPair, error) {
+	return ApproximateJoinCtx(context.Background(), base, probe, theta)
+}
+
+// ApproximateJoinCtx is ApproximateJoin with context cancellation and batch
+// options: the probe loop is embarrassingly parallel, so it runs on the
+// SelectBatch worker pool (Workers sizes it). Results are identical to the
+// sequential join regardless of worker count.
+func ApproximateJoinCtx(ctx context.Context, base Predicate, probe []Record, theta float64, opts ...BatchOption) ([]JoinPair, error) {
+	res, err := joinProbe(ctx, base, probe, theta, opts)
+	if err != nil {
+		return nil, err
+	}
 	var out []JoinPair
-	for _, r := range probe {
-		ms, err := SelectThreshold(base, r.Text, theta)
-		if err != nil {
-			return nil, fmt.Errorf("approxsel: join probe tid %d: %w", r.TID, err)
-		}
+	for i, ms := range res {
 		for _, m := range ms {
-			out = append(out, JoinPair{ProbeTID: r.TID, BaseTID: m.TID, Score: m.Score})
+			out = append(out, JoinPair{ProbeTID: probe[i].TID, BaseTID: m.TID, Score: m.Score})
 		}
 	}
 	return out, nil
@@ -33,19 +48,28 @@ func ApproximateJoin(base Predicate, probe []Record, theta float64) ([]JoinPair,
 // every record of the predicate's base relation probes the relation itself.
 // Self pairs are dropped and each unordered pair is reported once, with
 // the smaller TID first.
+//
+// It is SelfJoinCtx with a background context and the default worker pool.
 func SelfJoin(base Predicate, records []Record, theta float64) ([]JoinPair, error) {
+	return SelfJoinCtx(context.Background(), base, records, theta)
+}
+
+// SelfJoinCtx is SelfJoin with context cancellation and batch options,
+// probing through the SelectBatch worker pool. Results are identical to the
+// sequential self-join regardless of worker count.
+func SelfJoinCtx(ctx context.Context, base Predicate, records []Record, theta float64, opts ...BatchOption) ([]JoinPair, error) {
+	res, err := joinProbe(ctx, base, records, theta, opts)
+	if err != nil {
+		return nil, err
+	}
 	seen := make(map[[2]int]bool)
 	var out []JoinPair
-	for _, r := range records {
-		ms, err := SelectThreshold(base, r.Text, theta)
-		if err != nil {
-			return nil, fmt.Errorf("approxsel: self-join tid %d: %w", r.TID, err)
-		}
+	for i, ms := range res {
 		for _, m := range ms {
-			if m.TID == r.TID {
+			if m.TID == records[i].TID {
 				continue
 			}
-			a, b := r.TID, m.TID
+			a, b := records[i].TID, m.TID
 			if a > b {
 				a, b = b, a
 			}
@@ -58,4 +82,27 @@ func SelfJoin(base Predicate, records []Record, theta float64) ([]JoinPair, erro
 		}
 	}
 	return out, nil
+}
+
+// joinProbe runs every probe record as a thresholded selection through the
+// batch worker pool, returning per-probe rankings in probe order. The
+// join's theta argument is applied after the caller's options, so a
+// stray Threshold option cannot silently override it.
+func joinProbe(ctx context.Context, base Predicate, probe []Record, theta float64, opts []BatchOption) ([][]Match, error) {
+	queries := make([]string, len(probe))
+	for i, r := range probe {
+		queries[i] = r.Text
+	}
+	batchOpts := make([]BatchOption, 0, len(opts)+1)
+	batchOpts = append(batchOpts, opts...)
+	batchOpts = append(batchOpts, Threshold(theta))
+	res, err := SelectBatch(ctx, base, queries, batchOpts...)
+	if err != nil {
+		var be *BatchError
+		if errors.As(err, &be) && be.Query >= 0 && be.Query < len(probe) {
+			return nil, fmt.Errorf("approxsel: join probe tid %d: %w", probe[be.Query].TID, be.Err)
+		}
+		return nil, fmt.Errorf("approxsel: join: %w", err)
+	}
+	return res, nil
 }

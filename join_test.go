@@ -1,6 +1,14 @@
 package approxsel
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
 
 func TestApproximateJoin(t *testing.T) {
 	base := []Record{
@@ -75,5 +83,125 @@ func TestSelfJoinDedup(t *testing.T) {
 		if pair[0] == 5 || pair[1] == 5 {
 			t.Errorf("unique record matched: %v", pair)
 		}
+	}
+}
+
+// TestJoinNativeDeclarativeParity checks that the two realizations produce
+// the same join results — the batched probe path must not change scores or
+// ordering for either.
+func TestJoinNativeDeclarativeParity(t *testing.T) {
+	records := facadeRecords()[:15]
+	probe := []Record{
+		{TID: 100, Text: records[2].Text},
+		{TID: 200, Text: records[7].Text + " x"},
+		{TID: 300, Text: "zzzz qqqq"},
+	}
+	for _, name := range []string{"Jaccard", "BM25"} {
+		nat, err := New(name, records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := New(name, records, WithRealization(Declarative))
+		if err != nil {
+			t.Fatal(err)
+		}
+		theta := 0.3
+		natJoin, err := ApproximateJoin(nat, probe, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decJoin, err := ApproximateJoin(dec, probe, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !joinPairsEqual(natJoin, decJoin) {
+			t.Errorf("%s: ApproximateJoin parity broken:\nnative:      %+v\ndeclarative: %+v",
+				name, natJoin, decJoin)
+		}
+		natSelf, err := SelfJoin(nat, records, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decSelf, err := SelfJoin(dec, records, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !joinPairsEqual(natSelf, decSelf) {
+			t.Errorf("%s: SelfJoin parity broken:\nnative:      %+v\ndeclarative: %+v",
+				name, natSelf, decSelf)
+		}
+	}
+}
+
+func joinPairsEqual(a, b []JoinPair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ProbeTID != b[i].ProbeTID || a[i].BaseTID != b[i].BaseTID {
+			return false
+		}
+		if math.Abs(a[i].Score-b[i].Score) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestJoinCtxMatchesSequentialWorkers checks that worker count does not
+// change join results.
+func TestJoinCtxMatchesSequentialWorkers(t *testing.T) {
+	records := facadeRecords()
+	p, err := New("Jaccard", records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	seq, err := SelfJoinCtx(ctx, p, records, 0.5, Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SelfJoinCtx(ctx, p, records, 0.5, Workers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("SelfJoinCtx results depend on worker count")
+	}
+}
+
+// TestJoinCancellation cancels a join mid-probe and checks it returns
+// promptly with the context error instead of a partial result.
+func TestJoinCancellation(t *testing.T) {
+	p := &slowPredicate{started: make(chan struct{})}
+	probe := make([]Record, 5000)
+	for i := range probe {
+		probe[i] = Record{TID: i + 1, Text: "x"}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-p.started
+		cancel()
+	}()
+	start := time.Now()
+	_, err := ApproximateJoinCtx(ctx, p, probe, 0.5, Workers(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled join must fail with context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("join cancellation not prompt: %v", elapsed)
+	}
+	if _, err := SelfJoinCtx(ctx, p, probe, 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled self-join: %v", err)
+	}
+}
+
+// TestJoinErrorNamesProbe checks that a failing probe is reported by its
+// TID, not a batch index.
+func TestJoinErrorNamesProbe(t *testing.T) {
+	probe := []Record{{TID: 41, Text: "ok"}, {TID: 77, Text: "boom"}}
+	_, err := ApproximateJoinCtx(context.Background(), failingPredicate{}, probe, 0.5, Workers(1))
+	if err == nil || !strings.Contains(err.Error(), "probe tid 77") {
+		t.Fatalf("join error must name the probe tid, got %v", err)
 	}
 }

@@ -1,0 +1,150 @@
+package approxsel
+
+import (
+	"repro/internal/core"
+)
+
+// ---- construction options ----
+
+// BuildOption configures predicate construction in New. Config itself is a
+// BuildOption that replaces the whole parameter set, which keeps the
+// original New(name, records, cfg) call form working unchanged; the With*
+// options below tweak individual parameters on top of whatever came before
+// them, so
+//
+//	approxsel.New("BM25", records, approxsel.WithQ(3), approxsel.WithPruneRate(0.1))
+//
+// starts from DefaultConfig and adjusts two knobs.
+type BuildOption = core.BuildOption
+
+// buildOpt adapts a settings mutation to the BuildOption interface.
+func buildOpt(f func(*core.BuildSettings)) BuildOption { return core.BuildOptionFunc(f) }
+
+// configOpt adapts a Config mutation to the BuildOption interface.
+func configOpt(f func(*Config)) BuildOption {
+	return buildOpt(func(s *core.BuildSettings) { f(&s.Config) })
+}
+
+// WithRealization selects which realization New builds: Native (the
+// default, in-memory) or Declarative (the paper's SQL realization).
+func WithRealization(r Realization) BuildOption {
+	return buildOpt(func(s *core.BuildSettings) { s.Realization = string(r) })
+}
+
+// WithConfig replaces the entire parameter Config, like passing a Config
+// positionally. Options appearing after it still apply on top.
+func WithConfig(cfg Config) BuildOption { return cfg }
+
+// WithQ sets the q-gram size of the token-based predicates (paper: 2).
+func WithQ(q int) BuildOption { return configOpt(func(c *Config) { c.Q = q }) }
+
+// WithWordQ sets the q-gram size used on word tokens inside the GES
+// combination predicates.
+func WithWordQ(q int) BuildOption { return configOpt(func(c *Config) { c.WordQ = q }) }
+
+// WithBM25 sets the BM25 parameters (paper: k1=1.5, k3=8, b=0.675).
+func WithBM25(k1, k3, b float64) BuildOption {
+	return configOpt(func(c *Config) { c.BM25K1, c.BM25K3, c.BM25B = k1, k3, b })
+}
+
+// WithHMMA0 sets the HMM "General English" transition probability.
+func WithHMMA0(a0 float64) BuildOption { return configOpt(func(c *Config) { c.HMMA0 = a0 }) }
+
+// WithGESCins sets the GES token-insertion cost factor.
+func WithGESCins(cins float64) BuildOption {
+	return configOpt(func(c *Config) { c.GESCins = cins })
+}
+
+// WithGESThreshold sets the candidate-filter threshold of GESJaccard and
+// GESapx; zero disables filtering.
+func WithGESThreshold(theta float64) BuildOption {
+	return configOpt(func(c *Config) { c.GESThreshold = theta })
+}
+
+// WithSoftTFIDFTheta sets the Jaro–Winkler closeness threshold of SoftTFIDF.
+func WithSoftTFIDFTheta(theta float64) BuildOption {
+	return configOpt(func(c *Config) { c.SoftTFIDFTheta = theta })
+}
+
+// WithEditTheta sets the edit-similarity threshold driving q-gram filtering
+// in the edit predicate; zero ranks the whole base relation.
+func WithEditTheta(theta float64) BuildOption {
+	return configOpt(func(c *Config) { c.EditTheta = theta })
+}
+
+// WithEditPositional toggles the positional q-gram filter of the edit
+// predicate.
+func WithEditPositional(on bool) BuildOption {
+	return configOpt(func(c *Config) { c.EditPositional = on })
+}
+
+// WithMinHash sets the min-hash signature size and permutation seed used by
+// GESapx (paper: k=5).
+func WithMinHash(k int, seed int64) BuildOption {
+	return configOpt(func(c *Config) { c.MinHashK, c.MinHashSeed = k, seed })
+}
+
+// WithPruneRate sets the §5.6 IDF pruning rate applied during
+// preprocessing; zero disables pruning.
+func WithPruneRate(rate float64) BuildOption {
+	return configOpt(func(c *Config) { c.PruneRate = rate })
+}
+
+// ---- selection options ----
+
+// SelectOption tunes one selection made through SelectCtx.
+type SelectOption interface {
+	applySelect(*core.SelectOptions)
+}
+
+// BatchOption tunes a SelectBatch call. Every ProbeOption is also a
+// BatchOption, applying to each probe of the batch.
+type BatchOption interface {
+	applyBatch(*batchSettings)
+}
+
+// ProbeOption is a per-probe limit usable both on a single SelectCtx call
+// and on every query of a SelectBatch (it implements SelectOption and
+// BatchOption).
+type ProbeOption struct {
+	apply func(*core.SelectOptions)
+}
+
+func (o ProbeOption) applySelect(s *core.SelectOptions) { o.apply(s) }
+func (o ProbeOption) applyBatch(b *batchSettings)       { o.apply(&b.sel) }
+
+// Limit keeps only the k best matches. The limit is pushed down into the
+// predicate when it supports it (all native predicates do), replacing the
+// full sort of the candidate set with a k-bounded heap.
+func Limit(k int) ProbeOption {
+	return ProbeOption{apply: func(s *core.SelectOptions) { s.Limit = k }}
+}
+
+// Threshold keeps only matches with score ≥ theta — the paper's
+// sim(t_q, t) ≥ θ selection — filtering before materialization in
+// predicates that support push-down.
+func Threshold(theta float64) ProbeOption {
+	return ProbeOption{apply: func(s *core.SelectOptions) {
+		s.Threshold = theta
+		s.HasThreshold = true
+	}}
+}
+
+// Workers sets the worker-pool size of SelectBatch. Values below 1 select
+// the default (GOMAXPROCS). Predicates that do not declare concurrent
+// probing safe (the declarative realization) are always probed by a single
+// worker regardless of this option.
+func Workers(n int) BatchOption { return workersOption(n) }
+
+type workersOption int
+
+func (w workersOption) applyBatch(b *batchSettings) { b.workers = int(w) }
+
+// selectOptions folds SelectOptions into the core representation.
+func selectOptions(opts []SelectOption) core.SelectOptions {
+	var so core.SelectOptions
+	for _, o := range opts {
+		o.applySelect(&so)
+	}
+	return so
+}

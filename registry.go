@@ -1,0 +1,137 @@
+package approxsel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/declarative"
+	"repro/internal/native"
+)
+
+// Realization names one way of executing the predicates: the fast in-memory
+// algorithms of package native, or the paper's declarative realization —
+// plain SQL plus UDFs over the bundled engine.
+type Realization string
+
+const (
+	// Native is the in-memory realization (the default of New).
+	Native Realization = "native"
+	// Declarative is the paper's realization: Appendix A/B SQL statements
+	// executed by the bundled sqldb engine.
+	Declarative Realization = "declarative"
+)
+
+// BuilderFunc constructs a predicate over a base relation. Registering one
+// under a name makes that name constructible through New — the paper's
+// extensibility story: new similarity predicates plug into the framework
+// and are benchmarked through the same interface as the built-in thirteen.
+type BuilderFunc = core.BuilderFunc
+
+// predicateRegistry resolves (realization, name) to a builder. Built-in
+// predicates live in per-realization tables; Register-ed predicates are
+// realization-agnostic — how a custom predicate computes (in memory, over
+// the SQL engine, over an external service) is its own business.
+type predicateRegistry struct {
+	mu       sync.RWMutex
+	builtins map[Realization]map[string]BuilderFunc
+	custom   map[string]BuilderFunc
+	order    []string // custom names in registration order
+}
+
+var registry = &predicateRegistry{
+	builtins: map[Realization]map[string]BuilderFunc{
+		Native:      native.Builders(),
+		Declarative: declarative.Builders(),
+	},
+	custom: make(map[string]BuilderFunc),
+}
+
+// Register makes a custom predicate constructible through New under the
+// given name, for every realization. It errors on an empty name, a nil
+// builder, or a name already taken by a built-in or a prior registration.
+func Register(name string, builder BuilderFunc) error {
+	if name == "" {
+		return fmt.Errorf("approxsel: Register with empty predicate name")
+	}
+	if builder == nil {
+		return fmt.Errorf("approxsel: Register(%q) with nil builder", name)
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for r, table := range registry.builtins {
+		if _, ok := table[name]; ok {
+			return fmt.Errorf("approxsel: predicate %q is already built in (%s realization)", name, r)
+		}
+	}
+	if _, ok := registry.custom[name]; ok {
+		return fmt.Errorf("approxsel: predicate %q already registered", name)
+	}
+	registry.custom[name] = builder
+	registry.order = append(registry.order, name)
+	return nil
+}
+
+// MustRegister is Register, panicking on error — for use from package init
+// functions, the usual place to register predicates.
+func MustRegister(name string, builder BuilderFunc) {
+	if err := Register(name, builder); err != nil {
+		panic(err)
+	}
+}
+
+// unregister removes a custom predicate; tests use it to keep the global
+// registry clean.
+func unregister(name string) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	delete(registry.custom, name)
+	for i, n := range registry.order {
+		if n == name {
+			registry.order = append(registry.order[:i:i], registry.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Realizations enumerates the registered realizations in lexical order.
+func Realizations() []Realization {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]Realization, 0, len(registry.builtins))
+	for r := range registry.builtins {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PredicateNames enumerates every name New can resolve: the thirteen
+// benchmark predicates in the order the paper presents them, followed by
+// Register-ed predicates in registration order.
+func PredicateNames() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]string, 0, len(core.PredicateNames)+len(registry.order))
+	out = append(out, core.PredicateNames...)
+	out = append(out, registry.order...)
+	return out
+}
+
+// lookupBuilder resolves a predicate name under a realization.
+func lookupBuilder(r Realization, name string) (BuilderFunc, error) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	table, ok := registry.builtins[r]
+	if !ok {
+		return nil, fmt.Errorf("approxsel: unknown realization %q", r)
+	}
+	if b, ok := table[name]; ok {
+		return b, nil
+	}
+	if b, ok := registry.custom[name]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("approxsel: unknown predicate %q (realization %s)", name, r)
+}

@@ -1,0 +1,154 @@
+package approxsel
+
+import (
+	"strings"
+	"testing"
+)
+
+// equalityPredicate is a minimal custom predicate for registry tests: score
+// 1 for case-insensitive exact matches, nothing else.
+type equalityPredicate struct {
+	records []Record
+}
+
+func (p *equalityPredicate) Name() string { return "Equality" }
+
+func (p *equalityPredicate) Select(query string) ([]Match, error) {
+	var ms []Match
+	for _, r := range p.records {
+		if strings.EqualFold(r.Text, query) {
+			ms = append(ms, Match{TID: r.TID, Score: 1})
+		}
+	}
+	return ms, nil
+}
+
+func buildEquality(records []Record, _ Config) (Predicate, error) {
+	return &equalityPredicate{records: records}, nil
+}
+
+func TestRegisterCustomPredicate(t *testing.T) {
+	if err := Register("Equality", buildEquality); err != nil {
+		t.Fatal(err)
+	}
+	defer unregister("Equality")
+
+	records := facadeRecords()
+	// The custom predicate is constructible through New like a built-in,
+	// under any realization (custom predicates are realization-agnostic).
+	for _, r := range Realizations() {
+		p, err := New("Equality", records, WithRealization(r))
+		if err != nil {
+			t.Fatalf("New under %s: %v", r, err)
+		}
+		ms, err := p.Select(strings.ToLower(records[4].Text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != 1 || ms[0].TID != records[4].TID {
+			t.Fatalf("realization %s: %+v", r, ms)
+		}
+	}
+	// And it rides the same helper machinery (TopK via the option path).
+	p, err := New("Equality", records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := TopK(p, records[0].Text, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].TID != records[0].TID {
+		t.Fatalf("TopK over custom predicate: %+v", top)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	if err := Register("", buildEquality); err == nil {
+		t.Error("empty name must error")
+	}
+	if err := Register("NilBuilder", nil); err == nil {
+		t.Error("nil builder must error")
+	}
+	if err := Register("BM25", buildEquality); err == nil {
+		t.Error("built-in name collision must error")
+	}
+	if err := Register("DupCustom", buildEquality); err != nil {
+		t.Fatal(err)
+	}
+	defer unregister("DupCustom")
+	if err := Register("DupCustom", buildEquality); err == nil {
+		t.Error("duplicate registration must error")
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister on a taken name must panic")
+		}
+	}()
+	MustRegister("BM25", buildEquality)
+}
+
+func TestPredicateNamesIncludesCustom(t *testing.T) {
+	if err := Register("ZCustom", buildEquality); err != nil {
+		t.Fatal(err)
+	}
+	defer unregister("ZCustom")
+	names := PredicateNames()
+	if names[len(names)-1] != "ZCustom" {
+		t.Fatalf("custom predicates must follow the built-ins: %v", names)
+	}
+	if len(names) != 14 {
+		t.Fatalf("13 built-ins + 1 custom, got %d", len(names))
+	}
+}
+
+func TestRealizations(t *testing.T) {
+	rs := Realizations()
+	if len(rs) != 2 || rs[0] != Declarative || rs[1] != Native {
+		t.Fatalf("Realizations() = %v", rs)
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	records := facadeRecords()[:5]
+	if _, err := New("NoSuchPredicate", records); err == nil {
+		t.Error("unknown predicate must error")
+	}
+	if _, err := New("BM25", records, WithRealization("vectorized")); err == nil {
+		t.Error("unknown realization must error")
+	}
+}
+
+func TestBuildOptionsCompose(t *testing.T) {
+	records := facadeRecords()
+	// WithConfig replaces wholesale; later options still apply on top.
+	cfg := DefaultConfig()
+	cfg.Q = 4
+	p, err := New("Jaccard", records, WithConfig(cfg), WithQ(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3, err := New("Jaccard", records, WithQ(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Select(records[1].Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q3.Select(records[1].Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("option composition: %d vs %d matches", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("option composition diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
