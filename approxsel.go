@@ -29,8 +29,22 @@
 //	matches, err := p.Select("AT&T Inc")
 //
 // Applications plug their own predicates into the same framework with
-// Register — the extensibility story the paper argues for — and enumerate
-// everything New can build with PredicateNames and Realizations.
+// Register (and remove them with Unregister) — the extensibility story the
+// paper argues for — and enumerate everything New can build with
+// PredicateNames and Realizations.
+//
+// The paper's framework stores one set of precomputed token/weight tables
+// inside the DBMS that every predicate shares. OpenCorpus exposes that
+// store directly: it tokenizes the relation once, Corpus.Predicate
+// attaches any registered predicate as a lightweight view over the shared
+// tables (thirteen predicates, one preprocessing pass), and
+// Insert/Delete/Upsert mutate the relation in place with epoch-versioned,
+// concurrency-safe statistics maintenance:
+//
+//	corpus, err := approxsel.OpenCorpus(records)
+//	bm25, err := corpus.Predicate("BM25")
+//	err = corpus.Insert(approxsel.Record{TID: 9001, Text: "AT&T Wireless"})
+//	matches, err := bm25.Select("AT&T Inc")     // observes the insert
 //
 // Selections take options too: SelectCtx pushes Limit(k) and Threshold(θ)
 // down into the predicate (a k-bounded heap instead of a full sort of the
@@ -82,6 +96,13 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // realization (WithRealization) and adjust parameters (WithQ, WithBM25,
 // ...). A Config value is itself an option replacing the whole parameter
 // set, so the original call form New(name, records, cfg) keeps working.
+//
+// With WithCorpus the predicate instead attaches to a shared Corpus
+// (records is ignored): thirteen predicates attached to one corpus share a
+// single tokenization/statistics pass, and the predicate observes
+// Insert/Delete/Upsert on the corpus. Without the option, New builds a
+// private one-shot corpus materializing only the layers the predicate
+// reads, so the cost of single-predicate construction is unchanged.
 func New(name string, records []Record, opts ...BuildOption) (Predicate, error) {
 	settings := core.BuildSettings{
 		Config:      core.DefaultConfig(),
@@ -89,6 +110,9 @@ func New(name string, records []Record, opts ...BuildOption) (Predicate, error) 
 	}
 	for _, o := range opts {
 		o.ApplyBuild(&settings)
+	}
+	if settings.Corpus != nil {
+		return attachToCorpus(settings.Corpus, Realization(settings.Realization), name, settings.Config)
 	}
 	builder, err := lookupBuilder(Realization(settings.Realization), name)
 	if err != nil {

@@ -257,6 +257,52 @@ func BenchmarkSelectDeclarativeJaccard(b *testing.B) { benchPredicate(b, "Jaccar
 func BenchmarkSelectDeclarativeHMM(b *testing.B)     { benchPredicate(b, "HMM", true) }
 func BenchmarkSelectDeclarativeLM(b *testing.B)      { benchPredicate(b, "LM", true) }
 
+// ---- shared-corpus preprocessing (the Corpus API acceptance benchmark) ----
+
+func corpusBenchRecords(n int) []Record {
+	titles := DBLPTitles(n, 11)
+	records := make([]Record, len(titles))
+	for i, title := range titles {
+		records[i] = Record{TID: i + 1, Text: title}
+	}
+	return records
+}
+
+// BenchmarkPreprocessThirteenIndependent builds the full predicate suite
+// the pre-corpus way: thirteen New calls, each re-tokenizing the 5000-record
+// relation and rebuilding its own statistics.
+func BenchmarkPreprocessThirteenIndependent(b *testing.B) {
+	records := corpusBenchRecords(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range PredicateNames() {
+			if _, err := New(name, records); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPreprocessThirteenShared builds the same suite through one
+// shared Corpus: a single tokenization/statistics pass plus thirteen cheap
+// attaches. The acceptance bar is ≥5× less total preprocessing time than
+// the independent benchmark above.
+func BenchmarkPreprocessThirteenShared(b *testing.B) {
+	records := corpusBenchRecords(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := OpenCorpus(records)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range PredicateNames() {
+			if _, err := c.Predicate(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // ---- batch probing and top-k push-down (the options API) ----
 
 func dblpPredicate(b *testing.B, size int) (Predicate, []string) {

@@ -8,11 +8,13 @@
 //	approxbench -scale 1         # paper scale (5000-tuple datasets, 500 queries)
 //	approxbench -exp figure5.3   # a single experiment
 //	approxbench -impl native     # measure the in-memory realization instead
+//	approxbench -exp bench -benchjson out/   # machine-readable BENCH_*.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,27 +23,38 @@ import (
 )
 
 func main() {
-	scale := flag.Int("scale", 5, "accuracy scale divisor (1 = paper scale: 5000 tuples, 500 queries)")
-	perfSize := flag.Int("perfsize", 2000, "relation size for Figures 5.2/5.3 (paper: 10000)")
-	perfSizes := flag.String("perfsizes", "1000,2000,4000", "comma-separated sizes for Figure 5.4 (paper: 10000..100000)")
-	perfQueries := flag.Int("perfqueries", 20, "timed queries per performance point (paper: 100)")
-	impl := flag.String("impl", "declarative", "realization measured by performance experiments: declarative|native")
-	exp := flag.String("exp", "all", "experiment: all, table5.1, table5.3, qgram, table5.5, table5.6, figure5.1, table5.7, figure5.2, figure5.3, figure5.4, figure5.5, figure5.6, ablation.minhash, ablation.impl, ablation.q")
-	seed := flag.Int64("seed", 1, "generation seed")
-	list := flag.Bool("list", false, "list the registered predicates and realizations, then exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool with explicit arguments and streams, so tests can
+// drive it end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("approxbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Int("scale", 5, "accuracy scale divisor (1 = paper scale: 5000 tuples, 500 queries)")
+	perfSize := fs.Int("perfsize", 2000, "relation size for Figures 5.2/5.3 (paper: 10000)")
+	perfSizes := fs.String("perfsizes", "1000,2000,4000", "comma-separated sizes for Figure 5.4 (paper: 10000..100000)")
+	perfQueries := fs.Int("perfqueries", 20, "timed queries per performance point (paper: 100)")
+	impl := fs.String("impl", "declarative", "realization measured by performance experiments: declarative|native (bench also accepts: both)")
+	exp := fs.String("exp", "all", "experiment: all, bench, table5.1, table5.3, qgram, table5.5, table5.6, figure5.1, table5.7, figure5.2, figure5.3, figure5.4, figure5.5, figure5.6, ablation.minhash, ablation.impl, ablation.q")
+	seed := fs.Int64("seed", 1, "generation seed")
+	benchJSON := fs.String("benchjson", "", "directory to write BENCH_preprocess.json/BENCH_select.json (with -exp bench)")
+	list := fs.Bool("list", false, "list the registered predicates and realizations, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Print("realizations:")
+		fmt.Fprint(stdout, "realizations:")
 		for _, r := range approxsel.Realizations() {
-			fmt.Printf(" %s", r)
+			fmt.Fprintf(stdout, " %s", r)
 		}
-		fmt.Println()
-		fmt.Println("predicates:")
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "predicates:")
 		for _, name := range approxsel.PredicateNames() {
-			fmt.Printf("  %s\n", name)
+			fmt.Fprintf(stdout, "  %s\n", name)
 		}
-		return
+		return 0
 	}
 
 	ao := experiments.Scaled(*scale)
@@ -55,17 +68,27 @@ func main() {
 	for _, s := range strings.Split(*perfSizes, ",") {
 		var n int
 		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
-			fmt.Fprintf(os.Stderr, "approxbench: bad -perfsizes entry %q\n", s)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "approxbench: bad -perfsizes entry %q\n", s)
+			return 2
 		}
 		po.Sizes = append(po.Sizes, n)
 	}
 
-	w := os.Stdout
+	w := stdout
 	var err error
 	switch strings.ToLower(*exp) {
 	case "all":
 		err = experiments.RunAll(w, ao, po)
+	case "bench":
+		var r experiments.BenchReport
+		if r, err = experiments.RunBench(po); err == nil {
+			r.Print(w)
+			if *benchJSON != "" {
+				if err = r.WriteJSONFiles(*benchJSON); err == nil {
+					fmt.Fprintf(w, "\nwrote %s/BENCH_preprocess.json and %s/BENCH_select.json\n", *benchJSON, *benchJSON)
+				}
+			}
+		}
 	case "table5.1":
 		experiments.Table51(ao).Print(w)
 	case "table5.3":
@@ -144,11 +167,12 @@ func main() {
 			r.Print(w)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "approxbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "approxbench: unknown experiment %q\n", *exp)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "approxbench: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "approxbench: %v\n", err)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunList smoke-tests the -list mode.
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "BM25") || !strings.Contains(s, "declarative") {
+		t.Fatalf("-list output missing predicates/realizations:\n%s", s)
+	}
+}
+
+// TestRunSingleExperiment runs a fast experiment end to end on a tiny
+// relation.
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-exp", "table5.1", "-scale", "50"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Table 5.1") {
+		t.Fatalf("missing table title:\n%s", out.String())
+	}
+}
+
+// TestRunBenchJSON runs the machine-readable benchmark mode on a tiny
+// relation and validates the emitted BENCH_*.json files.
+func TestRunBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-exp", "bench", "-impl", "native",
+		"-perfsize", "200", "-perfqueries", "3",
+		"-benchjson", dir,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var pre struct {
+		Records        int   `json:"records"`
+		SharedCorpusNS int64 `json:"shared_corpus_ns"`
+		Entries        []struct {
+			Predicate   string `json:"predicate"`
+			Realization string `json:"realization"`
+			BuildNS     int64  `json:"build_ns"`
+		} `json:"entries"`
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_preprocess.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &pre); err != nil {
+		t.Fatalf("BENCH_preprocess.json: %v", err)
+	}
+	if len(pre.Entries) != 13 || pre.SharedCorpusNS <= 0 || pre.Records != 200 {
+		t.Fatalf("preprocess report: %+v", pre)
+	}
+	var sel struct {
+		Queries int `json:"queries"`
+		Entries []struct {
+			Predicate   string `json:"predicate"`
+			AvgSelectNS int64  `json:"avg_select_ns"`
+		} `json:"entries"`
+	}
+	data, err = os.ReadFile(filepath.Join(dir, "BENCH_select.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &sel); err != nil {
+		t.Fatalf("BENCH_select.json: %v", err)
+	}
+	if len(sel.Entries) != 13 || sel.Queries <= 0 {
+		t.Fatalf("select report: %+v", sel)
+	}
+	for _, e := range sel.Entries {
+		if e.AvgSelectNS <= 0 {
+			t.Fatalf("non-positive select timing for %s", e.Predicate)
+		}
+	}
+}
+
+// TestRunBadFlags pins the error paths.
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown experiment: exit %d", code)
+	}
+	if code := run([]string{"-perfsizes", "12,x"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad perfsizes: exit %d", code)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/datasets"
@@ -22,16 +23,26 @@ import (
 )
 
 func main() {
-	source := flag.String("source", "company", "clean source: company|dblp")
-	size := flag.Int("size", 5000, "total tuples to generate")
-	clean := flag.Int("clean", 500, "clean tuples to seed clusters")
-	distName := flag.String("dist", "uniform", "duplicate distribution: uniform|zipfian|poisson")
-	erroneous := flag.Float64("erroneous", 0.5, "fraction of duplicates receiving errors")
-	extent := flag.Float64("extent", 0.2, "fraction of characters edited per erroneous duplicate")
-	swap := flag.Float64("swap", 0.2, "fraction of adjacent word pairs swapped")
-	abbr := flag.Float64("abbr", 0.5, "fraction of erroneous duplicates with abbreviation errors")
-	seed := flag.Int64("seed", 1, "generator seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the generator with explicit arguments and streams, so tests
+// can drive it end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dirtygen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	source := fs.String("source", "company", "clean source: company|dblp")
+	size := fs.Int("size", 5000, "total tuples to generate")
+	clean := fs.Int("clean", 500, "clean tuples to seed clusters")
+	distName := fs.String("dist", "uniform", "duplicate distribution: uniform|zipfian|poisson")
+	erroneous := fs.Float64("erroneous", 0.5, "fraction of duplicates receiving errors")
+	extent := fs.Float64("extent", 0.2, "fraction of characters edited per erroneous duplicate")
+	swap := fs.Float64("swap", 0.2, "fraction of adjacent word pairs swapped")
+	abbr := fs.Float64("abbr", 0.5, "fraction of erroneous duplicates with abbreviation errors")
+	seed := fs.Int64("seed", 1, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var cleanRows []string
 	var abbrs [][2]string
@@ -42,8 +53,8 @@ func main() {
 	case "dblp":
 		cleanRows = datasets.DBLPTitles(maxInt(*clean*2, 400), *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "dirtygen: unknown source %q\n", *source)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dirtygen: unknown source %q\n", *source)
+		return 2
 	}
 
 	var dist dirty.Distribution
@@ -55,8 +66,8 @@ func main() {
 	case "poisson":
 		dist = dirty.Poisson
 	default:
-		fmt.Fprintf(os.Stderr, "dirtygen: unknown distribution %q\n", *distName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "dirtygen: unknown distribution %q\n", *distName)
+		return 2
 	}
 
 	ds, err := dirty.Generate(cleanRows, abbrs, dirty.Params{
@@ -65,15 +76,16 @@ func main() {
 		TokenSwapPct: *swap, AbbrPct: *abbr, Seed: *seed,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dirtygen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "dirtygen: %v\n", err)
+		return 1
 	}
 
-	w := bufio.NewWriter(os.Stdout)
+	w := bufio.NewWriter(stdout)
 	defer w.Flush()
 	for _, r := range ds.Records {
 		fmt.Fprintf(w, "%d\t%d\t%s\n", r.TID, ds.Cluster[r.TID], r.Text)
 	}
+	return 0
 }
 
 func maxInt(a, b int) int {

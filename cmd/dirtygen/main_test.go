@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRunGeneratesTSV runs the generator end to end on a tiny relation and
+// validates the TSV contract: size rows, unique TIDs, cluster ground truth
+// referring to clean tuples.
+func TestRunGeneratesTSV(t *testing.T) {
+	for _, source := range []string{"company", "dblp"} {
+		var out, errOut bytes.Buffer
+		code := run([]string{
+			"-source", source, "-size", "60", "-clean", "12", "-seed", "7",
+		}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", source, code, errOut.String())
+		}
+		lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+		if len(lines) != 60 {
+			t.Fatalf("%s: %d rows, want 60", source, len(lines))
+		}
+		tids := map[int]bool{}
+		for _, line := range lines {
+			fields := strings.SplitN(line, "\t", 3)
+			if len(fields) != 3 {
+				t.Fatalf("%s: malformed row %q", source, line)
+			}
+			tid, err := strconv.Atoi(fields[0])
+			if err != nil {
+				t.Fatalf("%s: bad tid in %q", source, line)
+			}
+			if tids[tid] {
+				t.Fatalf("%s: duplicate tid %d", source, tid)
+			}
+			tids[tid] = true
+			if _, err := strconv.Atoi(fields[1]); err != nil {
+				t.Fatalf("%s: bad cluster in %q", source, line)
+			}
+			if fields[2] == "" {
+				t.Fatalf("%s: empty text in %q", source, line)
+			}
+		}
+	}
+}
+
+// TestRunDistributions smoke-tests every duplicate distribution.
+func TestRunDistributions(t *testing.T) {
+	for _, dist := range []string{"uniform", "zipfian", "poisson"} {
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-dist", dist, "-size", "30", "-clean", "10"}, &out, &errOut); code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", dist, code, errOut.String())
+		}
+	}
+}
+
+// TestRunBadFlags pins the error paths.
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-source", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown source: exit %d", code)
+	}
+	if code := run([]string{"-dist", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown distribution: exit %d", code)
+	}
+	if code := run([]string{"-size", "10", "-clean", "20"}, &out, &errOut); code == 0 {
+		t.Fatal("size < clean must fail")
+	}
+}

@@ -1,0 +1,214 @@
+package approxsel
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Corpus is the shared, mutable base relation the paper's framework stores
+// inside the DBMS: one set of precomputed token and weight tables that all
+// registered predicates read. OpenCorpus tokenizes the relation exactly
+// once; Predicate attaches any registered predicate as a lightweight view
+// sharing the corpus data (so building the full thirteen-predicate suite
+// performs a single tokenization/statistics pass); and Insert, Delete and
+// Upsert mutate the relation in place, re-tokenizing only the changed
+// records. Mutations are epoch-versioned: attached predicates notice the
+// epoch change on their next selection and re-attach to the fresh
+// statistics automatically.
+//
+// A Corpus is safe for concurrent use: selections read immutable
+// snapshots, mutations publish new snapshots atomically, and a selection
+// racing a mutation observes either the old or the new version — never a
+// mix.
+type Corpus struct {
+	c *core.Corpus
+}
+
+// OpenCorpus tokenizes the base relation once, materializing every
+// precomputed layer (q-grams, word grams, counts, document lengths,
+// IDF/weight statistics, min-hash signatures, edit-normalized strings) so
+// that any registered predicate can attach. Options adjust the
+// tokenization parameters exactly as in New; WithRealization and
+// WithCorpus are not meaningful here (the realization is chosen per
+// Predicate call).
+func OpenCorpus(records []Record, opts ...BuildOption) (*Corpus, error) {
+	settings := core.BuildSettings{
+		Config:      core.DefaultConfig(),
+		Realization: string(Native),
+	}
+	for _, o := range opts {
+		o.ApplyBuild(&settings)
+	}
+	if settings.Corpus != nil {
+		return nil, fmt.Errorf("approxsel: WithCorpus is not a valid OpenCorpus option")
+	}
+	c, err := core.NewCorpus(records, settings.Config, core.AllLayers)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{c: c}, nil
+}
+
+// Predicate attaches the named predicate to the corpus, resolving the name
+// through the predicate registry exactly like New. The attach starts from
+// the corpus's own configuration; options apply on top, and may change
+// scoring-level parameters only (tokenization-level parameters — q-gram
+// sizes, pruning, min-hash geometry — are fixed at OpenCorpus).
+//
+// Native predicates attach as views over the corpus's shared tables; the
+// declarative realization and Register-ed predicates are adapted
+// automatically, rebuilding from the corpus's records when the epoch
+// moves.
+func (c *Corpus) Predicate(name string, opts ...BuildOption) (Predicate, error) {
+	settings := core.BuildSettings{
+		Config:      c.c.Config(),
+		Realization: string(Native),
+	}
+	for _, o := range opts {
+		o.ApplyBuild(&settings)
+	}
+	return attachToCorpus(c.c, Realization(settings.Realization), name, settings.Config)
+}
+
+// Insert adds records to the corpus, tokenizing only the new records;
+// inserting an existing TID is an error. Attached predicates observe the
+// update on their next selection.
+func (c *Corpus) Insert(records ...Record) error { return c.c.Insert(records...) }
+
+// Delete removes records by TID; deleting an unknown TID is an error.
+// Attached predicates observe the update on their next selection.
+func (c *Corpus) Delete(tids ...int) error { return c.c.Delete(tids...) }
+
+// Upsert inserts records, replacing any existing record with the same TID.
+func (c *Corpus) Upsert(records ...Record) error { return c.c.Upsert(records...) }
+
+// Len returns the current number of records.
+func (c *Corpus) Len() int { return c.c.Len() }
+
+// Epoch returns the corpus's mutation epoch; it increases with every
+// applied Insert, Delete or Upsert.
+func (c *Corpus) Epoch() uint64 { return c.c.Epoch() }
+
+// Records returns a copy of the current base relation in storage order.
+func (c *Corpus) Records() []Record { return c.c.Records() }
+
+// Config returns the configuration the corpus was opened with.
+func (c *Corpus) Config() Config { return c.c.Config() }
+
+// attachToCorpus resolves (realization, name) and wraps the resulting
+// builder in an epoch-refreshing view.
+func attachToCorpus(cc *core.Corpus, r Realization, name string, cfg Config) (Predicate, error) {
+	corpusBuilder, legacyBuilder, err := lookupAttach(r, name)
+	if err != nil {
+		return nil, err
+	}
+	v := &corpusView{corpus: cc, name: name}
+	if corpusBuilder != nil {
+		v.build = func() (core.Predicate, error) { return corpusBuilder(cc, cfg) }
+	} else {
+		// Legacy builders tokenize for themselves, but the documented
+		// contract holds for every attach: tokenization-level parameters
+		// were fixed at OpenCorpus, and a conflicting override would make
+		// this predicate silently diverge from the rest of the suite.
+		if err := cc.CompatibleConfig(cfg); err != nil {
+			return nil, err
+		}
+		v.build = func() (core.Predicate, error) { return legacyBuilder(cc.Records(), cfg) }
+	}
+	inner, err := v.current()
+	if err != nil {
+		return nil, err
+	}
+	v.safe = core.ConcurrentSafe(inner)
+	return v, nil
+}
+
+// corpusView is the lightweight predicate view Corpus.Predicate returns:
+// it holds a builder closure plus the inner predicate built for the
+// current epoch, and transparently rebuilds the inner predicate when the
+// corpus moves to a new epoch. For native predicates the rebuild is a
+// cheap re-attach to the corpus's already-updated shared tables; for
+// adapted legacy builders it is a rebuild from the corpus's records.
+type corpusView struct {
+	corpus *core.Corpus
+	name   string
+	build  func() (core.Predicate, error)
+	state  atomic.Pointer[viewState]
+	safe   bool
+}
+
+type viewState struct {
+	epoch uint64
+	inner core.Predicate
+}
+
+// current returns the inner predicate for the corpus's current epoch,
+// rebuilding it if the epoch moved. Concurrent callers may race to
+// rebuild; the compare-and-swap keeps exactly one winner and the losers'
+// builds are discarded (they are views over immutable snapshots, so this
+// is waste, not corruption).
+func (v *corpusView) current() (core.Predicate, error) {
+	e := v.corpus.Epoch()
+	st := v.state.Load()
+	if st != nil && st.epoch >= e {
+		return st.inner, nil
+	}
+	inner, err := v.build()
+	if err != nil {
+		return nil, err
+	}
+	ns := &viewState{epoch: e, inner: inner}
+	for {
+		st = v.state.Load()
+		if st != nil && st.epoch >= e {
+			return st.inner, nil
+		}
+		if v.state.CompareAndSwap(st, ns) {
+			return inner, nil
+		}
+	}
+}
+
+// Name implements core.Predicate.
+func (v *corpusView) Name() string { return v.name }
+
+// Select implements core.Predicate against the corpus's current epoch.
+func (v *corpusView) Select(query string) ([]Match, error) {
+	p, err := v.current()
+	if err != nil {
+		return nil, err
+	}
+	return p.Select(query)
+}
+
+// SelectCtx implements core.ContextPredicate: options are pushed down into
+// the inner predicate when it supports them, post-filtered otherwise.
+func (v *corpusView) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]Match, error) {
+	p, err := v.current()
+	if err != nil {
+		return nil, err
+	}
+	return core.SelectWithOptions(ctx, p, query, opts)
+}
+
+// ConcurrentProbeSafe implements core.ConcurrentProber: the view is as
+// safe as the predicates it builds (the rebuild handshake itself is
+// lock-free and race-clean).
+func (v *corpusView) ConcurrentProbeSafe() bool { return v.safe }
+
+// PreprocessPhases implements core.Phased by delegating to the inner
+// predicate; adapted predicates that do not track phases report zeros.
+func (v *corpusView) PreprocessPhases() (time.Duration, time.Duration) {
+	p, err := v.current()
+	if err != nil {
+		return 0, 0
+	}
+	if ph, ok := p.(core.Phased); ok {
+		return ph.PreprocessPhases()
+	}
+	return 0, 0
+}

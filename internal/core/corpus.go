@@ -1,0 +1,961 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/minhash"
+	"repro/internal/tokenize"
+	"repro/internal/weights"
+)
+
+// This file implements the shared Corpus the paper's framework stores
+// inside the DBMS: one set of precomputed token and weight tables that all
+// thirteen predicates read, instead of one private copy per predicate.
+// A Corpus tokenizes the base relation exactly once, materializes the
+// layers the attached predicates need (q-gram and word token tables,
+// collection statistics, shared weight/posting tables, min-hash
+// signatures, edit-normalized strings), and supports epoch-versioned
+// Insert/Delete/Upsert: mutations re-tokenize only the changed records,
+// splice the cached per-record data, and publish a fresh immutable
+// Snapshot under a new epoch. Predicates attach as lightweight views that
+// re-read the snapshot when the epoch moves.
+
+// CorpusLayers selects which precomputed layers a Corpus materializes.
+// The facade's OpenCorpus builds AllLayers so that any predicate can
+// attach; the one-shot construction path requests only what the single
+// predicate reads, keeping New(name, records) as cheap as before.
+type CorpusLayers uint16
+
+const (
+	// LayerGrams is the q-gram token layer: per-record gram multisets,
+	// frequency maps, document lengths and collection statistics (plus the
+	// IDF-pruned variant when Config.PruneRate > 0).
+	LayerGrams CorpusLayers = 1 << iota
+	// LayerPostings is the distinct-token inverted index shared by the
+	// overlap predicates.
+	LayerPostings
+	// LayerRS is the Robertson–Sparck Jones weight table (Eq. 3.5).
+	LayerRS
+	// LayerTFIDF is the normalized tf-idf posting table (§3.2.1).
+	LayerTFIDF
+	// LayerLM is the language-model posting table: per-(token, record)
+	// combined log terms and the per-record Σ log(1−pm) column (§3.3.1).
+	LayerLM
+	// LayerNorms is the edit-normalized string column (§4.4), together
+	// with the raw-layer gram-frequency posting table the edit filter
+	// scans.
+	LayerNorms
+	// LayerTokenIDs interns tokens as dense ranks: per-record rank-sorted
+	// (rank, tf) pairs plus rank-indexed idf, so weight-table construction
+	// does array arithmetic instead of string-map operations.
+	LayerTokenIDs
+	// LayerWords is the word token layer used by the combination
+	// predicates, with per-position idf weights.
+	LayerWords
+	// LayerWordTFIDF is the per-record normalized tf-idf word weight maps
+	// used by SoftTFIDF.
+	LayerWordTFIDF
+	// LayerWordGrams is the per-(record, distinct word) q-gram set layer
+	// with its shared inverted index (GESJaccard's filter).
+	LayerWordGrams
+	// LayerSigs is the min-hash signature layer with its shared
+	// (slot, value) index (GESapx's filter).
+	LayerSigs
+)
+
+// AllLayers materializes every layer, so any registered predicate can
+// attach to the corpus.
+const AllLayers = LayerGrams | LayerPostings | LayerRS | LayerTFIDF | LayerLM |
+	LayerNorms | LayerTokenIDs | LayerWords | LayerWordTFIDF | LayerWordGrams | LayerSigs
+
+// withDeps closes a layer set under build dependencies (weight tables need
+// their token layer; signatures need the word q-gram sets).
+func (l CorpusLayers) withDeps() CorpusLayers {
+	if l&(LayerTFIDF|LayerLM) != 0 {
+		l |= LayerTokenIDs
+	}
+	if l&(LayerPostings|LayerRS|LayerTFIDF|LayerLM|LayerNorms|LayerTokenIDs) != 0 {
+		l |= LayerGrams
+	}
+	if l&LayerSigs != 0 {
+		l |= LayerWordGrams
+	}
+	if l&(LayerWordTFIDF|LayerWordGrams) != 0 {
+		l |= LayerWords
+	}
+	return l
+}
+
+// Has reports whether every layer in want is present.
+func (l CorpusLayers) Has(want CorpusLayers) bool { return l&want == want }
+
+// WPost is one posting of a weighted inverted index: a record position and
+// the record-side weight of the token in that record.
+type WPost struct {
+	Rec int
+	W   float64
+}
+
+// WordRef locates one distinct word of one record in the word layer.
+type WordRef struct {
+	Rec  int
+	Word int
+}
+
+// SigKey addresses one min-hash signature slot value, the join key of the
+// declarative GESapx plan.
+type SigKey struct {
+	Slot  int
+	Value uint64
+}
+
+// RankTF is one interned token occurrence of a record: the token's dense
+// rank in the sorted token order and its frequency in the record.
+type RankTF struct {
+	Rank int32
+	TF   int32
+}
+
+// RankTok pairs a query token with its corpus rank, the iteration unit of
+// the rank-ordered query paths.
+type RankTok struct {
+	Tok  string
+	Rank int32
+}
+
+// GramLayer is the q-gram token layer of a snapshot, together with the
+// shared weight and posting tables derived from it. All fields are
+// read-only once the snapshot is published.
+type GramLayer struct {
+	// Docs, Counts and DL are the per-record gram multisets, frequency
+	// maps and multiset sizes.
+	Docs   [][]string
+	Counts []map[string]int
+	DL     []int
+	// Stats holds the collection statistics over the layer.
+	Stats *weights.Corpus
+	// rank maps each known token to its position in the sorted token
+	// order, so per-query deterministic iteration sorts small ints
+	// instead of strings; TokenByRank is the inverse.
+	rank        map[string]int32
+	TokenByRank []string
+	// Pairs and IDFByRank are the interned token layer (LayerTokenIDs):
+	// per-record rank-sorted (rank, tf) pairs and the idf of every rank.
+	Pairs     [][]RankTF
+	IDFByRank []float64
+	// Postings is the distinct-token inverted index, indexed by token rank
+	// (LayerPostings).
+	Postings [][]int32
+	// RSByRank is the Robertson–Sparck Jones weight table (LayerRS), and
+	// RSLen the per-record summed RS weight over distinct tokens (the
+	// weighted Jaccard union denominator), present when postings are too.
+	RSByRank []float64
+	RSLen    []float64
+	// TFIDFPost is the normalized tf-idf posting table indexed by token
+	// rank (LayerTFIDF).
+	TFIDFPost [][]WPost
+	// LMPost and LMSumComp are the language-model posting table (indexed
+	// by token rank) and the per-record Σ log(1−pm) column (LayerLM).
+	LMPost    [][]WPost
+	LMSumComp []float64
+	// TFPost is the gram-frequency posting table indexed by token rank
+	// (LayerNorms, on the raw layer): the record-side multiset the edit
+	// predicate's count filter scans.
+	TFPost [][]WPost
+}
+
+// WordLayer is the word token layer of a snapshot. All fields are
+// read-only once the snapshot is published.
+type WordLayer struct {
+	// Words, Counts are the per-record upper-cased word sequences and
+	// frequency maps; Stats the collection statistics over them.
+	Words  [][]string
+	Counts []map[string]int
+	Stats  *weights.Corpus
+	rank   map[string]int32
+	// IDFWeights carries the idf weight of every word position, the
+	// weight vector of the GES transformation cost.
+	IDFWeights [][]float64
+	// TFIDF is the per-record normalized tf-idf word weight map
+	// (LayerWordTFIDF).
+	TFIDF []map[string]float64
+	// Vocab, VocabGrams, GramSizes and GramIndex are the distinct-word
+	// q-gram sets and their shared inverted index (LayerWordGrams).
+	Vocab      [][]string
+	VocabGrams [][][]string
+	GramSizes  [][]int
+	GramIndex  map[string][]WordRef
+	// Sigs and SigIndex are the min-hash signatures and their shared
+	// (slot, value) index (LayerSigs).
+	Sigs     [][][]uint64
+	SigIndex map[SigKey][]WordRef
+}
+
+// orderedKnown returns the tokens of a query-side map that are known to
+// the rank table, ordered by the precomputed sorted token order. Score
+// accumulation iterates tokens in this order so repeated Selects produce
+// bit-identical results without re-sorting strings on every query.
+func orderedKnown[V any](counts map[string]V, rank map[string]int32) []string {
+	prs := orderedKnownRanks(counts, rank)
+	out := make([]string, len(prs))
+	for i, p := range prs {
+		out[i] = p.Tok
+	}
+	return out
+}
+
+// orderedKnownRanks is orderedKnown keeping the ranks, for query paths
+// that probe rank-indexed posting tables.
+func orderedKnownRanks[V any](counts map[string]V, rank map[string]int32) []RankTok {
+	out := make([]RankTok, 0, len(counts))
+	for t := range counts {
+		if r, ok := rank[t]; ok {
+			out = append(out, RankTok{Tok: t, Rank: r})
+		}
+	}
+	slices.SortFunc(out, func(a, b RankTok) int { return int(a.Rank) - int(b.Rank) })
+	return out
+}
+
+// OrderedKnown returns the known tokens of a query frequency map in the
+// corpus's sorted token order.
+func (l *GramLayer) OrderedKnown(counts map[string]int) []string {
+	return orderedKnown(counts, l.rank)
+}
+
+// OrderedKnownRanks returns the known tokens of a query frequency map with
+// their ranks, in the corpus's sorted token order.
+func (l *GramLayer) OrderedKnownRanks(counts map[string]int) []RankTok {
+	return orderedKnownRanks(counts, l.rank)
+}
+
+// OrderedKnownRankWeights is OrderedKnownRanks for weight maps.
+func (l *GramLayer) OrderedKnownRankWeights(w map[string]float64) []RankTok {
+	return orderedKnownRanks(w, l.rank)
+}
+
+// Rank returns the dense rank of a token, or false for tokens unknown to
+// the layer.
+func (l *GramLayer) Rank(t string) (int32, bool) {
+	r, ok := l.rank[t]
+	return r, ok
+}
+
+// RankTable allocates a posting table indexed by token rank with one
+// contiguous backing array: each rank's slice has zero length and exactly
+// its document frequency as capacity, so filling the table appends without
+// ever reallocating. Builders that skip some postings (zero-norm or
+// zero-length records) simply leave capacity unused.
+func (l *GramLayer) RankTable() [][]WPost {
+	total := 0
+	dfs := make([]int, len(l.TokenByRank))
+	for r, t := range l.TokenByRank {
+		d := l.Stats.DF(t)
+		dfs[r] = d
+		total += d
+	}
+	backing := make([]WPost, total)
+	table := make([][]WPost, len(dfs))
+	off := 0
+	for r, d := range dfs {
+		table[r] = backing[off : off : off+d]
+		off += d
+	}
+	return table
+}
+
+// OrderedKnownWeights returns the known words of a query weight map in the
+// corpus's sorted word order.
+func (l *WordLayer) OrderedKnownWeights(w map[string]float64) []string {
+	return orderedKnown(w, l.rank)
+}
+
+// Snapshot is one immutable version of a Corpus. Predicates attached to a
+// corpus read exactly one snapshot; mutations publish a new snapshot under
+// the next epoch and never touch an already-published one.
+type Snapshot struct {
+	Epoch   uint64
+	Records []Record
+	byTID   map[int]int
+	// Grams is the effective q-gram scoring layer: the IDF-pruned layer
+	// when Config.PruneRate > 0, the raw layer otherwise.
+	Grams *GramLayer
+	// RawGrams is always the unpruned layer — the edit predicate's q-gram
+	// filter must see every gram to keep its no-false-negative guarantee.
+	// It aliases Grams when pruning is off.
+	RawGrams *GramLayer
+	Words    *WordLayer
+	// Norms is the edit-normalized string column (LayerNorms).
+	Norms []string
+	// TokDur and WeightDur are the tokenization and table-computation
+	// times spent producing this snapshot (the §5.5.1 preprocessing
+	// phases; a mutation's delta cost, not a cumulative total).
+	TokDur    time.Duration
+	WeightDur time.Duration
+}
+
+// Index returns the record position of a TID.
+func (s *Snapshot) Index(tid int) (int, bool) {
+	i, ok := s.byTID[tid]
+	return i, ok
+}
+
+// Corpus is the shared, mutable token/weight store. It is safe for
+// concurrent use: reads work on immutable snapshots, mutations are
+// serialized and publish new snapshots atomically.
+type Corpus struct {
+	cfg    Config
+	layers CorpusLayers
+	fam    *minhash.Family
+
+	mu     sync.Mutex // serializes mutations
+	snap   atomic.Pointer[Snapshot]
+	passes atomic.Int64 // full tokenization passes (test instrumentation)
+}
+
+// CorpusBuilderFunc constructs a predicate attached to a shared corpus —
+// the corpus-aware counterpart of BuilderFunc. The facade's registry
+// resolves native built-ins to CorpusBuilderFuncs and adapts legacy
+// BuilderFuncs (the declarative realization and Register-ed predicates)
+// automatically, so every predicate can attach to a corpus.
+type CorpusBuilderFunc func(c *Corpus, cfg Config) (Predicate, error)
+
+// NewCorpus tokenizes the base relation once and materializes the
+// requested layers (closed under dependencies). The facade's OpenCorpus
+// passes AllLayers; the one-shot predicate constructors request only what
+// they read.
+func NewCorpus(records []Record, cfg Config, layers CorpusLayers) (*Corpus, error) {
+	if err := validateCorpus(records, cfg); err != nil {
+		return nil, err
+	}
+	c := &Corpus{cfg: cfg, layers: layers.withDeps()}
+	if c.layers.Has(LayerSigs) {
+		c.fam = minhash.NewFamily(cfg.MinHashSize(), cfg.MinHashSeed)
+	}
+	recs := append([]Record(nil), records...)
+	t0 := time.Now()
+	raw := c.tokenizeAll(recs)
+	tokDur := time.Since(t0)
+	c.passes.Add(1)
+	c.snap.Store(c.assemble(recs, raw, 0, tokDur))
+	return c, nil
+}
+
+// validateCorpus checks the invariants shared by all predicates.
+func validateCorpus(records []Record, cfg Config) error {
+	if cfg.Q < 1 {
+		return fmt.Errorf("approxsel: q-gram size must be ≥ 1, got %d", cfg.Q)
+	}
+	if cfg.WordQ < 1 {
+		return fmt.Errorf("approxsel: word q-gram size must be ≥ 1, got %d", cfg.WordQ)
+	}
+	if cfg.PruneRate < 0 || cfg.PruneRate >= 1 {
+		return fmt.Errorf("approxsel: prune rate must be in [0, 1), got %v", cfg.PruneRate)
+	}
+	seen := make(map[int]bool, len(records))
+	for _, r := range records {
+		if seen[r.TID] {
+			return fmt.Errorf("approxsel: duplicate TID %d in base relation", r.TID)
+		}
+		seen[r.TID] = true
+	}
+	return nil
+}
+
+// MinHashSize returns the effective min-hash signature size: MinHashK, or
+// the paper's default of 5 when unset.
+func (c Config) MinHashSize() int {
+	if c.MinHashK > 0 {
+		return c.MinHashK
+	}
+	return DefaultConfig().MinHashK
+}
+
+// Snapshot returns the current immutable snapshot.
+func (c *Corpus) Snapshot() *Snapshot { return c.snap.Load() }
+
+// Epoch returns the current mutation epoch; it increases with every
+// applied Insert/Delete/Upsert.
+func (c *Corpus) Epoch() uint64 { return c.snap.Load().Epoch }
+
+// Config returns the corpus's tokenization configuration.
+func (c *Corpus) Config() Config { return c.cfg }
+
+// Layers returns the materialized layer set.
+func (c *Corpus) Layers() CorpusLayers { return c.layers }
+
+// Len returns the current number of records.
+func (c *Corpus) Len() int { return len(c.snap.Load().Records) }
+
+// Records returns a copy of the current base relation in storage order.
+func (c *Corpus) Records() []Record {
+	return append([]Record(nil), c.snap.Load().Records...)
+}
+
+// TokenizePasses returns how many times the full base relation has been
+// tokenized — exactly once per corpus, however many predicates attach
+// (mutations re-tokenize changed records only and do not count).
+func (c *Corpus) TokenizePasses() int64 { return c.passes.Load() }
+
+// CompatibleConfig checks that a predicate attaching with cfg agrees with
+// the corpus on every tokenization-level parameter. Scoring parameters
+// (BM25, HMM, thresholds, edit options) are per-attach and may differ.
+func (c *Corpus) CompatibleConfig(cfg Config) error {
+	o := c.cfg
+	switch {
+	case cfg.Q != o.Q:
+		return fmt.Errorf("approxsel: predicate q=%d does not match corpus q=%d", cfg.Q, o.Q)
+	case cfg.WordQ != o.WordQ:
+		return fmt.Errorf("approxsel: predicate word q=%d does not match corpus word q=%d", cfg.WordQ, o.WordQ)
+	case cfg.PruneRate != o.PruneRate:
+		return fmt.Errorf("approxsel: predicate prune rate %v does not match corpus prune rate %v", cfg.PruneRate, o.PruneRate)
+	case cfg.MinHashSize() != o.MinHashSize():
+		return fmt.Errorf("approxsel: predicate min-hash size %d does not match corpus size %d", cfg.MinHashSize(), o.MinHashSize())
+	case cfg.MinHashSeed != o.MinHashSeed:
+		return fmt.Errorf("approxsel: predicate min-hash seed %d does not match corpus seed %d", cfg.MinHashSeed, o.MinHashSeed)
+	}
+	return nil
+}
+
+// ---- mutations ----
+
+// Insert adds records to the corpus; inserting an existing TID is an
+// error. Only the new records are tokenized.
+func (c *Corpus) Insert(records ...Record) error {
+	return c.mutate(records, nil, false)
+}
+
+// Upsert inserts records, replacing any existing record with the same
+// TID. Only the touched records are tokenized.
+func (c *Corpus) Upsert(records ...Record) error {
+	return c.mutate(records, nil, true)
+}
+
+// Delete removes records by TID; deleting an unknown TID is an error.
+func (c *Corpus) Delete(tids ...int) error {
+	return c.mutate(nil, tids, false)
+}
+
+func (c *Corpus) mutate(add []Record, del []int, upsert bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(add) == 0 && len(del) == 0 {
+		return nil
+	}
+	old := c.snap.Load()
+
+	drop := make(map[int]bool, len(del))
+	for _, tid := range del {
+		if _, ok := old.byTID[tid]; !ok {
+			return fmt.Errorf("approxsel: delete of unknown TID %d", tid)
+		}
+		if drop[tid] {
+			return fmt.Errorf("approxsel: duplicate TID %d in delete", tid)
+		}
+		drop[tid] = true
+	}
+	replace := make(map[int]Record)
+	var appended []Record
+	seen := make(map[int]bool, len(add))
+	for _, r := range add {
+		if seen[r.TID] {
+			return fmt.Errorf("approxsel: duplicate TID %d in insert", r.TID)
+		}
+		seen[r.TID] = true
+		if drop[r.TID] {
+			return fmt.Errorf("approxsel: TID %d both inserted and deleted", r.TID)
+		}
+		if _, ok := old.byTID[r.TID]; ok {
+			if !upsert {
+				return fmt.Errorf("approxsel: insert of existing TID %d (use Upsert to replace)", r.TID)
+			}
+			replace[r.TID] = r
+		} else {
+			appended = append(appended, r)
+		}
+	}
+
+	t0 := time.Now()
+	n := len(old.Records) - len(drop) + len(appended)
+	recs := make([]Record, 0, n)
+	raw := c.newRawData(n)
+	for i, r := range old.Records {
+		if drop[r.TID] {
+			continue
+		}
+		if nr, ok := replace[r.TID]; ok {
+			recs = append(recs, nr)
+			raw.appendTokenized(c, nr.Text)
+			continue
+		}
+		recs = append(recs, r)
+		raw.appendFrom(old, i)
+	}
+	for _, r := range appended {
+		recs = append(recs, r)
+		raw.appendTokenized(c, r.Text)
+	}
+	tokDur := time.Since(t0)
+	c.snap.Store(c.assemble(recs, raw, old.Epoch+1, tokDur))
+	return nil
+}
+
+// ---- tokenization (the single expensive pass) ----
+
+// rawData carries the per-record tokenization products a snapshot is
+// assembled from. Mutations splice these arrays, re-tokenizing only the
+// changed records.
+type rawData struct {
+	layers  CorpusLayers
+	docs    [][]string
+	counts  []map[string]int
+	words   [][]string
+	wcounts []map[string]int
+	vocab   [][]string
+	vgrams  [][][]string
+	sigs    [][][]uint64
+	norms   []string
+}
+
+func (c *Corpus) newRawData(n int) *rawData {
+	r := &rawData{layers: c.layers}
+	if c.layers.Has(LayerGrams) {
+		r.docs = make([][]string, 0, n)
+		r.counts = make([]map[string]int, 0, n)
+	}
+	if c.layers.Has(LayerWords) {
+		r.words = make([][]string, 0, n)
+		r.wcounts = make([]map[string]int, 0, n)
+	}
+	if c.layers.Has(LayerWordGrams) {
+		r.vocab = make([][]string, 0, n)
+		r.vgrams = make([][][]string, 0, n)
+	}
+	if c.layers.Has(LayerSigs) {
+		r.sigs = make([][][]uint64, 0, n)
+	}
+	if c.layers.Has(LayerNorms) {
+		r.norms = make([]string, 0, n)
+	}
+	return r
+}
+
+// appendTokenized tokenizes one record text into every materialized layer.
+func (r *rawData) appendTokenized(c *Corpus, text string) {
+	if r.layers.Has(LayerGrams) {
+		doc := tokenize.QGrams(text, c.cfg.Q)
+		r.docs = append(r.docs, doc)
+		r.counts = append(r.counts, tokenize.Counts(doc))
+	}
+	if r.layers.Has(LayerWords) {
+		ws := tokenize.Words(strings.ToUpper(text))
+		r.words = append(r.words, ws)
+		r.wcounts = append(r.wcounts, tokenize.Counts(ws))
+		if r.layers.Has(LayerWordGrams) {
+			vocab := tokenize.Distinct(ws)
+			vgrams := make([][]string, len(vocab))
+			for j, w := range vocab {
+				vgrams[j] = tokenize.Distinct(tokenize.WordQGrams(w, c.cfg.WordQ))
+			}
+			r.vocab = append(r.vocab, vocab)
+			r.vgrams = append(r.vgrams, vgrams)
+			if r.layers.Has(LayerSigs) {
+				sigs := make([][]uint64, len(vocab))
+				for j := range vocab {
+					sigs[j] = c.fam.Signature(vgrams[j])
+				}
+				r.sigs = append(r.sigs, sigs)
+			}
+		}
+	}
+	if r.layers.Has(LayerNorms) {
+		r.norms = append(r.norms, tokenize.EditNormalize(text, c.cfg.Q))
+	}
+}
+
+// appendFrom reuses the cached tokenization of one retained record.
+func (r *rawData) appendFrom(s *Snapshot, i int) {
+	if r.layers.Has(LayerGrams) {
+		r.docs = append(r.docs, s.RawGrams.Docs[i])
+		r.counts = append(r.counts, s.RawGrams.Counts[i])
+	}
+	if r.layers.Has(LayerWords) {
+		r.words = append(r.words, s.Words.Words[i])
+		r.wcounts = append(r.wcounts, s.Words.Counts[i])
+		if r.layers.Has(LayerWordGrams) {
+			r.vocab = append(r.vocab, s.Words.Vocab[i])
+			r.vgrams = append(r.vgrams, s.Words.VocabGrams[i])
+			if r.layers.Has(LayerSigs) {
+				r.sigs = append(r.sigs, s.Words.Sigs[i])
+			}
+		}
+	}
+	if r.layers.Has(LayerNorms) {
+		r.norms = append(r.norms, s.Norms[i])
+	}
+}
+
+func (c *Corpus) tokenizeAll(records []Record) *rawData {
+	raw := c.newRawData(len(records))
+	for _, r := range records {
+		raw.appendTokenized(c, r.Text)
+	}
+	return raw
+}
+
+// ---- assembly (statistics and shared tables, no string tokenization) ----
+//
+// Mutations re-run this phase over the whole relation: collection
+// statistics (df/idf/avgdl) change globally on any insert or delete, and
+// the differential contract — a mutated corpus is bit-identical to a fresh
+// build — rules out approximate maintenance. Only string tokenization (the
+// dominant preprocessing cost) is incremental; assembly is O(total cached
+// tokens) of map/array work per mutation batch. Callers with bursts of
+// updates should batch them into one Insert/Delete/Upsert call.
+
+func (c *Corpus) assemble(records []Record, raw *rawData, epoch uint64, tokDur time.Duration) *Snapshot {
+	start := time.Now()
+	s := &Snapshot{Epoch: epoch, Records: records, byTID: make(map[int]int, len(records))}
+	for i, r := range records {
+		s.byTID[r.TID] = i
+	}
+	if c.layers.Has(LayerGrams) {
+		rawLayer := buildGramLayer(raw.docs, raw.counts)
+		s.RawGrams = rawLayer
+		eff := rawLayer
+		if c.cfg.PruneRate > 0 {
+			pdocs := pruneDocs(raw.docs, rawLayer.Stats, c.cfg.PruneRate)
+			pcounts := make([]map[string]int, len(pdocs))
+			for i, doc := range pdocs {
+				pcounts[i] = tokenize.Counts(doc)
+			}
+			eff = buildGramLayer(pdocs, pcounts)
+		}
+		s.Grams = eff
+		c.buildGramTables(eff)
+		if c.layers.Has(LayerNorms) {
+			buildTFPost(rawLayer)
+		}
+	}
+	if c.layers.Has(LayerNorms) {
+		s.Norms = raw.norms
+	}
+	if c.layers.Has(LayerWords) {
+		s.Words = c.buildWordLayer(raw)
+	}
+	s.TokDur, s.WeightDur = tokDur, time.Since(start)
+	return s
+}
+
+func buildGramLayer(docs [][]string, counts []map[string]int) *GramLayer {
+	dls := make([]int, len(docs))
+	for i, doc := range docs {
+		dls[i] = len(doc)
+	}
+	stats := weights.BuildFromCounts(counts, dls)
+	sorted := stats.SortedTokens()
+	return &GramLayer{
+		Docs:        docs,
+		Counts:      counts,
+		DL:          dls,
+		Stats:       stats,
+		rank:        rankOf(sorted),
+		TokenByRank: sorted,
+	}
+}
+
+func rankOf(sorted []string) map[string]int32 {
+	rank := make(map[string]int32, len(sorted))
+	for i, t := range sorted {
+		rank[t] = int32(i)
+	}
+	return rank
+}
+
+// pruneDocs drops tokens whose idf falls below the §5.6 pruning threshold
+// min(idf) + rate·(max(idf) − min(idf)).
+func pruneDocs(docs [][]string, stats *weights.Corpus, rate float64) [][]string {
+	tokens := stats.SortedTokens()
+	if len(tokens) == 0 {
+		return docs
+	}
+	minIDF, maxIDF := math.Inf(1), math.Inf(-1)
+	idfOf := make(map[string]float64, len(tokens))
+	for _, t := range tokens {
+		idf := stats.IDF(t)
+		idfOf[t] = idf
+		if idf < minIDF {
+			minIDF = idf
+		}
+		if idf > maxIDF {
+			maxIDF = idf
+		}
+	}
+	threshold := minIDF + rate*(maxIDF-minIDF)
+	out := make([][]string, len(docs))
+	for i, doc := range docs {
+		kept := make([]string, 0, len(doc))
+		for _, t := range doc {
+			if idfOf[t] >= threshold {
+				kept = append(kept, t)
+			}
+		}
+		out[i] = kept
+	}
+	return out
+}
+
+// buildGramTables derives the shared weight/posting tables of the
+// effective gram layer. The interned-token layer (rank-sorted pairs plus
+// rank-indexed idf) lets the table builders do array arithmetic instead of
+// string-map operations, and every floating-point accumulation iterates in
+// sorted-token order, so a mutated corpus reproduces a fresh build
+// bit-for-bit.
+func (c *Corpus) buildGramTables(l *GramLayer) {
+	if c.layers.Has(LayerTokenIDs) {
+		l.IDFByRank = make([]float64, len(l.TokenByRank))
+		for r, t := range l.TokenByRank {
+			l.IDFByRank[r] = l.Stats.IDF(t)
+		}
+		l.Pairs = make([][]RankTF, len(l.Counts))
+		for i, counts := range l.Counts {
+			pairs := make([]RankTF, 0, len(counts))
+			for t, tf := range counts {
+				pairs = append(pairs, RankTF{Rank: l.rank[t], TF: int32(tf)})
+			}
+			sort.Slice(pairs, func(a, b int) bool { return pairs[a].Rank < pairs[b].Rank })
+			l.Pairs[i] = pairs
+		}
+	}
+	if c.layers.Has(LayerPostings) {
+		// One contiguous backing array carved by document frequency, like
+		// RankTable.
+		total := 0
+		dfs := make([]int, len(l.TokenByRank))
+		for r, t := range l.TokenByRank {
+			d := l.Stats.DF(t)
+			dfs[r] = d
+			total += d
+		}
+		backing := make([]int32, total)
+		l.Postings = make([][]int32, len(dfs))
+		off := 0
+		for r, d := range dfs {
+			l.Postings[r] = backing[off : off : off+d]
+			off += d
+		}
+		for i, counts := range l.Counts {
+			for t := range counts {
+				r := l.rank[t]
+				l.Postings[r] = append(l.Postings[r], int32(i))
+			}
+		}
+	}
+	if c.layers.Has(LayerRS) {
+		l.RSByRank = make([]float64, len(l.TokenByRank))
+		for r, t := range l.TokenByRank {
+			l.RSByRank[r] = l.Stats.RS(t)
+		}
+		if c.layers.Has(LayerPostings) {
+			// Per record, contributions arrive in ascending token order —
+			// the same order an ordered per-record sum would use.
+			l.RSLen = make([]float64, len(l.Counts))
+			for r, w := range l.RSByRank {
+				for _, i := range l.Postings[r] {
+					l.RSLen[i] += w
+				}
+			}
+		}
+	}
+	if c.layers.Has(LayerTFIDF) {
+		l.TFIDFPost = l.RankTable()
+		for i, pairs := range l.Pairs {
+			// Mirrors weights.Corpus.TFIDF term for term: the norm sums
+			// (tf·idf)² in sorted-token order.
+			norm := 0.0
+			for _, p := range pairs {
+				w := float64(p.TF) * l.IDFByRank[p.Rank]
+				norm += w * w
+			}
+			if norm == 0 {
+				continue
+			}
+			norm = math.Sqrt(norm)
+			for _, p := range pairs {
+				w := float64(p.TF) * l.IDFByRank[p.Rank] / norm
+				l.TFIDFPost[p.Rank] = append(l.TFIDFPost[p.Rank], WPost{Rec: i, W: w})
+			}
+		}
+	}
+	if c.layers.Has(LayerLM) {
+		// Mirrors weights.Corpus.LM term for term, with pavg and log(cf/cs)
+		// precomputed per rank.
+		pavg := make([]float64, len(l.TokenByRank))
+		cfcsLog := make([]float64, len(l.TokenByRank))
+		for r, t := range l.TokenByRank {
+			pavg[r] = l.Stats.Pavg(t)
+			cfcsLog[r] = math.Log(l.Stats.CFCS(t))
+		}
+		l.LMPost = l.RankTable()
+		l.LMSumComp = make([]float64, len(l.Counts))
+		for i, pairs := range l.Pairs {
+			dl := float64(l.DL[i])
+			if dl == 0 {
+				continue
+			}
+			sum := 0.0
+			for _, p := range pairs {
+				tf := float64(p.TF)
+				pml := tf / dl
+				pa := pavg[p.Rank]
+				fbar := pa * dl
+				risk := (1.0 / (1.0 + fbar)) * powInt(fbar/(1.0+fbar), int(p.TF))
+				pm := math.Pow(pml, 1.0-risk) * math.Pow(pa, risk)
+				if pm > 1-1e-12 {
+					pm = 1 - 1e-12
+				}
+				sum += math.Log(1.0 - pm)
+				term := math.Log(pm) - math.Log(1.0-pm) - cfcsLog[p.Rank]
+				l.LMPost[p.Rank] = append(l.LMPost[p.Rank], WPost{Rec: i, W: term})
+			}
+			l.LMSumComp[i] = sum
+		}
+	}
+}
+
+// powInt is x^n for small positive integer exponents (term frequencies):
+// repeated multiplication is an order of magnitude cheaper than math.Pow
+// and exact for the n=1 common case. Large exponents fall back to math.Pow.
+func powInt(x float64, n int) float64 {
+	switch {
+	case n == 1:
+		return x
+	case n == 2:
+		return x * x
+	case n == 3:
+		return x * x * x
+	case n <= 8:
+		out := x
+		for i := 1; i < n; i++ {
+			out *= x
+		}
+		return out
+	default:
+		return math.Pow(x, float64(n))
+	}
+}
+
+// buildTFPost derives the raw layer's gram-frequency posting table, the
+// record side of the edit predicate's count filter.
+func buildTFPost(l *GramLayer) {
+	l.TFPost = l.RankTable()
+	for i, counts := range l.Counts {
+		for t, tf := range counts {
+			r := l.rank[t]
+			l.TFPost[r] = append(l.TFPost[r], WPost{Rec: i, W: float64(tf)})
+		}
+	}
+}
+
+func (c *Corpus) buildWordLayer(raw *rawData) *WordLayer {
+	wdls := make([]int, len(raw.words))
+	for i, ws := range raw.words {
+		wdls[i] = len(ws)
+	}
+	stats := weights.BuildFromCounts(raw.wcounts, wdls)
+	l := &WordLayer{
+		Words:  raw.words,
+		Counts: raw.wcounts,
+		Stats:  stats,
+		rank:   rankOf(stats.SortedTokens()),
+	}
+	l.IDFWeights = make([][]float64, len(raw.words))
+	for i, ws := range raw.words {
+		w := make([]float64, len(ws))
+		for j, t := range ws {
+			w[j] = stats.IDF(t)
+		}
+		l.IDFWeights[i] = w
+	}
+	if c.layers.Has(LayerWordTFIDF) {
+		l.TFIDF = make([]map[string]float64, len(raw.wcounts))
+		for i, counts := range raw.wcounts {
+			l.TFIDF[i] = stats.TFIDF(counts)
+		}
+	}
+	if c.layers.Has(LayerWordGrams) {
+		l.Vocab = raw.vocab
+		l.VocabGrams = raw.vgrams
+		l.GramSizes = make([][]int, len(raw.vgrams))
+		// Two passes: count references per gram, carve one backing array,
+		// fill. Incremental appends on a large map of small slices would
+		// churn the allocator instead.
+		counts := make(map[string]int)
+		for i, vgrams := range raw.vgrams {
+			sizes := make([]int, len(vgrams))
+			for j, grams := range vgrams {
+				sizes[j] = len(grams)
+				for _, g := range grams {
+					counts[g]++
+				}
+			}
+			l.GramSizes[i] = sizes
+		}
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		backing := make([]WordRef, total)
+		l.GramIndex = make(map[string][]WordRef, len(counts))
+		off := 0
+		for g, n := range counts {
+			l.GramIndex[g] = backing[off : off : off+n]
+			off += n
+		}
+		for i, vgrams := range raw.vgrams {
+			for j, grams := range vgrams {
+				for _, g := range grams {
+					l.GramIndex[g] = append(l.GramIndex[g], WordRef{Rec: i, Word: j})
+				}
+			}
+		}
+	}
+	if c.layers.Has(LayerSigs) {
+		l.Sigs = raw.sigs
+		counts := make(map[SigKey]int)
+		for _, sigs := range raw.sigs {
+			for _, sig := range sigs {
+				for slot, v := range sig {
+					counts[SigKey{Slot: slot, Value: v}]++
+				}
+			}
+		}
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		backing := make([]WordRef, total)
+		l.SigIndex = make(map[SigKey][]WordRef, len(counts))
+		off := 0
+		for k, n := range counts {
+			l.SigIndex[k] = backing[off : off : off+n]
+			off += n
+		}
+		for i, sigs := range raw.sigs {
+			for j, sig := range sigs {
+				for slot, v := range sig {
+					k := SigKey{Slot: slot, Value: v}
+					l.SigIndex[k] = append(l.SigIndex[k], WordRef{Rec: i, Word: j})
+				}
+			}
+		}
+	}
+	return l
+}

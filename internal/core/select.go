@@ -1,6 +1,9 @@
 package core
 
-import "context"
+import (
+	"context"
+	"fmt"
+)
 
 // BuilderFunc constructs a predicate over a base relation. It is the unit
 // of registration in the facade's predicate registry: both realizations
@@ -13,8 +16,8 @@ type BuilderFunc func(records []Record, cfg Config) (Predicate, error)
 // preserving the un-thresholded full-ranking contract of Predicate.Select.
 type SelectOptions struct {
 	// Limit > 0 keeps only the Limit best matches under the SortMatches
-	// order (decreasing score, ties by increasing TID). Zero or negative
-	// means unlimited.
+	// order (decreasing score, ties by increasing TID). Zero means
+	// unlimited; negative limits are rejected by SelectWithOptions.
 	Limit int
 	// Threshold drops matches with Score < Threshold when HasThreshold is
 	// set: the paper's sim(t_q, t) ≥ θ selection.
@@ -57,8 +60,12 @@ func ConcurrentSafe(p Predicate) bool {
 // SelectWithOptions runs one selection with options against any predicate.
 // Predicates implementing ContextPredicate get the options pushed down;
 // for the rest the full ranking is computed and the options are applied as
-// a post-filter, preserving identical results.
+// a post-filter, preserving identical results. Options are validated
+// before probing: a negative limit is an error, not "unlimited".
 func SelectWithOptions(ctx context.Context, p Predicate, query string, opts SelectOptions) ([]Match, error) {
+	if opts.Limit < 0 {
+		return nil, fmt.Errorf("approxsel: negative selection limit %d", opts.Limit)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -168,11 +175,14 @@ func siftDown(h []Match, i int) {
 // ---- constructor options ----
 
 // BuildSettings is the state assembled by constructor options before a
-// predicate is built: the parameter Config and the realization name the
-// facade resolves through its registry.
+// predicate is built: the parameter Config, the realization name the
+// facade resolves through its registry, and — when the WithCorpus option
+// is given — the shared corpus the predicate attaches to instead of
+// preprocessing its own copy of the relation.
 type BuildSettings struct {
 	Config      Config
 	Realization string
+	Corpus      *Corpus
 }
 
 // BuildOption configures predicate construction. The facade's functional

@@ -92,6 +92,18 @@ func TestSelectWithOptionsShim(t *testing.T) {
 	}
 }
 
+func TestSelectWithOptionsRejectsNegativeLimit(t *testing.T) {
+	p := plainPredicate{ms: []Match{{1, 0.9}}}
+	if _, err := SelectWithOptions(context.Background(), p, "q", SelectOptions{Limit: -3}); err == nil {
+		t.Fatal("negative limit must error, not behave as unlimited")
+	}
+	// Zero stays unlimited.
+	got, err := SelectWithOptions(context.Background(), p, "q", SelectOptions{Limit: 0})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("zero limit: %v %v", got, err)
+	}
+}
+
 func TestConcurrentSafeDefault(t *testing.T) {
 	if ConcurrentSafe(plainPredicate{}) {
 		t.Fatal("predicates without the marker must report unsafe")

@@ -92,8 +92,12 @@ func AblationImplOverhead(o PerfOptions) (ImplOverheadResult, error) {
 		return r, err
 	}
 	texts, _ := sampleQueries(ds, o.Queries, o.Seed+3)
+	src, err := newPredicateSource("native", ds.Records, o.Config)
+	if err != nil {
+		return r, err
+	}
 	for _, name := range names {
-		np, err := native.Build(name, ds.Records, o.Config)
+		np, err := src.build(name, o.Config)
 		if err != nil {
 			return r, err
 		}

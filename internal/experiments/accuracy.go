@@ -271,7 +271,13 @@ func Table57(o Options) (Table57Result, error) {
 	}
 	texts, relevant := sampleQueries(ds, o.Queries, o.Seed+spec.P.Seed)
 
-	exact, err := native.Build("GES", ds.Records, o.Config)
+	// The filter threshold is a scoring-level parameter, so the whole sweep
+	// attaches to one shared corpus.
+	corpus, err := core.NewCorpus(ds.Records, o.Config, core.AllLayers)
+	if err != nil {
+		return r, err
+	}
+	exact, err := native.Attach("GES", corpus, o.Config)
 	if err != nil {
 		return r, err
 	}
@@ -285,7 +291,7 @@ func Table57(o Options) (Table57Result, error) {
 		cfg := o.Config
 		cfg.GESThreshold = theta
 		for _, name := range []string{"GESJaccard", "GESapx"} {
-			p, err := native.Build(name, ds.Records, cfg)
+			p, err := native.Attach(name, corpus, cfg)
 			if err != nil {
 				return r, err
 			}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/declarative"
+	"repro/internal/native"
+)
+
+// This file implements the machine-readable benchmark mode of approxbench:
+// one preprocess and one select timing record per (predicate, realization),
+// written as BENCH_preprocess.json and BENCH_select.json so CI runs can
+// record the performance trajectory across commits.
+
+// BenchPreprocessEntry is one preprocessing measurement.
+type BenchPreprocessEntry struct {
+	Predicate   string `json:"predicate"`
+	Realization string `json:"realization"`
+	// TokenizeNS and WeightsNS are the §5.5.1 phases as reported by the
+	// predicate; for corpus-attached natives the tokenize phase is the
+	// shared corpus pass.
+	TokenizeNS int64 `json:"tokenize_ns"`
+	WeightsNS  int64 `json:"weights_ns"`
+	// BuildNS is the wall-clock cost of this predicate's construction call
+	// (for shared-corpus natives: the attach alone).
+	BuildNS int64 `json:"build_ns"`
+}
+
+// BenchSelectEntry is one selection-latency measurement.
+type BenchSelectEntry struct {
+	Predicate   string `json:"predicate"`
+	Realization string `json:"realization"`
+	AvgSelectNS int64  `json:"avg_select_ns"`
+	Queries     int    `json:"queries"`
+}
+
+// BenchReport is the full machine-readable benchmark result.
+type BenchReport struct {
+	Records int   `json:"records"`
+	Queries int   `json:"queries"`
+	Seed    int64 `json:"seed"`
+	// SharedCorpusNS is the wall-clock cost of the single shared
+	// tokenization/statistics pass all native predicates attach to.
+	SharedCorpusNS int64                  `json:"shared_corpus_ns"`
+	Preprocess     []BenchPreprocessEntry `json:"preprocess"`
+	Select         []BenchSelectEntry     `json:"select"`
+}
+
+// RunBench times preprocessing and selection for every benchmark predicate
+// under the requested realization ("native", "declarative" or "both").
+// Native predicates are built through one shared corpus, so the report
+// separates the shared pass (SharedCorpusNS) from the per-predicate attach
+// cost (BuildNS).
+func RunBench(o PerfOptions) (BenchReport, error) {
+	r := BenchReport{Records: o.Size, Queries: o.Queries, Seed: o.Seed}
+	ds, err := dblpDataset(o.Size, o.Seed)
+	if err != nil {
+		return r, err
+	}
+	texts, _ := sampleQueries(ds, o.Queries, o.Seed+5)
+	r.Queries = len(texts)
+
+	impls := []string{o.Impl}
+	if o.Impl == "both" {
+		impls = []string{"native", "declarative"}
+	}
+	for _, impl := range impls {
+		var corpus *core.Corpus
+		if impl == "native" {
+			t0 := time.Now()
+			corpus, err = core.NewCorpus(ds.Records, o.Config, core.AllLayers)
+			if err != nil {
+				return r, err
+			}
+			r.SharedCorpusNS = time.Since(t0).Nanoseconds()
+		}
+		for _, name := range core.PredicateNames {
+			t0 := time.Now()
+			var p core.Predicate
+			if corpus != nil {
+				p, err = native.Attach(name, corpus, o.Config)
+			} else {
+				p, err = declarative.Build(name, ds.Records, o.Config)
+			}
+			if err != nil {
+				return r, fmt.Errorf("bench %s/%s: %w", impl, name, err)
+			}
+			buildNS := time.Since(t0).Nanoseconds()
+			pre := BenchPreprocessEntry{Predicate: name, Realization: impl, BuildNS: buildNS}
+			if ph, ok := p.(core.Phased); ok {
+				tok, w := ph.PreprocessPhases()
+				pre.TokenizeNS = tok.Nanoseconds()
+				pre.WeightsNS = w.Nanoseconds()
+			}
+			r.Preprocess = append(r.Preprocess, pre)
+
+			d, err := timeQueries(p, texts)
+			if err != nil {
+				return r, fmt.Errorf("bench %s/%s: %w", impl, name, err)
+			}
+			r.Select = append(r.Select, BenchSelectEntry{
+				Predicate:   name,
+				Realization: impl,
+				AvgSelectNS: d.Nanoseconds(),
+				Queries:     len(texts),
+			})
+		}
+	}
+	return r, nil
+}
+
+// WriteJSONFiles writes the report as BENCH_preprocess.json and
+// BENCH_select.json in dir (created if missing).
+func (r BenchReport) WriteJSONFiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	type preFile struct {
+		Records        int                    `json:"records"`
+		Seed           int64                  `json:"seed"`
+		SharedCorpusNS int64                  `json:"shared_corpus_ns"`
+		Entries        []BenchPreprocessEntry `json:"entries"`
+	}
+	type selFile struct {
+		Records int                `json:"records"`
+		Queries int                `json:"queries"`
+		Seed    int64              `json:"seed"`
+		Entries []BenchSelectEntry `json:"entries"`
+	}
+	if err := writeJSON(filepath.Join(dir, "BENCH_preprocess.json"), preFile{
+		Records: r.Records, Seed: r.Seed, SharedCorpusNS: r.SharedCorpusNS, Entries: r.Preprocess,
+	}); err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(dir, "BENCH_select.json"), selFile{
+		Records: r.Records, Queries: r.Queries, Seed: r.Seed, Entries: r.Select,
+	})
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Print writes a human-readable summary of the benchmark report.
+func (r BenchReport) Print(w io.Writer) {
+	t := &table{header: []string{"predicate", "realization", "build", "avg select"}}
+	sel := make(map[string]time.Duration, len(r.Select))
+	for _, e := range r.Select {
+		sel[e.Realization+"/"+e.Predicate] = time.Duration(e.AvgSelectNS)
+	}
+	for _, e := range r.Preprocess {
+		t.add(e.Predicate, e.Realization,
+			time.Duration(e.BuildNS).Round(time.Microsecond).String(),
+			sel[e.Realization+"/"+e.Predicate].Round(time.Microsecond).String())
+	}
+	t.write(w, fmt.Sprintf("Benchmark — %d records, %d queries (shared native corpus pass: %s)",
+		r.Records, r.Queries, time.Duration(r.SharedCorpusNS).Round(time.Microsecond)))
+}

@@ -161,9 +161,16 @@ func datasetAccuracy(spec DatasetSpec, names []string, o Options) (map[string]ev
 		return nil, err
 	}
 	texts, relevant := sampleQueries(ds, o.Queries, o.Seed+spec.P.Seed)
+	// One shared corpus per dataset: the predicate suite attaches to a
+	// single tokenization/statistics pass instead of re-preprocessing the
+	// relation once per predicate.
+	corpus, err := core.NewCorpus(ds.Records, o.Config, core.AllLayers)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string]eval.Summary, len(names))
 	for _, name := range names {
-		p, err := native.Build(name, ds.Records, o.Config)
+		p, err := native.Attach(name, corpus, o.Config)
 		if err != nil {
 			return nil, err
 		}

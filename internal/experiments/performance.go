@@ -79,6 +79,36 @@ func buildImpl(impl, name string, records []core.Record, cfg core.Config) (core.
 	return declarative.Build(name, records, cfg)
 }
 
+// predicateSource builds the predicates of one experiment over one dataset.
+// For the native realization it opens a single shared corpus and attaches,
+// so a thirteen-predicate experiment preprocesses the relation once; the
+// declarative realization builds independently (the paper's framework is
+// what the performance experiments measure, including its preprocessing).
+type predicateSource struct {
+	impl    string
+	records []core.Record
+	corpus  *core.Corpus
+}
+
+func newPredicateSource(impl string, records []core.Record, cfg core.Config) (*predicateSource, error) {
+	s := &predicateSource{impl: impl, records: records}
+	if impl == "native" {
+		c, err := core.NewCorpus(records, cfg, core.AllLayers)
+		if err != nil {
+			return nil, err
+		}
+		s.corpus = c
+	}
+	return s, nil
+}
+
+func (s *predicateSource) build(name string, cfg core.Config) (core.Predicate, error) {
+	if s.corpus != nil {
+		return native.Attach(name, s.corpus, cfg)
+	}
+	return declarative.Build(name, s.records, cfg)
+}
+
 // Figure52Result reproduces Figure 5.2: preprocessing time per predicate,
 // split into tokenization and weight-computation phases.
 type Figure52Result struct {
@@ -97,8 +127,12 @@ func Figure52(o PerfOptions) (Figure52Result, error) {
 	if err != nil {
 		return r, err
 	}
+	src, err := newPredicateSource(o.Impl, ds.Records, o.Config)
+	if err != nil {
+		return r, err
+	}
 	for _, name := range r.Predicates {
-		p, err := buildImpl(o.Impl, name, ds.Records, o.Config)
+		p, err := src.build(name, o.Config)
 		if err != nil {
 			return r, err
 		}
@@ -143,8 +177,12 @@ func Figure53(o PerfOptions) (Figure53Result, error) {
 		return r, err
 	}
 	texts, _ := sampleQueries(ds, o.Queries, o.Seed+7)
+	src, err := newPredicateSource(o.Impl, ds.Records, o.Config)
+	if err != nil {
+		return r, err
+	}
 	for _, name := range r.Predicates {
-		p, err := buildImpl(o.Impl, name, ds.Records, o.Config)
+		p, err := src.build(name, o.Config)
 		if err != nil {
 			return r, err
 		}
@@ -216,11 +254,15 @@ func Figure54(o PerfOptions) (Figure54Result, error) {
 		for i, q := range texts {
 			short[i] = firstWords(q, 3)
 		}
+		src, err := newPredicateSource(o.Impl, ds.Records, o.Config)
+		if err != nil {
+			return r, err
+		}
 		for gi, group := range r.Groups {
 			var total time.Duration
 			members := Figure54Groups[group]
 			for _, name := range members {
-				p, err := buildImpl(o.Impl, name, ds.Records, o.Config)
+				p, err := src.build(name, o.Config)
 				if err != nil {
 					return r, err
 				}

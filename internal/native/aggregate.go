@@ -1,8 +1,6 @@
 package native
 
 import (
-	"time"
-
 	"repro/internal/core"
 	"repro/internal/tokenize"
 	"repro/internal/weights"
@@ -12,37 +10,27 @@ import (
 // sim(Q,D) = Σ_{t∈Q∩D} w_q(t,Q)·w_d(t,D) and differ only in the weighting
 // scheme. Token frequency matters, so multisets are preserved.
 
-// wpost is one posting of a weighted inverted index: a record position and
-// the record-side weight of the token in that record.
-type wpost struct {
-	idx int
-	w   float64
-}
-
-// Cosine is the tf-idf cosine similarity predicate (§3.2.1).
+// Cosine is the tf-idf cosine similarity predicate (§3.2.1). Its posting
+// table is parameter-free, so it lives on the shared corpus
+// (core.LayerTFIDF) and attaching costs nothing.
 type Cosine struct {
 	phases
-	td       *tokenData
-	postings map[string][]wpost
-	q        int
+	recs []core.Record
+	g    *core.GramLayer
+	q    int
 }
 
 // NewCosine preprocesses the base relation with normalized tf-idf weights.
 func NewCosine(records []core.Record, cfg core.Config) (*Cosine, error) {
-	if err := validate(records, cfg); err != nil {
+	p, err := Build("Cosine", records, cfg)
+	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
-	t1 := time.Now()
-	p := &Cosine{td: td, q: cfg.Q, postings: make(map[string][]wpost)}
-	for i, counts := range td.counts {
-		for t, w := range td.corpus.TFIDF(counts) {
-			p.postings[t] = append(p.postings[t], wpost{idx: i, w: w})
-		}
-	}
-	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
-	return p, nil
+	return p.(*Cosine), nil
+}
+
+func attachCosine(s *core.Snapshot, cfg core.Config) *Cosine {
+	return &Cosine{recs: s.Records, g: s.Grams, q: cfg.Q}
 }
 
 // Name implements core.Predicate.
@@ -52,49 +40,65 @@ func (p *Cosine) Name() string { return "Cosine" }
 // tf-idf computed with the base relation's idf; tokens unknown to the base
 // relation are dropped from the query vector, as in the declarative plan.
 func (p *Cosine) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
-	qcounts := p.td.knownOnly(tokenize.Counts(tokenize.QGrams(query, p.q)))
-	qw := p.td.corpus.TFIDF(qcounts)
+	qw := p.g.Stats.TFIDF(tokenize.Counts(tokenize.QGrams(query, p.q)))
 	acc := accumulator{}
-	for _, t := range sortedTokens(qw) {
-		wq := qw[t]
-		for _, post := range p.postings[t] {
-			acc[post.idx] += wq * post.w
+	for _, rt := range p.g.OrderedKnownRankWeights(qw) {
+		wq := qw[rt.Tok]
+		for _, post := range p.g.TFIDFPost[rt.Rank] {
+			acc[post.Rec] += wq * post.W
 		}
 	}
-	return acc.matches(p.td, opts), nil
+	return acc.matches(p.recs, opts), nil
 }
 
 // BM25 is the BM25 probabilistic weighting predicate (§3.2.2), deployed for
-// data cleaning for the first time in the paper.
+// data cleaning for the first time in the paper. Its record-side weights
+// depend on the k1/b parameters, so they are computed at attach time from
+// the shared corpus statistics.
 type BM25 struct {
 	phases
-	td       *tokenData
-	postings map[string][]wpost
+	recs     []core.Record
+	g        *core.GramLayer
+	postings [][]core.WPost // indexed by token rank
 	params   weights.BM25Params
 	q        int
 }
 
 // NewBM25 preprocesses the base relation with BM25 record-side weights.
 func NewBM25(records []core.Record, cfg core.Config) (*BM25, error) {
-	if err := validate(records, cfg); err != nil {
+	p, err := Build("BM25", records, cfg)
+	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
-	t1 := time.Now()
+	return p.(*BM25), nil
+}
+
+func attachBM25(s *core.Snapshot, cfg core.Config) *BM25 {
+	g := s.Grams
 	p := &BM25{
-		td:       td,
+		recs:     s.Records,
+		g:        g,
 		q:        cfg.Q,
 		params:   weights.BM25Params{K1: cfg.BM25K1, K3: cfg.BM25K3, B: cfg.BM25B},
-		postings: make(map[string][]wpost),
+		postings: g.RankTable(),
 	}
-	for i, counts := range td.counts {
-		for t, w := range td.corpus.BM25Doc(counts, td.dl[i], p.params) {
-			p.postings[t] = append(p.postings[t], wpost{idx: i, w: w})
+	// The RS factor of w_d (Eq. 3.4) is per token, not per posting:
+	// computing it once per rank keeps the attach at two logs per distinct
+	// token instead of two per (token, record) pair.
+	rs := make([]float64, len(g.TokenByRank))
+	for r, t := range g.TokenByRank {
+		rs[r] = g.Stats.RS(t)
+	}
+	avgdl := g.Stats.AvgDL()
+	for i, pairs := range g.Pairs {
+		kd := p.params.K1 * ((1 - p.params.B) + p.params.B*float64(g.DL[i])/avgdl)
+		for _, pr := range pairs {
+			tf := float64(pr.TF)
+			w := rs[pr.Rank] * (p.params.K1 + 1) * tf / (kd + tf)
+			p.postings[pr.Rank] = append(p.postings[pr.Rank], core.WPost{Rec: i, W: w})
 		}
 	}
-	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
-	return p, nil
+	return p
 }
 
 // Name implements core.Predicate.
@@ -104,11 +108,11 @@ func (p *BM25) Name() string { return "BM25" }
 func (p *BM25) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
 	acc := accumulator{}
-	for _, t := range sortedTokens(qcounts) {
-		wq := weights.BM25Query(qcounts[t], p.params)
-		for _, post := range p.postings[t] {
-			acc[post.idx] += wq * post.w
+	for _, rt := range p.g.OrderedKnownRanks(qcounts) {
+		wq := weights.BM25Query(qcounts[rt.Tok], p.params)
+		for _, post := range p.postings[rt.Rank] {
+			acc[post.Rec] += wq * post.W
 		}
 	}
-	return acc.matches(p.td, opts), nil
+	return acc.matches(p.recs, opts), nil
 }

@@ -4,106 +4,40 @@
 // public API, and they act as differential-testing oracles for the
 // declarative (SQL) realizations in package declarative — both must produce
 // identical scores.
+//
+// Predicates are views over a shared core.Corpus: the corpus owns the
+// tokenization products and the shared weight/posting tables, and attaching
+// a predicate only wires those tables together (plus any parameter-dependent
+// weights). Building all thirteen predicates over one corpus therefore
+// performs exactly one tokenization/statistics pass. The legacy
+// record-slice constructors build a private one-shot corpus materializing
+// only the layers the predicate reads.
 package native
 
 import (
 	"fmt"
-	"math"
 	"sort"
-	"strings"
 	"time"
-	"unicode"
 
 	"repro/internal/core"
 	"repro/internal/tokenize"
-	"repro/internal/weights"
 )
 
-// tokenData is the shared result of the tokenization phase: per-record
-// q-gram multisets, their sizes, and corpus statistics, with optional IDF
-// pruning (§5.6) applied.
-type tokenData struct {
-	records []core.Record
-	counts  []map[string]int // q-gram counts per record (after pruning)
-	dl      []int            // multiset sizes (after pruning)
-	corpus  *weights.Corpus  // built over the (pruned) token multisets
-}
-
-// buildTokenData tokenizes every record into q-grams and applies IDF
-// pruning when rate > 0: tokens with idf below
-// min(idf) + rate·(max(idf) − min(idf)) are dropped, and all statistics are
-// recomputed over the pruned relation so that probability distributions
-// remain meaningful (§5.6).
-func buildTokenData(records []core.Record, q int, rate float64) *tokenData {
-	docs := make([][]string, len(records))
-	for i, r := range records {
-		docs[i] = tokenize.QGrams(r.Text, q)
-	}
-	if rate > 0 {
-		docs = pruneDocs(docs, rate)
-	}
-	td := &tokenData{
-		records: records,
-		counts:  make([]map[string]int, len(records)),
-		dl:      make([]int, len(records)),
-	}
-	for i, doc := range docs {
-		td.counts[i] = tokenize.Counts(doc)
-		td.dl[i] = len(doc)
-	}
-	td.corpus = weights.Build(docs)
-	return td
-}
-
-// pruneDocs drops tokens whose idf falls below the pruning threshold.
-func pruneDocs(docs [][]string, rate float64) [][]string {
-	c := weights.Build(docs)
-	minIDF, maxIDF := math.Inf(1), math.Inf(-1)
-	seen := map[string]float64{}
-	for _, doc := range docs {
-		for _, t := range doc {
-			if _, ok := seen[t]; ok {
-				continue
-			}
-			idf := c.IDF(t)
-			seen[t] = idf
-			if idf < minIDF {
-				minIDF = idf
-			}
-			if idf > maxIDF {
-				maxIDF = idf
-			}
-		}
-	}
-	if len(seen) == 0 {
-		return docs
-	}
-	threshold := minIDF + rate*(maxIDF-minIDF)
-	out := make([][]string, len(docs))
-	for i, doc := range docs {
-		kept := make([]string, 0, len(doc))
-		for _, t := range doc {
-			if seen[t] >= threshold {
-				kept = append(kept, t)
-			}
-		}
-		out[i] = kept
-	}
-	return out
-}
-
-// pruneQueryTokens drops query tokens that were pruned away from (or never
-// existed in) the base relation. Join-based scoring skips them anyway; this
-// keeps length-normalized scores consistent with the declarative plans,
-// which join query tokens against base weight tables.
-func (td *tokenData) knownOnly(counts map[string]int) map[string]int {
-	out := make(map[string]int, len(counts))
-	for t, tf := range counts {
-		if td.corpus.Known(t) {
-			out[t] = tf
-		}
-	}
-	return out
+// layerNeeds maps each benchmark predicate to the corpus layers it reads.
+var layerNeeds = map[string]core.CorpusLayers{
+	"IntersectSize":   core.LayerGrams | core.LayerPostings,
+	"Jaccard":         core.LayerGrams | core.LayerPostings,
+	"WeightedMatch":   core.LayerGrams | core.LayerPostings | core.LayerRS,
+	"WeightedJaccard": core.LayerGrams | core.LayerPostings | core.LayerRS,
+	"Cosine":          core.LayerGrams | core.LayerTFIDF,
+	"BM25":            core.LayerGrams | core.LayerTokenIDs,
+	"LM":              core.LayerGrams | core.LayerLM,
+	"HMM":             core.LayerGrams | core.LayerTokenIDs,
+	"EditDistance":    core.LayerGrams | core.LayerNorms,
+	"GES":             core.LayerWords,
+	"GESJaccard":      core.LayerWords | core.LayerWordGrams,
+	"GESapx":          core.LayerWords | core.LayerWordGrams | core.LayerSigs,
+	"SoftTFIDF":       core.LayerWords | core.LayerWordTFIDF,
 }
 
 // accumulator gathers per-record scores during a Select.
@@ -112,13 +46,13 @@ type accumulator map[int]float64
 // matches converts accumulated scores into the ranked Match slice contract,
 // applying any selection options: below-threshold scores are dropped before
 // materialization and a limit switches the full sort to a k-bounded heap.
-func (a accumulator) matches(td *tokenData, opts core.SelectOptions) []core.Match {
+func (a accumulator) matches(records []core.Record, opts core.SelectOptions) []core.Match {
 	out := make([]core.Match, 0, len(a))
 	for idx, score := range a {
 		if !opts.Keeps(score) {
 			continue
 		}
-		out = append(out, core.Match{TID: td.records[idx].TID, Score: score})
+		out = append(out, core.Match{TID: records[idx].TID, Score: score})
 	}
 	return core.FinishMatches(out, opts)
 }
@@ -128,21 +62,14 @@ func (a accumulator) matches(td *tokenData, opts core.SelectOptions) []core.Matc
 // that the q-gram filter and the verification distance operate on the same
 // text (§4.4; see DESIGN.md).
 func editNormalize(s string, q int) string {
-	fields := strings.FieldsFunc(s, unicode.IsSpace)
-	sep := strings.Repeat(string(tokenize.PadRune), maxInt(q-1, 1))
-	return strings.ToUpper(strings.Join(fields, sep))
+	return tokenize.EditNormalize(s, q)
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// sortedTokens returns the map's keys in sorted order. Score accumulation
-// iterates tokens in this order so repeated Selects produce bit-identical
-// results (map iteration order would otherwise reassociate float sums).
+// sortedTokens returns the map's keys in sorted order. It is the pre-corpus
+// deterministic iteration order; query paths now use the corpus's
+// precomputed token rank instead (GramLayer.OrderedKnown), which sorts
+// small ints rather than strings — BenchmarkQueryTokenOrder measures the
+// per-Select win.
 func sortedTokens[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for t := range m {
@@ -152,27 +79,6 @@ func sortedTokens[V any](m map[string]V) []string {
 	return keys
 }
 
-// validate checks configuration invariants shared by all predicates.
-func validate(records []core.Record, cfg core.Config) error {
-	if cfg.Q < 1 {
-		return fmt.Errorf("native: q-gram size must be ≥ 1, got %d", cfg.Q)
-	}
-	if cfg.WordQ < 1 {
-		return fmt.Errorf("native: word q-gram size must be ≥ 1, got %d", cfg.WordQ)
-	}
-	if cfg.PruneRate < 0 || cfg.PruneRate >= 1 {
-		return fmt.Errorf("native: prune rate must be in [0, 1), got %v", cfg.PruneRate)
-	}
-	seen := make(map[int]bool, len(records))
-	for _, r := range records {
-		if seen[r.TID] {
-			return fmt.Errorf("native: duplicate TID %d in base relation", r.TID)
-		}
-		seen[r.TID] = true
-	}
-	return nil
-}
-
 // phases is the embeddable timing record for core.Phased.
 type phases struct {
 	tokDur time.Duration
@@ -180,41 +86,80 @@ type phases struct {
 }
 
 // PreprocessPhases returns the tokenization and weight-computation times.
+// For corpus-attached predicates the tokenization phase is the shared
+// corpus pass (reported identically by every attached predicate), and the
+// weight phase covers the shared table assembly plus this predicate's
+// attach cost.
 func (p *phases) PreprocessPhases() (time.Duration, time.Duration) {
 	return p.tokDur, p.wDur
 }
 
-// Build constructs the named predicate over the base relation. Names match
+func (p *phases) setPhases(tok, w time.Duration) { p.tokDur, p.wDur = tok, w }
+
+type phaseSetter interface{ setPhases(tok, w time.Duration) }
+
+// Build constructs the named predicate over a private one-shot corpus
+// materializing only the layers the predicate reads. Names match
 // core.PredicateNames.
 func Build(name string, records []core.Record, cfg core.Config) (core.Predicate, error) {
-	switch name {
-	case "IntersectSize":
-		return NewIntersectSize(records, cfg)
-	case "Jaccard":
-		return NewJaccard(records, cfg)
-	case "WeightedMatch":
-		return NewWeightedMatch(records, cfg)
-	case "WeightedJaccard":
-		return NewWeightedJaccard(records, cfg)
-	case "Cosine":
-		return NewCosine(records, cfg)
-	case "BM25":
-		return NewBM25(records, cfg)
-	case "LM":
-		return NewLM(records, cfg)
-	case "HMM":
-		return NewHMM(records, cfg)
-	case "EditDistance":
-		return NewEditDistance(records, cfg)
-	case "GES":
-		return NewGES(records, cfg)
-	case "GESJaccard":
-		return NewGESJaccard(records, cfg)
-	case "GESapx":
-		return NewGESapx(records, cfg)
-	case "SoftTFIDF":
-		return NewSoftTFIDF(records, cfg)
-	default:
+	need, ok := layerNeeds[name]
+	if !ok {
 		return nil, fmt.Errorf("native: unknown predicate %q", name)
 	}
+	c, err := core.NewCorpus(records, cfg, need)
+	if err != nil {
+		return nil, err
+	}
+	return Attach(name, c, cfg)
+}
+
+// Attach builds the named predicate as a view over the corpus's current
+// snapshot, sharing the corpus's precomputed token and weight tables
+// instead of re-tokenizing the relation. The cfg may differ from the
+// corpus configuration only in scoring-level parameters
+// (Corpus.CompatibleConfig).
+func Attach(name string, c *core.Corpus, cfg core.Config) (core.Predicate, error) {
+	need, ok := layerNeeds[name]
+	if !ok {
+		return nil, fmt.Errorf("native: unknown predicate %q", name)
+	}
+	if !c.Layers().Has(need) {
+		return nil, fmt.Errorf("native: corpus does not materialize the layers predicate %s reads", name)
+	}
+	if err := c.CompatibleConfig(cfg); err != nil {
+		return nil, err
+	}
+	snap := c.Snapshot()
+	t0 := time.Now()
+	var p core.Predicate
+	switch name {
+	case "IntersectSize":
+		p = attachIntersectSize(snap, cfg)
+	case "Jaccard":
+		p = attachJaccard(snap, cfg)
+	case "WeightedMatch":
+		p = attachWeightedMatch(snap, cfg)
+	case "WeightedJaccard":
+		p = attachWeightedJaccard(snap, cfg)
+	case "Cosine":
+		p = attachCosine(snap, cfg)
+	case "BM25":
+		p = attachBM25(snap, cfg)
+	case "LM":
+		p = attachLM(snap, cfg)
+	case "HMM":
+		p = attachHMM(snap, cfg)
+	case "EditDistance":
+		p = attachEditDistance(snap, cfg)
+	case "GES":
+		p = attachGES(snap, cfg)
+	case "GESJaccard":
+		p = attachGESJaccard(snap, cfg)
+	case "GESapx":
+		p = attachGESapx(snap, cfg)
+	case "SoftTFIDF":
+		p = attachSoftTFIDF(snap, cfg)
+	}
+	p.(phaseSetter).setPhases(snap.TokDur, snap.WeightDur+time.Since(t0))
+	return p, nil
 }

@@ -2,44 +2,20 @@ package native
 
 import (
 	"strings"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/minhash"
 	"repro/internal/strutil"
 	"repro/internal/tokenize"
-	"repro/internal/weights"
 )
 
 // The combination predicates (§3.5, §4.5, Appendix B.4) work on word tokens
 // and combine token-level weights with a character-level similarity. All of
 // them upper-case word tokens, consistent with the q-gram tokenization the
-// declarative framework applies to words (Appendix A.3).
-
-// wordData is the shared word-level preprocessing state.
-type wordData struct {
-	records []core.Record
-	words   [][]string // ordered word tokens per record, upper-cased
-	counts  []map[string]int
-	corpus  *weights.Corpus // word-token corpus (idf weights, Eq. 4.7)
-}
-
-func buildWordData(records []core.Record) *wordData {
-	wd := &wordData{
-		records: records,
-		words:   make([][]string, len(records)),
-		counts:  make([]map[string]int, len(records)),
-	}
-	docs := make([][]string, len(records))
-	for i, r := range records {
-		ws := tokenize.Words(strings.ToUpper(r.Text))
-		wd.words[i] = ws
-		wd.counts[i] = tokenize.Counts(ws)
-		docs[i] = ws
-	}
-	wd.corpus = weights.Build(docs)
-	return wd
-}
+// declarative framework applies to words (Appendix A.3). The word token
+// tables, per-position idf weights, word q-gram sets and min-hash
+// signatures are shared corpus layers, so the four predicates attach to one
+// word tokenization pass.
 
 func queryWords(query string) []string {
 	return tokenize.Words(strings.ToUpper(query))
@@ -89,23 +65,12 @@ func GESScore(cost, wtQ float64) float64 {
 	return 1 - frac
 }
 
-// gesEval is the shared exact-GES scorer over a word-level base.
+// gesEval is the shared exact-GES scorer over the corpus's word layer: the
+// per-position idf weight vectors are shared corpus state, only the cins
+// parameter is per-attach.
 type gesEval struct {
-	wd      *wordData
-	cins    float64
-	weights [][]float64 // per record, per word position, idf weight
-}
-
-func newGESEval(wd *wordData, cins float64) *gesEval {
-	g := &gesEval{wd: wd, cins: cins, weights: make([][]float64, len(wd.words))}
-	for i, ws := range wd.words {
-		w := make([]float64, len(ws))
-		for j, t := range ws {
-			w[j] = wd.corpus.IDF(t)
-		}
-		g.weights[i] = w
-	}
-	return g
+	w    *core.WordLayer
+	cins float64
 }
 
 // queryWeights returns per-position idf weights and their sum for a query's
@@ -114,14 +79,14 @@ func (g *gesEval) queryWeights(qws []string) ([]float64, float64) {
 	w := make([]float64, len(qws))
 	wt := 0.0
 	for i, t := range qws {
-		w[i] = g.wd.corpus.IDF(t)
+		w[i] = g.w.Stats.IDF(t)
 		wt += w[i]
 	}
 	return w, wt
 }
 
 func (g *gesEval) score(qws []string, qWeights []float64, wtQ float64, idx int) float64 {
-	cost := GESCost(qws, qWeights, g.wd.words[idx], g.weights[idx], g.cins)
+	cost := GESCost(qws, qWeights, g.w.Words[idx], g.w.IDFWeights[idx], g.cins)
 	return GESScore(cost, wtQ)
 }
 
@@ -130,21 +95,21 @@ func (g *gesEval) score(qws []string, qWeights []float64, wtQ float64, idx int) 
 // were designed to avoid.
 type GES struct {
 	phases
-	wd  *wordData
-	ges *gesEval
+	recs []core.Record
+	ges  *gesEval
 }
 
 // NewGES preprocesses the base relation for exact GES.
 func NewGES(records []core.Record, cfg core.Config) (*GES, error) {
-	if err := validate(records, cfg); err != nil {
+	p, err := Build("GES", records, cfg)
+	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	wd := buildWordData(records)
-	t1 := time.Now()
-	p := &GES{wd: wd, ges: newGESEval(wd, cfg.GESCins)}
-	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
-	return p, nil
+	return p.(*GES), nil
+}
+
+func attachGES(s *core.Snapshot, cfg core.Config) *GES {
+	return &GES{recs: s.Records, ges: &gesEval{w: s.Words, cins: cfg.GESCins}}
 }
 
 // Name implements core.Predicate.
@@ -157,8 +122,8 @@ func (p *GES) selectOpts(query string, opts core.SelectOptions) ([]core.Match, e
 		return nil, nil
 	}
 	qWeights, wtQ := p.ges.queryWeights(qws)
-	out := make([]core.Match, 0, len(p.wd.records))
-	for i, r := range p.wd.records {
+	out := make([]core.Match, 0, len(p.recs))
+	for i, r := range p.recs {
 		score := p.ges.score(qws, qWeights, wtQ, i)
 		if !opts.Keeps(score) {
 			continue
@@ -168,57 +133,35 @@ func (p *GES) selectOpts(query string, opts core.SelectOptions) ([]core.Match, e
 	return core.FinishMatches(out, opts), nil
 }
 
-// wordRef locates one distinct word of one record.
-type wordRef struct {
-	rec  int
-	word int
-}
-
 // GESJaccard filters candidates with the over-estimating Jaccard bound of
-// Eq. 4.7 before verifying them with exact GES.
+// Eq. 4.7 before verifying them with exact GES. The word q-gram inverted
+// index is shared corpus state (core.LayerWordGrams).
 type GESJaccard struct {
 	phases
-	wd    *wordData
+	recs  []core.Record
+	w     *core.WordLayer
 	ges   *gesEval
-	vocab [][]string // distinct words per record
-	sizes [][]int    // distinct q-gram set size per (record, word)
-	index map[string][]wordRef
 	q     int
 	theta float64
 }
 
 // NewGESJaccard preprocesses the base relation for the filtered predicate.
 func NewGESJaccard(records []core.Record, cfg core.Config) (*GESJaccard, error) {
-	if err := validate(records, cfg); err != nil {
+	p, err := Build("GESJaccard", records, cfg)
+	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	wd := buildWordData(records)
-	p := &GESJaccard{
-		wd:    wd,
+	return p.(*GESJaccard), nil
+}
+
+func attachGESJaccard(s *core.Snapshot, cfg core.Config) *GESJaccard {
+	return &GESJaccard{
+		recs:  s.Records,
+		w:     s.Words,
+		ges:   &gesEval{w: s.Words, cins: cfg.GESCins},
 		q:     cfg.WordQ,
 		theta: cfg.GESThreshold,
-		vocab: make([][]string, len(records)),
-		sizes: make([][]int, len(records)),
-		index: make(map[string][]wordRef),
 	}
-	for i := range records {
-		p.vocab[i] = tokenize.Distinct(wd.words[i])
-	}
-	t1 := time.Now()
-	for i, vocab := range p.vocab {
-		p.sizes[i] = make([]int, len(vocab))
-		for j, w := range vocab {
-			grams := tokenize.Distinct(tokenize.WordQGrams(w, p.q))
-			p.sizes[i][j] = len(grams)
-			for _, g := range grams {
-				p.index[g] = append(p.index[g], wordRef{rec: i, word: j})
-			}
-		}
-	}
-	p.ges = newGESEval(wd, cfg.GESCins)
-	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
-	return p, nil
 }
 
 // Name implements core.Predicate.
@@ -243,18 +186,18 @@ func (p *GESJaccard) selectOpts(query string, opts core.SelectOptions) ([]core.M
 	distinctQ := tokenize.Distinct(qws)
 	for qi, t := range distinctQ {
 		grams := tokenize.Distinct(tokenize.WordQGrams(t, p.q))
-		common := map[wordRef]int{}
+		common := map[core.WordRef]int{}
 		for _, g := range grams {
-			for _, ref := range p.index[g] {
+			for _, ref := range p.w.GramIndex[g] {
 				common[ref]++
 			}
 		}
 		for ref, c := range common {
-			jac := float64(c) / float64(len(grams)+p.sizes[ref.rec][ref.word]-c)
-			ms, ok := maxsim[ref.rec]
+			jac := float64(c) / float64(len(grams)+p.w.GramSizes[ref.Rec][ref.Word]-c)
+			ms, ok := maxsim[ref.Rec]
 			if !ok {
 				ms = make([]float64, len(distinctQ))
-				maxsim[ref.rec] = ms
+				maxsim[ref.Rec] = ms
 			}
 			if jac > ms[qi] {
 				ms[qi] = jac
@@ -270,70 +213,48 @@ func (p *GESJaccard) selectOpts(query string, opts core.SelectOptions) ([]core.M
 			if ms[qi] == 0 {
 				continue
 			}
-			score += p.wd.corpus.IDF(t) * (twoOverQ*ms[qi] + dq)
+			score += p.w.Stats.IDF(t) * (twoOverQ*ms[qi] + dq)
 		}
 		score = (1.0 / wtQ) * score // match the SQL plan's association order
 		if score >= p.theta {
 			acc[rec] = p.ges.score(qws, qWeights, wtQ, rec)
 		}
 	}
-	return acc.matches2(p.wd.records, opts), nil
+	return acc.matches(p.recs, opts), nil
 }
 
 // GESapx replaces the token-level Jaccard of GESJaccard with a min-hash
-// estimate (Eq. 4.8), trading accuracy for faster filtering.
+// estimate (Eq. 4.8), trading accuracy for faster filtering. The signature
+// index is shared corpus state (core.LayerSigs); only the query-side hash
+// family is reconstructed at attach (it is deterministic in k and seed).
 type GESapx struct {
 	phases
-	wd     *wordData
+	recs   []core.Record
+	w      *core.WordLayer
 	ges    *gesEval
-	vocab  [][]string
 	family *minhash.Family
-	// index maps (hash slot, signature value) to the words whose signature
-	// has that value in that slot — the declarative join's shape.
-	index map[sigKey][]wordRef
-	q     int
-	theta float64
-}
-
-type sigKey struct {
-	fid   int
-	value uint64
+	q      int
+	theta  float64
 }
 
 // NewGESapx preprocesses the base relation with min-hash signatures.
 func NewGESapx(records []core.Record, cfg core.Config) (*GESapx, error) {
-	if err := validate(records, cfg); err != nil {
+	p, err := Build("GESapx", records, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if cfg.MinHashK <= 0 {
-		cfg.MinHashK = core.DefaultConfig().MinHashK
-	}
-	t0 := time.Now()
-	wd := buildWordData(records)
-	p := &GESapx{
-		wd:     wd,
+	return p.(*GESapx), nil
+}
+
+func attachGESapx(s *core.Snapshot, cfg core.Config) *GESapx {
+	return &GESapx{
+		recs:   s.Records,
+		w:      s.Words,
+		ges:    &gesEval{w: s.Words, cins: cfg.GESCins},
+		family: minhash.NewFamily(cfg.MinHashSize(), cfg.MinHashSeed),
 		q:      cfg.WordQ,
 		theta:  cfg.GESThreshold,
-		family: minhash.NewFamily(cfg.MinHashK, cfg.MinHashSeed),
-		vocab:  make([][]string, len(records)),
-		index:  make(map[sigKey][]wordRef),
 	}
-	for i := range records {
-		p.vocab[i] = tokenize.Distinct(wd.words[i])
-	}
-	t1 := time.Now()
-	for i, vocab := range p.vocab {
-		for j, w := range vocab {
-			sig := p.family.Signature(tokenize.Distinct(tokenize.WordQGrams(w, p.q)))
-			for fid, v := range sig {
-				k := sigKey{fid: fid, value: v}
-				p.index[k] = append(p.index[k], wordRef{rec: i, word: j})
-			}
-		}
-	}
-	p.ges = newGESEval(wd, cfg.GESCins)
-	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
-	return p, nil
 }
 
 // Name implements core.Predicate.
@@ -358,18 +279,18 @@ func (p *GESapx) selectOpts(query string, opts core.SelectOptions) ([]core.Match
 	distinctQ := tokenize.Distinct(qws)
 	for qi, t := range distinctQ {
 		sig := p.family.Signature(tokenize.Distinct(tokenize.WordQGrams(t, p.q)))
-		matchCount := map[wordRef]int{}
-		for fid, v := range sig {
-			for _, ref := range p.index[sigKey{fid: fid, value: v}] {
+		matchCount := map[core.WordRef]int{}
+		for slot, v := range sig {
+			for _, ref := range p.w.SigIndex[core.SigKey{Slot: slot, Value: v}] {
 				matchCount[ref]++
 			}
 		}
 		for ref, c := range matchCount {
 			sim := float64(c) / k
-			ms, ok := maxsim[ref.rec]
+			ms, ok := maxsim[ref.Rec]
 			if !ok {
 				ms = make([]float64, len(distinctQ))
-				maxsim[ref.rec] = ms
+				maxsim[ref.Rec] = ms
 			}
 			if sim > ms[qi] {
 				ms[qi] = sim
@@ -384,40 +305,38 @@ func (p *GESapx) selectOpts(query string, opts core.SelectOptions) ([]core.Match
 			if ms[qi] == 0 {
 				continue
 			}
-			score += p.wd.corpus.IDF(t) * (twoOverQ*ms[qi] + dq)
+			score += p.w.Stats.IDF(t) * (twoOverQ*ms[qi] + dq)
 		}
 		score = (1.0 / wtQ) * score // match the SQL plan's association order
 		if score >= p.theta {
 			acc[rec] = p.ges.score(qws, qWeights, wtQ, rec)
 		}
 	}
-	return acc.matches2(p.wd.records, opts), nil
+	return acc.matches(p.recs, opts), nil
 }
 
 // SoftTFIDF combines normalized tf-idf word weights with Jaro–Winkler
 // word-level similarity (Eq. 3.15), the configuration Cohen et al. found
-// strongest and the paper confirms (§5.3.2).
+// strongest and the paper confirms (§5.3.2). Its per-record weight maps are
+// shared corpus state (core.LayerWordTFIDF).
 type SoftTFIDF struct {
 	phases
-	wd      *wordData
-	weights []map[string]float64 // normalized tf-idf per record
-	theta   float64
+	recs  []core.Record
+	w     *core.WordLayer
+	theta float64
 }
 
 // NewSoftTFIDF preprocesses the base relation for SoftTFIDF.
 func NewSoftTFIDF(records []core.Record, cfg core.Config) (*SoftTFIDF, error) {
-	if err := validate(records, cfg); err != nil {
+	p, err := Build("SoftTFIDF", records, cfg)
+	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	wd := buildWordData(records)
-	t1 := time.Now()
-	p := &SoftTFIDF{wd: wd, theta: cfg.SoftTFIDFTheta, weights: make([]map[string]float64, len(records))}
-	for i, counts := range wd.counts {
-		p.weights[i] = wd.corpus.TFIDF(counts)
-	}
-	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
-	return p, nil
+	return p.(*SoftTFIDF), nil
+}
+
+func attachSoftTFIDF(s *core.Snapshot, cfg core.Config) *SoftTFIDF {
+	return &SoftTFIDF{recs: s.Records, w: s.Words, theta: cfg.SoftTFIDFTheta}
 }
 
 // Name implements core.Predicate.
@@ -433,16 +352,17 @@ func (p *SoftTFIDF) selectOpts(query string, opts core.SelectOptions) ([]core.Ma
 		return nil, nil
 	}
 	qcounts := tokenize.Counts(qws)
-	qw := p.wd.corpus.TFIDF(knownCounts(qcounts, p.wd.corpus))
+	qw := p.w.Stats.TFIDF(qcounts)
+	ordered := p.w.OrderedKnownWeights(qw)
 	acc := accumulator{}
-	for i := range p.wd.records {
-		recWords := p.wd.words[i]
+	for i := range p.recs {
+		recWords := p.w.Words[i]
 		if len(recWords) == 0 {
 			continue
 		}
 		total := 0.0
 		matched := false
-		for _, t := range sortedTokens(qw) {
+		for _, t := range ordered {
 			wq := qw[t]
 			maxsim := 0.0
 			for _, r := range recWords {
@@ -457,7 +377,7 @@ func (p *SoftTFIDF) selectOpts(query string, opts core.SelectOptions) ([]core.Ma
 			qtf := float64(qcounts[t])
 			for _, r := range recWords {
 				if strutil.JaroWinkler(t, r) == maxsim {
-					total += qtf * wq * p.weights[i][r] * maxsim
+					total += qtf * wq * p.w.TFIDF[i][r] * maxsim
 				}
 			}
 		}
@@ -465,29 +385,5 @@ func (p *SoftTFIDF) selectOpts(query string, opts core.SelectOptions) ([]core.Ma
 			acc[i] = total
 		}
 	}
-	return acc.matches2(p.wd.records, opts), nil
-}
-
-// knownCounts filters a count map to tokens known to the corpus.
-func knownCounts(counts map[string]int, c *weights.Corpus) map[string]int {
-	out := make(map[string]int, len(counts))
-	for t, tf := range counts {
-		if c.Known(t) {
-			out[t] = tf
-		}
-	}
-	return out
-}
-
-// matches2 is accumulator.matches for word-level predicates (which do not
-// carry a tokenData).
-func (a accumulator) matches2(records []core.Record, opts core.SelectOptions) []core.Match {
-	out := make([]core.Match, 0, len(a))
-	for idx, score := range a {
-		if !opts.Keeps(score) {
-			continue
-		}
-		out = append(out, core.Match{TID: records[idx].TID, Score: score})
-	}
-	return core.FinishMatches(out, opts)
+	return acc.matches(p.recs, opts), nil
 }

@@ -1,8 +1,6 @@
 package native
 
 import (
-	"time"
-
 	"repro/internal/core"
 	"repro/internal/strutil"
 	"repro/internal/tokenize"
@@ -17,11 +15,13 @@ import (
 // Both the filter and the verified distance operate on the edit-normalized
 // string (upper-cased, whitespace runs replaced by the q-gram pad sequence)
 // so the filter's no-false-negative guarantee is exact for the similarity
-// actually scored.
+// actually scored. The gram index reads the corpus's *unpruned* layer:
+// IDF pruning would break the no-false-negative guarantee (§5.6 notes
+// pruning suits weighted predicates).
 type EditDistance struct {
 	phases
-	td       *tokenData
-	postings map[string][]wpost // w carries the record-side gram tf
+	recs []core.Record
+	raw  *core.GramLayer // unpruned layer: TFPost + rank lookups
 	// posIndex maps gram → per-record sorted start positions, built when
 	// the positional filter is enabled.
 	posIndex   map[string][]posPost
@@ -41,41 +41,40 @@ type posPost struct {
 
 // NewEditDistance preprocesses the base relation for the edit predicate.
 func NewEditDistance(records []core.Record, cfg core.Config) (*EditDistance, error) {
-	if err := validate(records, cfg); err != nil {
+	p, err := Build("EditDistance", records, cfg)
+	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	// The candidate filter must see unpruned grams: pruning would break the
-	// no-false-negative guarantee, so the edit predicate ignores PruneRate
-	// for its gram index (§5.6 notes pruning suits weighted predicates).
-	td := buildTokenData(records, cfg.Q, 0)
-	t1 := time.Now()
+	return p.(*EditDistance), nil
+}
+
+func attachEditDistance(s *core.Snapshot, cfg core.Config) *EditDistance {
+	raw := s.RawGrams
 	p := &EditDistance{
-		td:         td,
+		recs:       s.Records,
+		raw:        raw,
 		q:          cfg.Q,
 		theta:      cfg.EditTheta,
 		positional: cfg.EditPositional,
-		postings:   make(map[string][]wpost),
-		norm:       make([]string, len(records)),
-		grams:      make([]int, len(records)),
+		norm:       s.Norms,
+		grams:      raw.DL,
 	}
 	if p.positional {
+		// The corpus's gram slice is in occurrence order, so position j of
+		// Docs[i] is the j-th gram start — no re-tokenization needed.
 		p.posIndex = make(map[string][]posPost)
-	}
-	for i, r := range records {
-		p.norm[i] = editNormalize(r.Text, cfg.Q)
-		p.grams[i] = td.dl[i]
-		for t, tf := range td.counts[i] {
-			p.postings[t] = append(p.postings[t], wpost{idx: i, w: float64(tf)})
-		}
-		if p.positional {
-			for t, poss := range gramPositions(r.Text, cfg.Q) {
-				p.posIndex[t] = append(p.posIndex[t], posPost{idx: i, positions: poss})
+		for i := range raw.Docs {
+			for j, g := range raw.Docs[i] {
+				refs := p.posIndex[g]
+				if n := len(refs); n > 0 && refs[n-1].idx == i {
+					refs[n-1].positions = append(refs[n-1].positions, int32(j))
+				} else {
+					p.posIndex[g] = append(refs, posPost{idx: i, positions: []int32{int32(j)}})
+				}
 			}
 		}
 	}
-	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
-	return p, nil
+	return p
 }
 
 // gramPositions returns, per gram, the sorted start positions within the
@@ -127,7 +126,7 @@ func (p *EditDistance) selectOpts(query string, opts core.SelectOptions) ([]core
 		for i := range p.norm {
 			acc[i] = editSim(qnorm, qlen, p.norm[i])
 		}
-		return acc.matches(p.td, opts), nil
+		return acc.matches(p.recs, opts), nil
 	}
 
 	// Candidate generation: count matching grams. The positional variant
@@ -156,12 +155,16 @@ func (p *EditDistance) selectOpts(query string, opts core.SelectOptions) ([]core
 		}
 	} else {
 		for t, qtf := range qcounts {
-			for _, post := range p.postings[t] {
-				m := int(post.w)
+			r, ok := p.raw.Rank(t)
+			if !ok {
+				continue
+			}
+			for _, post := range p.raw.TFPost[r] {
+				m := int(post.W)
 				if qtf < m {
 					m = qtf
 				}
-				common[post.idx] += m
+				common[post.Rec] += m
 			}
 		}
 	}
@@ -198,7 +201,7 @@ func (p *EditDistance) selectOpts(query string, opts core.SelectOptions) ([]core
 			acc[idx] = sim
 		}
 	}
-	return acc.matches(p.td, opts), nil
+	return acc.matches(p.recs, opts), nil
 }
 
 // editSim computes the edit similarity against a normalized record.

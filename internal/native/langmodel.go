@@ -2,7 +2,6 @@ package native
 
 import (
 	"math"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/tokenize"
@@ -13,41 +12,27 @@ import (
 
 // LM is the Ponte–Croft language modeling predicate, scored with the
 // algebraically rewritten Eq. 4.4 so that only tokens shared by query and
-// record (plus one precomputed per-record term) participate.
+// record (plus one precomputed per-record term) participate. Its posting
+// table (the BASE_PM join of the declarative plan) is parameter-free and
+// lives on the shared corpus (core.LayerLM).
 type LM struct {
 	phases
-	td *tokenData
-	// postings carry, per (token, record), the combined per-match log term
-	// log pm − log(1−pm) − log(cf/cs).
-	postings map[string][]wpost
-	sumComp  []float64 // Σ_{t∈D} log(1−pm), the BASE_SUMCOMPMBASE term
-	q        int
+	recs []core.Record
+	g    *core.GramLayer
+	q    int
 }
 
 // NewLM preprocesses the base relation for the language modeling predicate.
 func NewLM(records []core.Record, cfg core.Config) (*LM, error) {
-	if err := validate(records, cfg); err != nil {
+	p, err := Build("LM", records, cfg)
+	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
-	t1 := time.Now()
-	p := &LM{
-		td:       td,
-		q:        cfg.Q,
-		postings: make(map[string][]wpost),
-		sumComp:  make([]float64, len(td.counts)),
-	}
-	for i, counts := range td.counts {
-		rec := td.corpus.LM(counts, td.dl[i])
-		p.sumComp[i] = rec.SumCompLog
-		for t, pm := range rec.PM {
-			term := math.Log(pm) - math.Log(1.0-pm) - math.Log(td.corpus.CFCS(t))
-			p.postings[t] = append(p.postings[t], wpost{idx: i, w: term})
-		}
-	}
-	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
-	return p, nil
+	return p.(*LM), nil
+}
+
+func attachLM(s *core.Snapshot, cfg core.Config) *LM {
+	return &LM{recs: s.Records, g: s.Grams, q: cfg.Q}
 }
 
 // Name implements core.Predicate.
@@ -60,45 +45,67 @@ func (p *LM) selectOpts(query string, opts core.SelectOptions) ([]core.Match, er
 	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
 	acc := accumulator{}
 	matched := map[int]bool{}
-	for _, t := range sortedTokens(qcounts) {
-		tf := qcounts[t]
-		for _, post := range p.postings[t] {
-			acc[post.idx] += float64(tf) * post.w
-			matched[post.idx] = true
+	for _, rt := range p.g.OrderedKnownRanks(qcounts) {
+		tf := qcounts[rt.Tok]
+		for _, post := range p.g.LMPost[rt.Rank] {
+			acc[post.Rec] += float64(tf) * post.W
+			matched[post.Rec] = true
 		}
 	}
 	for idx := range matched {
-		acc[idx] = math.Exp(acc[idx] + p.sumComp[idx])
+		acc[idx] = math.Exp(acc[idx] + p.g.LMSumComp[idx])
 	}
-	return acc.matches(p.td, opts), nil
+	return acc.matches(p.recs, opts), nil
 }
 
 // HMM is the two-state Hidden Markov Model predicate: the similarity is the
 // product, over query token occurrences matched in the record, of
-// 1 + a1·P(t|D)/(a0·P(t|GE)) (rewritten Eq. 4.6).
+// 1 + a1·P(t|D)/(a0·P(t|GE)) (rewritten Eq. 4.6). The weights depend on the
+// a0 parameter, so they are computed at attach time from the shared corpus
+// statistics.
 type HMM struct {
 	phases
-	td       *tokenData
-	postings map[string][]wpost // w = log weight
+	recs     []core.Record
+	g        *core.GramLayer
+	postings [][]core.WPost // indexed by token rank; W = log weight
 	q        int
 }
 
 // NewHMM preprocesses the base relation for the HMM predicate.
 func NewHMM(records []core.Record, cfg core.Config) (*HMM, error) {
-	if err := validate(records, cfg); err != nil {
+	p, err := Build("HMM", records, cfg)
+	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
-	t1 := time.Now()
-	p := &HMM{td: td, q: cfg.Q, postings: make(map[string][]wpost)}
-	for i, counts := range td.counts {
-		for t, w := range td.corpus.HMM(counts, td.dl[i], cfg.HMMA0) {
-			p.postings[t] = append(p.postings[t], wpost{idx: i, w: math.Log(w)})
+	return p.(*HMM), nil
+}
+
+func attachHMM(s *core.Snapshot, cfg core.Config) *HMM {
+	g := s.Grams
+	p := &HMM{recs: s.Records, g: g, q: cfg.Q, postings: g.RankTable()}
+	// P(t|GE) = cf/cs is per token, not per posting.
+	cfcs := make([]float64, len(g.TokenByRank))
+	for r, t := range g.TokenByRank {
+		cfcs[r] = g.Stats.CFCS(t)
+	}
+	a0 := cfg.HMMA0
+	a1 := 1 - a0
+	for i, pairs := range g.Pairs {
+		dl := float64(g.DL[i])
+		if dl == 0 {
+			continue
+		}
+		for _, pr := range pairs {
+			ptge := cfcs[pr.Rank]
+			if ptge == 0 {
+				continue
+			}
+			pml := float64(pr.TF) / dl
+			w := 1 + a1*pml/(a0*ptge)
+			p.postings[pr.Rank] = append(p.postings[pr.Rank], core.WPost{Rec: i, W: math.Log(w)})
 		}
 	}
-	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
-	return p, nil
+	return p
 }
 
 // Name implements core.Predicate.
@@ -108,14 +115,14 @@ func (p *HMM) Name() string { return "HMM" }
 func (p *HMM) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
 	acc := accumulator{}
-	for _, t := range sortedTokens(qcounts) {
-		tf := qcounts[t]
-		for _, post := range p.postings[t] {
-			acc[post.idx] += float64(tf) * post.w
+	for _, rt := range p.g.OrderedKnownRanks(qcounts) {
+		tf := qcounts[rt.Tok]
+		for _, post := range p.postings[rt.Rank] {
+			acc[post.Rec] += float64(tf) * post.W
 		}
 	}
 	for idx, logScore := range acc {
 		acc[idx] = math.Exp(logScore)
 	}
-	return acc.matches(p.td, opts), nil
+	return acc.matches(p.recs, opts), nil
 }

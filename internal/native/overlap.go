@@ -1,8 +1,6 @@
 package native
 
 import (
-	"time"
-
 	"repro/internal/core"
 	"repro/internal/tokenize"
 )
@@ -11,38 +9,28 @@ import (
 // q-gram tokens of query and record: duplicates are collapsed, mirroring the
 // distinct-token tables the declarative framework stores for this class
 // (§5.5.1 notes the "small difference which is due to storing distinct
-// tokens only").
+// tokens only"). All four share the corpus's distinct-token inverted index
+// (core.LayerPostings) — the single TOKENS table of the paper's framework.
 
 // IntersectSize is sim(Q,D) = |Q ∩ D| (Eq. 3.1).
 type IntersectSize struct {
 	phases
-	td       *tokenData
-	postings map[string][]int
-	q        int
+	recs []core.Record
+	g    *core.GramLayer
+	q    int
 }
 
 // NewIntersectSize preprocesses the base relation for IntersectSize.
 func NewIntersectSize(records []core.Record, cfg core.Config) (*IntersectSize, error) {
-	if err := validate(records, cfg); err != nil {
+	p, err := Build("IntersectSize", records, cfg)
+	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
-	t1 := time.Now()
-	p := &IntersectSize{td: td, q: cfg.Q, postings: distinctPostings(td)}
-	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
-	return p, nil
+	return p.(*IntersectSize), nil
 }
 
-// distinctPostings maps each token to the records containing it.
-func distinctPostings(td *tokenData) map[string][]int {
-	postings := make(map[string][]int)
-	for i, counts := range td.counts {
-		for t := range counts {
-			postings[t] = append(postings[t], i)
-		}
-	}
-	return postings
+func attachIntersectSize(s *core.Snapshot, cfg core.Config) *IntersectSize {
+	return &IntersectSize{recs: s.Records, g: s.Grams, q: cfg.Q}
 }
 
 // Name implements core.Predicate.
@@ -52,37 +40,42 @@ func (p *IntersectSize) Name() string { return "IntersectSize" }
 func (p *IntersectSize) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	acc := accumulator{}
 	for t := range tokenize.Counts(tokenize.QGrams(query, p.q)) {
-		for _, idx := range p.postings[t] {
-			acc[idx]++
+		r, ok := p.g.Rank(t)
+		if !ok {
+			continue
+		}
+		for _, idx := range p.g.Postings[r] {
+			acc[int(idx)]++
 		}
 	}
-	return acc.matches(p.td, opts), nil
+	return acc.matches(p.recs, opts), nil
 }
 
 // Jaccard is sim(Q,D) = |Q ∩ D| / |Q ∪ D| (Eq. 3.2).
 type Jaccard struct {
 	phases
-	td       *tokenData
-	postings map[string][]int
-	setLen   []int // distinct token count per record
-	q        int
+	recs   []core.Record
+	g      *core.GramLayer
+	setLen []int // distinct token count per record
+	q      int
 }
 
 // NewJaccard preprocesses the base relation for the Jaccard coefficient.
 func NewJaccard(records []core.Record, cfg core.Config) (*Jaccard, error) {
-	if err := validate(records, cfg); err != nil {
+	p, err := Build("Jaccard", records, cfg)
+	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
-	t1 := time.Now()
-	p := &Jaccard{td: td, q: cfg.Q, postings: distinctPostings(td)}
-	p.setLen = make([]int, len(td.counts))
-	for i, counts := range td.counts {
+	return p.(*Jaccard), nil
+}
+
+func attachJaccard(s *core.Snapshot, cfg core.Config) *Jaccard {
+	p := &Jaccard{recs: s.Records, g: s.Grams, q: cfg.Q}
+	p.setLen = make([]int, len(s.Grams.Counts))
+	for i, counts := range s.Grams.Counts {
 		p.setLen[i] = len(counts)
 	}
-	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
-	return p, nil
+	return p
 }
 
 // Name implements core.Predicate.
@@ -95,8 +88,12 @@ func (p *Jaccard) selectOpts(query string, opts core.SelectOptions) ([]core.Matc
 	qset := tokenize.Counts(tokenize.QGrams(query, p.q))
 	inter := map[int]int{}
 	for t := range qset {
-		for _, idx := range p.postings[t] {
-			inter[idx]++
+		r, ok := p.g.Rank(t)
+		if !ok {
+			continue
+		}
+		for _, idx := range p.g.Postings[r] {
+			inter[int(idx)]++
 		}
 	}
 	acc := accumulator{}
@@ -104,43 +101,30 @@ func (p *Jaccard) selectOpts(query string, opts core.SelectOptions) ([]core.Matc
 	for idx, common := range inter {
 		acc[idx] = float64(common) / float64(p.setLen[idx]+qlen-common)
 	}
-	return acc.matches(p.td, opts), nil
+	return acc.matches(p.recs, opts), nil
 }
 
 // WeightedMatch is Σ_{t∈Q∩D} w(t) with Robertson–Sparck Jones weights
-// (§3.1, §5.3.1).
+// (§3.1, §5.3.1). The RS weight table is shared corpus state
+// (core.LayerRS), not per-predicate.
 type WeightedMatch struct {
 	phases
-	td       *tokenData
-	postings map[string][]int
-	rs       map[string]float64
-	q        int
+	recs []core.Record
+	g    *core.GramLayer
+	q    int
 }
 
 // NewWeightedMatch preprocesses the base relation for WeightedMatch.
 func NewWeightedMatch(records []core.Record, cfg core.Config) (*WeightedMatch, error) {
-	if err := validate(records, cfg); err != nil {
+	p, err := Build("WeightedMatch", records, cfg)
+	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
-	t1 := time.Now()
-	p := &WeightedMatch{td: td, q: cfg.Q, postings: distinctPostings(td), rs: rsTable(td)}
-	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
-	return p, nil
+	return p.(*WeightedMatch), nil
 }
 
-// rsTable precomputes RS weights for every known token.
-func rsTable(td *tokenData) map[string]float64 {
-	rs := make(map[string]float64)
-	for _, counts := range td.counts {
-		for t := range counts {
-			if _, ok := rs[t]; !ok {
-				rs[t] = td.corpus.RS(t)
-			}
-		}
-	}
-	return rs
+func attachWeightedMatch(s *core.Snapshot, cfg core.Config) *WeightedMatch {
+	return &WeightedMatch{recs: s.Records, g: s.Grams, q: cfg.Q}
 }
 
 // Name implements core.Predicate.
@@ -150,46 +134,37 @@ func (p *WeightedMatch) Name() string { return "WeightedMatch" }
 func (p *WeightedMatch) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	acc := accumulator{}
 	qset := tokenize.Counts(tokenize.QGrams(query, p.q))
-	for _, t := range sortedTokens(qset) {
-		w, ok := p.rs[t]
-		if !ok {
-			continue
-		}
-		for _, idx := range p.postings[t] {
-			acc[idx] += w
+	for _, rt := range p.g.OrderedKnownRanks(qset) {
+		w := p.g.RSByRank[rt.Rank]
+		for _, idx := range p.g.Postings[rt.Rank] {
+			acc[int(idx)] += w
 		}
 	}
-	return acc.matches(p.td, opts), nil
+	return acc.matches(p.recs, opts), nil
 }
 
 // WeightedJaccard divides the weight of the intersection by the weight of
 // the union, both under RS weights (§3.1).
 type WeightedJaccard struct {
 	phases
-	td       *tokenData
-	postings map[string][]int
-	rs       map[string]float64
-	wlen     []float64 // summed weight of each record's distinct tokens
-	q        int
+	recs []core.Record
+	g    *core.GramLayer
+	q    int
 }
 
 // NewWeightedJaccard preprocesses the base relation for WeightedJaccard.
 func NewWeightedJaccard(records []core.Record, cfg core.Config) (*WeightedJaccard, error) {
-	if err := validate(records, cfg); err != nil {
+	p, err := Build("WeightedJaccard", records, cfg)
+	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	td := buildTokenData(records, cfg.Q, cfg.PruneRate)
-	t1 := time.Now()
-	p := &WeightedJaccard{td: td, q: cfg.Q, postings: distinctPostings(td), rs: rsTable(td)}
-	p.wlen = make([]float64, len(td.counts))
-	for i, counts := range td.counts {
-		for t := range counts {
-			p.wlen[i] += p.rs[t]
-		}
-	}
-	p.tokDur, p.wDur = t1.Sub(t0), time.Since(t1)
-	return p, nil
+	return p.(*WeightedJaccard), nil
+}
+
+func attachWeightedJaccard(s *core.Snapshot, cfg core.Config) *WeightedJaccard {
+	// The union denominator Σ RS over each record's distinct tokens is the
+	// corpus's RSLen column — shared state, nothing to build here.
+	return &WeightedJaccard{recs: s.Records, g: s.Grams, q: cfg.Q}
 }
 
 // Name implements core.Predicate.
@@ -200,29 +175,25 @@ func (p *WeightedJaccard) Name() string { return "WeightedJaccard" }
 // nothing to the union weight (join semantics of the declarative plan).
 func (p *WeightedJaccard) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qset := tokenize.Counts(tokenize.QGrams(query, p.q))
+	known := p.g.OrderedKnownRanks(qset)
 	qlen := 0.0
-	for _, t := range sortedTokens(qset) {
-		if w, ok := p.rs[t]; ok {
-			qlen += w
-		}
+	for _, rt := range known {
+		qlen += p.g.RSByRank[rt.Rank]
 	}
 	inter := map[int]float64{}
-	for _, t := range sortedTokens(qset) {
-		w, ok := p.rs[t]
-		if !ok {
-			continue
-		}
-		for _, idx := range p.postings[t] {
-			inter[idx] += w
+	for _, rt := range known {
+		w := p.g.RSByRank[rt.Rank]
+		for _, idx := range p.g.Postings[rt.Rank] {
+			inter[int(idx)] += w
 		}
 	}
 	acc := accumulator{}
 	for idx, common := range inter {
-		den := p.wlen[idx] + qlen - common
+		den := p.g.RSLen[idx] + qlen - common
 		if den == 0 {
 			continue
 		}
 		acc[idx] = common / den
 	}
-	return acc.matches(p.td, opts), nil
+	return acc.matches(p.recs, opts), nil
 }

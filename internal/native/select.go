@@ -170,3 +170,17 @@ func Builders() map[string]core.BuilderFunc {
 	}
 	return out
 }
+
+// CorpusBuilders is the corpus-aware registration table of the native
+// realization: one CorpusBuilderFunc per benchmark predicate, each
+// attaching to a shared core.Corpus instead of preprocessing a private
+// copy of the relation.
+func CorpusBuilders() map[string]core.CorpusBuilderFunc {
+	out := make(map[string]core.CorpusBuilderFunc, len(core.PredicateNames))
+	for _, name := range core.PredicateNames {
+		out[name] = func(c *core.Corpus, cfg core.Config) (core.Predicate, error) {
+			return Attach(name, c, cfg)
+		}
+	}
+	return out
+}

@@ -72,6 +72,19 @@ func WordQGrams(word string, q int) []string {
 	return out
 }
 
+// EditNormalize prepares a string for edit-based comparison: whitespace
+// runs collapse to the q-gram pad sequence (q−1 pad symbols, minimum one)
+// and letters are upper-cased, so that a q-gram filter and the verified
+// edit distance operate on the same text (§4.4).
+func EditNormalize(s string, q int) string {
+	n := q - 1
+	if n < 1 {
+		n = 1
+	}
+	sep := strings.Repeat(string(PadRune), n)
+	return strings.ToUpper(strings.Join(strings.FieldsFunc(s, unicode.IsSpace), sep))
+}
+
 // Words splits s into word tokens on Unicode whitespace, dropping empty
 // tokens (Appendix A.2). Case is preserved: word-level similarity functions
 // such as Jaro–Winkler are case-sensitive in the paper's framework, and the

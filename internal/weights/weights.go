@@ -26,22 +26,37 @@ type Corpus struct {
 
 // Build computes corpus statistics from one token multiset per record.
 func Build(docs [][]string) *Corpus {
+	counts := make([]map[string]int, len(docs))
+	dls := make([]int, len(docs))
+	for i, doc := range docs {
+		m := make(map[string]int, len(doc))
+		for _, t := range doc {
+			m[t]++
+		}
+		counts[i] = m
+		dls[i] = len(doc)
+	}
+	return BuildFromCounts(counts, dls)
+}
+
+// BuildFromCounts computes corpus statistics from per-record token
+// frequency maps and multiset sizes. It is the maintenance path of the
+// shared corpus: after an insert or delete the statistics are recomputed
+// from the cached per-record counts without re-tokenizing any string, and
+// the result is bit-identical to Build over the same token multisets.
+func BuildFromCounts(counts []map[string]int, dls []int) *Corpus {
 	c := &Corpus{
 		df:     make(map[string]int),
 		cf:     make(map[string]int),
 		sumPML: make(map[string]float64),
 	}
-	c.n = len(docs)
+	c.n = len(counts)
 	totalDL := 0
-	for _, doc := range docs {
-		counts := make(map[string]int, len(doc))
-		for _, t := range doc {
-			counts[t]++
-		}
-		dl := len(doc)
+	for i, m := range counts {
+		dl := dls[i]
 		totalDL += dl
 		c.cs += dl
-		for t, tf := range counts {
+		for t, tf := range m {
 			c.df[t]++
 			c.cf[t] += tf
 			if dl > 0 {
@@ -54,18 +69,25 @@ func Build(docs [][]string) *Corpus {
 	}
 	if len(c.df) > 0 {
 		// Sorted iteration keeps the average bit-deterministic across runs.
-		tokens := make([]string, 0, len(c.df))
-		for t := range c.df {
-			tokens = append(tokens, t)
-		}
-		sort.Strings(tokens)
 		sum := 0.0
-		for _, t := range tokens {
+		for _, t := range c.SortedTokens() {
 			sum += c.idfKnown(t)
 		}
 		c.avgIDF = sum / float64(len(c.df))
 	}
 	return c
+}
+
+// SortedTokens returns every distinct token of the base relation in sorted
+// order — the canonical iteration order used wherever floating-point sums
+// must be bit-deterministic.
+func (c *Corpus) SortedTokens() []string {
+	tokens := make([]string, 0, len(c.df))
+	for t := range c.df {
+		tokens = append(tokens, t)
+	}
+	sort.Strings(tokens)
+	return tokens
 }
 
 // NumRecords returns N, the number of records in the base relation.
@@ -223,7 +245,16 @@ func (c *Corpus) LM(counts map[string]int, dl int) LMRecord {
 	if dl == 0 {
 		return rec
 	}
-	for t, tf := range counts {
+	// SumCompLog accumulates floats; sorted iteration keeps it
+	// bit-deterministic, so incremental corpus maintenance reproduces a
+	// fresh build exactly.
+	tokens := make([]string, 0, len(counts))
+	for t := range counts {
+		tokens = append(tokens, t)
+	}
+	sort.Strings(tokens)
+	for _, t := range tokens {
+		tf := counts[t]
 		pml := float64(tf) / float64(dl)
 		pavg := c.Pavg(t)
 		fbar := pavg * float64(dl)

@@ -25,6 +25,23 @@ func configOpt(f func(*Config)) BuildOption {
 	return buildOpt(func(s *core.BuildSettings) { f(&s.Config) })
 }
 
+// WithCorpus makes New attach the predicate to a shared, mutable Corpus
+// instead of preprocessing the records argument (which is ignored and may
+// be nil): all predicates attached to one corpus share a single
+// tokenization/statistics pass and observe Insert/Delete/Upsert on the
+// corpus. The option adopts the corpus's configuration, so options placed
+// after it adjust scoring-level parameters on top; tokenization-level
+// parameters must match the corpus (they were fixed at OpenCorpus).
+func WithCorpus(c *Corpus) BuildOption {
+	return buildOpt(func(s *core.BuildSettings) {
+		if c == nil {
+			return
+		}
+		s.Corpus = c.c
+		s.Config = c.c.Config()
+	})
+}
+
 // WithRealization selects which realization New builds: Native (the
 // default, in-memory) or Declarative (the paper's SQL realization).
 func WithRealization(r Realization) BuildOption {

@@ -29,6 +29,13 @@ const (
 // and are benchmarked through the same interface as the built-in thirteen.
 type BuilderFunc = core.BuilderFunc
 
+// CorpusBuilderFunc constructs a predicate attached to a shared Corpus —
+// the corpus-aware counterpart of BuilderFunc. Native built-ins resolve to
+// CorpusBuilderFuncs; legacy BuilderFuncs (the declarative realization and
+// Register-ed predicates) are adapted automatically when attached to a
+// corpus, so every registered predicate works with both construction paths.
+type CorpusBuilderFunc = core.CorpusBuilderFunc
+
 // predicateRegistry resolves (realization, name) to a builder. Built-in
 // predicates live in per-realization tables; Register-ed predicates are
 // realization-agnostic — how a custom predicate computes (in memory, over
@@ -36,14 +43,20 @@ type BuilderFunc = core.BuilderFunc
 type predicateRegistry struct {
 	mu       sync.RWMutex
 	builtins map[Realization]map[string]BuilderFunc
-	custom   map[string]BuilderFunc
-	order    []string // custom names in registration order
+	// corpus holds the corpus-aware builders of realizations that support
+	// attaching directly to shared corpus state (the native realization).
+	corpus map[Realization]map[string]CorpusBuilderFunc
+	custom map[string]BuilderFunc
+	order  []string // custom names in registration order
 }
 
 var registry = &predicateRegistry{
 	builtins: map[Realization]map[string]BuilderFunc{
 		Native:      native.Builders(),
 		Declarative: declarative.Builders(),
+	},
+	corpus: map[Realization]map[string]CorpusBuilderFunc{
+		Native: native.CorpusBuilders(),
 	},
 	custom: make(map[string]BuilderFunc),
 }
@@ -81,11 +94,23 @@ func MustRegister(name string, builder BuilderFunc) {
 	}
 }
 
-// unregister removes a custom predicate; tests use it to keep the global
-// registry clean.
-func unregister(name string) {
+// Unregister removes a previously Register-ed predicate so its name can be
+// rebound — the hot-swap path for applications that reload predicate
+// definitions (and the cleanup path for tests). Built-in predicates cannot
+// be unregistered, and unregistering an unknown name is an error.
+// Predicates already constructed under the old registration keep working;
+// only future New/Predicate calls see the change.
+func Unregister(name string) error {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
+	for r, table := range registry.builtins {
+		if _, ok := table[name]; ok {
+			return fmt.Errorf("approxsel: predicate %q is built in (%s realization) and cannot be unregistered", name, r)
+		}
+	}
+	if _, ok := registry.custom[name]; !ok {
+		return fmt.Errorf("approxsel: predicate %q is not registered", name)
+	}
 	delete(registry.custom, name)
 	for i, n := range registry.order {
 		if n == name {
@@ -93,6 +118,7 @@ func unregister(name string) {
 			break
 		}
 	}
+	return nil
 }
 
 // Realizations enumerates the registered realizations in lexical order.
@@ -134,4 +160,29 @@ func lookupBuilder(r Realization, name string) (BuilderFunc, error) {
 		return b, nil
 	}
 	return nil, fmt.Errorf("approxsel: unknown predicate %q (realization %s)", name, r)
+}
+
+// lookupAttach resolves a predicate name under a realization for corpus
+// attachment. It prefers the corpus-aware builder (native built-ins, which
+// share the corpus's precomputed tables); realizations and custom
+// predicates without one fall back to their legacy BuilderFunc, which the
+// corpus view adapts by rebuilding from the corpus's records on epoch
+// change.
+func lookupAttach(r Realization, name string) (CorpusBuilderFunc, BuilderFunc, error) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	table, ok := registry.builtins[r]
+	if !ok {
+		return nil, nil, fmt.Errorf("approxsel: unknown realization %q", r)
+	}
+	if cb, ok := registry.corpus[r][name]; ok {
+		return cb, nil, nil
+	}
+	if b, ok := table[name]; ok {
+		return nil, b, nil
+	}
+	if b, ok := registry.custom[name]; ok {
+		return nil, b, nil
+	}
+	return nil, nil, fmt.Errorf("approxsel: unknown predicate %q (realization %s)", name, r)
 }

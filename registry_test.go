@@ -31,7 +31,7 @@ func TestRegisterCustomPredicate(t *testing.T) {
 	if err := Register("Equality", buildEquality); err != nil {
 		t.Fatal(err)
 	}
-	defer unregister("Equality")
+	defer Unregister("Equality")
 
 	records := facadeRecords()
 	// The custom predicate is constructible through New like a built-in,
@@ -76,7 +76,7 @@ func TestRegisterErrors(t *testing.T) {
 	if err := Register("DupCustom", buildEquality); err != nil {
 		t.Fatal(err)
 	}
-	defer unregister("DupCustom")
+	defer Unregister("DupCustom")
 	if err := Register("DupCustom", buildEquality); err == nil {
 		t.Error("duplicate registration must error")
 	}
@@ -95,7 +95,7 @@ func TestPredicateNamesIncludesCustom(t *testing.T) {
 	if err := Register("ZCustom", buildEquality); err != nil {
 		t.Fatal(err)
 	}
-	defer unregister("ZCustom")
+	defer Unregister("ZCustom")
 	names := PredicateNames()
 	if names[len(names)-1] != "ZCustom" {
 		t.Fatalf("custom predicates must follow the built-ins: %v", names)
