@@ -54,6 +54,13 @@
 //	top, err := approxsel.SelectCtx(ctx, p, "AT&T Inc", approxsel.Limit(10))
 //	res, err := approxsel.SelectBatch(ctx, p, queries, approxsel.Workers(8))
 //
+// OpenShardedCorpus partitions the relation across per-core corpus shards:
+// preprocessing, mutations and probing parallelize across the shards, and
+// selections merge the per-shard top-k rankings deterministically. The
+// sharded corpus (with its per-shard epoch vector) is the storage engine of
+// cmd/approxserved, the HTTP/JSON serving subsystem with an epoch-keyed
+// result cache (internal/server).
+//
 // The package also exposes the benchmark itself: the UIS-style dirty-data
 // generator (GenerateDirty), synthetic clean datasets matching the paper's
 // Table 5.1 statistics (CompanyNames, DBLPTitles), and the IR accuracy

@@ -2,9 +2,9 @@ package approxsel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/core"
 )
@@ -18,7 +18,11 @@ type batchSettings struct {
 
 // BatchError is the error SelectBatch returns when one probe fails: it
 // records which query failed so callers (the joins, which probe records)
-// can name the culprit. It unwraps to the probe's own error.
+// can name the culprit. It unwraps to the probe's own error, so
+// errors.Is/errors.As see through it to the cause.
+//
+// The reported query is deterministic: always the lowest-indexed failing
+// probe, never whichever worker happened to lose the scheduling race.
 type BatchError struct {
 	// Query is the index into the queries slice of the failing probe.
 	Query int
@@ -45,6 +49,10 @@ func (e *BatchError) Unwrap() error { return e.Err }
 // Cancellation is honored at query granularity: when ctx is cancelled,
 // workers finish their in-flight probe, pending queries are abandoned, and
 // the context error is returned.
+//
+// When a probe fails, the returned *BatchError names the lowest-indexed
+// failing query deterministically: probes before that index still run (one
+// of them could fail earlier in query order), probes after it are skipped.
 func SelectBatch(ctx context.Context, p Predicate, queries []string, opts ...BatchOption) ([][]Match, error) {
 	var b batchSettings
 	for _, o := range opts {
@@ -57,60 +65,26 @@ func SelectBatch(ctx context.Context, p Predicate, queries []string, opts ...Bat
 	if !core.ConcurrentSafe(p) {
 		workers = 1
 	}
-	if workers > len(queries) {
-		workers = len(queries)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	out := make([][]Match, len(queries))
-	if len(queries) == 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	idx, err := core.RunJobs(ctx, len(queries), workers, func(i int) error {
+		ms, err := core.SelectWithOptions(ctx, p, queries[i], b.sel)
+		if err != nil {
+			return err
 		}
-		return out, nil
-	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	jobs := make(chan int)
-	go func() {
-		defer close(jobs)
-		for i := range queries {
-			select {
-			case jobs <- i:
-			case <-ctx.Done():
-				return
-			}
+		out[i] = ms
+		return nil
+	})
+	if err != nil {
+		// A cancellation is the batch's failure, not any one query's:
+		// return the bare context error rather than pinning it on whichever
+		// probe happened to observe it first.
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return nil, ctxErr
 		}
-	}()
-
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			cancel()
-		})
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				ms, err := core.SelectWithOptions(ctx, p, queries[i], b.sel)
-				if err != nil {
-					fail(&BatchError{Query: i, Err: err})
-					return
-				}
-				out[i] = ms
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+		return nil, &BatchError{Query: idx, Err: err}
 	}
 	// The feeder may have stopped on parent cancellation while every
 	// in-flight probe finished cleanly; don't report a partial batch as

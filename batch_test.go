@@ -196,3 +196,74 @@ func TestSelectBatchError(t *testing.T) {
 		t.Fatalf("batch must surface the probe error, got %v", err)
 	}
 }
+
+// racingFailures fails on every query whose text says so; "fast" failures
+// return immediately while lower-indexed "slow" failures take longer, so a
+// race-based error report would name the wrong query.
+type racingFailures struct{}
+
+func (racingFailures) Name() string              { return "racing" }
+func (racingFailures) ConcurrentProbeSafe() bool { return true }
+
+func (racingFailures) Select(q string) ([]Match, error) {
+	switch {
+	case strings.HasPrefix(q, "slowfail"):
+		time.Sleep(5 * time.Millisecond)
+		return nil, fmt.Errorf("failed %s", q)
+	case strings.HasPrefix(q, "fastfail"):
+		return nil, fmt.Errorf("failed %s", q)
+	}
+	return []Match{{TID: 1, Score: 1}}, nil
+}
+
+// TestSelectBatchErrorDeterministic checks the BatchError contract: the
+// reported query is always the lowest-indexed failing probe, even when a
+// later probe fails first on the wall clock.
+func TestSelectBatchErrorDeterministic(t *testing.T) {
+	queries := []string{"ok", "slowfail-1", "ok", "ok", "fastfail-4", "ok", "fastfail-6"}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for round := 0; round < 5; round++ {
+			_, err := SelectBatch(context.Background(), racingFailures{}, queries, Workers(workers))
+			var be *BatchError
+			if !errors.As(err, &be) {
+				t.Fatalf("workers=%d: want *BatchError, got %v", workers, err)
+			}
+			if be.Query != 1 {
+				t.Fatalf("workers=%d round=%d: want lowest failing query 1, got %d (%v)",
+					workers, round, be.Query, err)
+			}
+		}
+	}
+}
+
+// TestBatchErrorUnwrap checks that errors.Is/errors.As see through
+// BatchError to the probe's cause, end to end through the join path too.
+func TestBatchErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel cause")
+	p := probeErr{err: sentinel}
+	_, err := SelectBatch(context.Background(), p, []string{"a", "b"}, Workers(2))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is must reach the probe cause through BatchError, got %v", err)
+	}
+	var be *BatchError
+	if !errors.As(err, &be) || be.Query != 0 || be.Unwrap() != sentinel {
+		t.Fatalf("errors.As/Unwrap mismatch: %v", err)
+	}
+
+	// The joins wrap the same failure naming the probe TID; the cause must
+	// still be reachable.
+	_, err = ApproximateJoin(p, []Record{{TID: 7, Text: "x"}}, 0.5)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("join must keep the probe cause reachable, got %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "tid 7") {
+		t.Fatalf("join error must name the probe tid, got %v", err)
+	}
+}
+
+// probeErr fails every probe with a fixed error.
+type probeErr struct{ err error }
+
+func (probeErr) Name() string                     { return "probeErr" }
+func (probeErr) ConcurrentProbeSafe() bool        { return true }
+func (p probeErr) Select(string) ([]Match, error) { return nil, p.err }

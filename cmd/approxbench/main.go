@@ -8,7 +8,7 @@
 //	approxbench -scale 1         # paper scale (5000-tuple datasets, 500 queries)
 //	approxbench -exp figure5.3   # a single experiment
 //	approxbench -impl native     # measure the in-memory realization instead
-//	approxbench -exp bench -benchjson out/   # machine-readable BENCH_*.json
+//	approxbench -exp bench -benchjson out/   # machine-readable BENCH_preprocess/select/serve .json
 package main
 
 import (
@@ -20,10 +20,35 @@ import (
 
 	approxsel "repro"
 	"repro/internal/experiments"
+	"repro/internal/server/loadtest"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// runServeBench runs the serving-path load test at the benchmark harness's
+// scale — the third machine-readable artifact next to BENCH_preprocess.json
+// and BENCH_select.json: the naive per-request path versus a warm, sharded,
+// cache-accelerated approxserved over the same zipf-skewed query mix. The
+// performance options map onto the load test conservatively so the CI
+// bench-smoke sizes stay fast: the relation is Size records and the timed
+// request count scales with Queries.
+func runServeBench(o experiments.PerfOptions) (loadtest.Report, error) {
+	requests := o.Queries * 20
+	if requests < 60 {
+		requests = 60
+	}
+	distinct := o.Queries * 2
+	if distinct < 10 {
+		distinct = 10
+	}
+	return loadtest.Run(loadtest.Options{
+		Records:  o.Size,
+		Requests: requests,
+		Distinct: distinct,
+		Seed:     o.Seed,
+	})
 }
 
 // run executes the tool with explicit arguments and streams, so tests can
@@ -86,6 +111,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if *benchJSON != "" {
 				if err = r.WriteJSONFiles(*benchJSON); err == nil {
 					fmt.Fprintf(w, "\nwrote %s/BENCH_preprocess.json and %s/BENCH_select.json\n", *benchJSON, *benchJSON)
+				}
+			}
+		}
+		if err == nil {
+			var sr loadtest.Report
+			if sr, err = runServeBench(po); err == nil {
+				fmt.Fprintln(w)
+				sr.Print(w)
+				if *benchJSON != "" {
+					if err = sr.WriteJSON(*benchJSON); err == nil {
+						fmt.Fprintf(w, "wrote %s/BENCH_serve.json\n", *benchJSON)
+					}
 				}
 			}
 		}

@@ -88,6 +88,31 @@ func TestRunBenchJSON(t *testing.T) {
 			t.Fatalf("non-positive select timing for %s", e.Predicate)
 		}
 	}
+
+	// The bench experiment also records the serving-path datapoint.
+	var serve struct {
+		Records int `json:"records"`
+		Entries []struct {
+			Path string  `json:"path"`
+			QPS  float64 `json:"qps"`
+		} `json:"entries"`
+		DifferentialOK bool `json:"differential_ok"`
+	}
+	data, err = os.ReadFile(filepath.Join(dir, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &serve); err != nil {
+		t.Fatalf("BENCH_serve.json: %v", err)
+	}
+	if serve.Records != 200 || len(serve.Entries) != 2 || !serve.DifferentialOK {
+		t.Fatalf("serve report: %s", data)
+	}
+	for _, e := range serve.Entries {
+		if e.QPS <= 0 {
+			t.Fatalf("non-positive qps for path %s", e.Path)
+		}
+	}
 }
 
 // TestRunBadFlags pins the error paths.

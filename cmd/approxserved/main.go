@@ -1,0 +1,208 @@
+// Command approxserved serves approximate selection over HTTP/JSON: it
+// loads one relation into a sharded, cache-accelerated corpus and exposes
+// /v1/select, /v1/batch, /v1/join, the mutation endpoints /v1/insert,
+// /v1/delete and /v1/upsert, runtime corpus management (/v1/corpora) and
+// observability (/v1/stats, /healthz).
+//
+// Usage:
+//
+//	approxserved                                  # serve dblp:5000 on :8080
+//	approxserved -addr :9090 -dataset company:2000 -shards 4
+//	approxserved -dataset titles.txt              # one record per line
+//	approxserved -selftest                        # run the bundled load test
+//	approxserved -selftest -benchjson out/        # ... and write BENCH_serve.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	approxsel "repro"
+	"repro/internal/server"
+	"repro/internal/server/loadtest"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the daemon with explicit context, arguments and streams, so
+// tests can drive it end to end and cancel it for graceful shutdown.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("approxserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address (use :0 for a random port)")
+	portfile := fs.String("portfile", "", "write the resolved listen address to this file once serving")
+	dataset := fs.String("dataset", "dblp:5000", "relation to load: dblp:N, company:N, or a file with one record per line")
+	corpusName := fs.String("corpus", "main", "name of the served corpus")
+	shards := fs.Int("shards", 0, "shards per corpus (0 = GOMAXPROCS)")
+	cacheEntries := fs.Int("cache", 0, "result-cache entries per corpus (0 = default 4096, negative disables)")
+	maxInFlight := fs.Int("maxinflight", 0, "max concurrently admitted requests (0 = 16x GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
+	workers := fs.Int("workers", 0, "batch/join fan-out workers (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", 1, "synthetic dataset generation seed")
+
+	selftest := fs.Bool("selftest", false, "run the bundled load test instead of serving")
+	ltRecords := fs.Int("records", 5000, "selftest: relation size")
+	ltRequests := fs.Int("requests", 2000, "selftest: timed serve-path requests")
+	ltDistinct := fs.Int("distinct", 200, "selftest: distinct queries in the mix")
+	ltZipf := fs.Float64("zipf", 1.3, "selftest: zipf skew of the query mix (must be > 1)")
+	ltPredicate := fs.String("predicate", "BM25", "selftest: probed predicate")
+	ltLimit := fs.Int("limit", 10, "selftest: per-query top-k")
+	benchJSON := fs.String("benchjson", "", "selftest: directory to write BENCH_serve.json")
+	minSpeedup := fs.Float64("minspeedup", 0, "selftest: fail unless served/naive QPS ratio reaches this")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *selftest {
+		report, err := loadtest.Run(loadtest.Options{
+			Records:      *ltRecords,
+			Requests:     *ltRequests,
+			Distinct:     *ltDistinct,
+			ZipfS:        *ltZipf,
+			Predicate:    *ltPredicate,
+			Limit:        *ltLimit,
+			Shards:       *shards,
+			CacheEntries: *cacheEntries,
+			Seed:         *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "approxserved: selftest: %v\n", err)
+			return 1
+		}
+		report.Print(stdout)
+		if *benchJSON != "" {
+			if err := report.WriteJSON(*benchJSON); err != nil {
+				fmt.Fprintf(stderr, "approxserved: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "wrote %s/BENCH_serve.json\n", *benchJSON)
+		}
+		if !report.DifferentialOK {
+			fmt.Fprintln(stderr, "approxserved: selftest: cached results diverged from uncached computation")
+			return 1
+		}
+		if *minSpeedup > 0 && report.Speedup < *minSpeedup {
+			fmt.Fprintf(stderr, "approxserved: selftest: speedup %.2fx below required %.2fx\n",
+				report.Speedup, *minSpeedup)
+			return 1
+		}
+		return 0
+	}
+
+	records, err := loadDataset(*dataset, *seed)
+	if err != nil {
+		fmt.Fprintf(stderr, "approxserved: %v\n", err)
+		return 1
+	}
+	srv := server.New(server.Config{
+		Shards:         *shards,
+		CacheEntries:   *cacheEntries,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *timeout,
+		Workers:        *workers,
+	})
+	if err := srv.AddCorpus(*corpusName, records); err != nil {
+		fmt.Fprintf(stderr, "approxserved: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "approxserved: %v\n", err)
+		return 1
+	}
+	if *portfile != "" {
+		if err := os.WriteFile(*portfile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintf(stderr, "approxserved: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "approxserved: serving corpus %q (%d records, %d shards) on %s\n",
+		*corpusName, len(records), srvShards(*shards), ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "approxserved: %v\n", err)
+			return 1
+		}
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting, drain in-flight requests.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(stderr, "approxserved: shutdown: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "approxserved: drained, bye")
+	}
+	return 0
+}
+
+func srvShards(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// loadDataset parses the -dataset spec: dblp:N and company:N generate the
+// synthetic relations of the benchmark (Table 5.1 statistics); anything
+// else is a file path read as one record text per line (TIDs 1..n).
+func loadDataset(spec string, seed int64) ([]approxsel.Record, error) {
+	if kind, nStr, ok := strings.Cut(spec, ":"); ok {
+		n, err := strconv.Atoi(nStr)
+		if err == nil && n > 0 {
+			switch kind {
+			case "dblp":
+				return textsToRecords(approxsel.DBLPTitles(n, seed)), nil
+			case "company":
+				return textsToRecords(approxsel.CompanyNames(n, seed)), nil
+			}
+		}
+		if kind == "dblp" || kind == "company" {
+			return nil, fmt.Errorf("bad dataset spec %q (want %s:N with N > 0)", spec, kind)
+		}
+	}
+	data, err := os.ReadFile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %q: %w", spec, err)
+	}
+	var texts []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			texts = append(texts, line)
+		}
+	}
+	if len(texts) == 0 {
+		return nil, fmt.Errorf("dataset %q: no records", spec)
+	}
+	return textsToRecords(texts), nil
+}
+
+func textsToRecords(texts []string) []approxsel.Record {
+	records := make([]approxsel.Record, len(texts))
+	for i, t := range texts {
+		records[i] = approxsel.Record{TID: i + 1, Text: t}
+	}
+	return records
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeEndToEnd boots the daemon on a random port, talks to it over
+// HTTP — select, insert, cached re-select — checks the stats hit rate, then
+// cancels the context and expects a graceful drain.
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	portfile := filepath.Join(dir, "addr.txt")
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout, stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-portfile", portfile,
+			"-dataset", "company:60",
+			"-shards", "2",
+		}, &stdout, &stderr)
+	}()
+
+	var addr string
+	for i := 0; i < 100; i++ {
+		if data, err := os.ReadFile(portfile); err == nil && len(data) > 0 {
+			addr = string(data)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("portfile never appeared; stderr: %s", stderr.String())
+	}
+	base := "http://" + addr
+
+	postJSON := func(path, body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %v", path, resp.StatusCode, out)
+		}
+		return out
+	}
+
+	sel := `{"corpus":"main","predicate":"BM25","query":"international business machines","limit":5}`
+	first := postJSON("/v1/select", sel)
+	if first["cached"] != false {
+		t.Fatalf("first select must miss: %v", first)
+	}
+	second := postJSON("/v1/select", sel)
+	if second["cached"] != true {
+		t.Fatalf("second select must hit: %v", second)
+	}
+	postJSON("/v1/insert", `{"corpus":"main","records":[{"tid":9001,"text":"International Business Machines Corporation"}]}`)
+	third := postJSON("/v1/select", sel)
+	if third["cached"] != false {
+		t.Fatalf("select after insert must miss: %v", third)
+	}
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Cache struct {
+			HitRate float64 `json:"hit_rate"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Cache.HitRate <= 0 {
+		t.Fatalf("hit rate must be positive after a cached re-select: %v", stats.Cache.HitRate)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after cancellation")
+	}
+	if !strings.Contains(stdout.String(), "drained") {
+		t.Fatalf("graceful shutdown not reported: %s", stdout.String())
+	}
+}
+
+// TestSelftest runs the bundled load test at a tiny scale and checks the
+// BENCH_serve.json artifact.
+func TestSelftest(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-selftest",
+		"-records", "150",
+		"-requests", "80",
+		"-distinct", "15",
+		"-shards", "2",
+		"-benchjson", dir,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("selftest exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "speedup") {
+		t.Fatalf("selftest summary missing: %s", stdout.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Entries []struct {
+			Path string  `json:"path"`
+			QPS  float64 `json:"qps"`
+		} `json:"entries"`
+		DifferentialOK bool `json:"differential_ok"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Entries) != 2 || !report.DifferentialOK {
+		t.Fatalf("report: %s", data)
+	}
+}
+
+// TestLoadDataset covers the dataset spec parser.
+func TestLoadDataset(t *testing.T) {
+	if rs, err := loadDataset("dblp:30", 1); err != nil || len(rs) != 30 {
+		t.Fatalf("dblp:30: %d %v", len(rs), err)
+	}
+	if rs, err := loadDataset("company:10", 1); err != nil || len(rs) != 10 {
+		t.Fatalf("company:10: %d %v", len(rs), err)
+	}
+	if _, err := loadDataset("dblp:0", 1); err == nil {
+		t.Fatal("dblp:0 must fail")
+	}
+	if _, err := loadDataset("/no/such/file", 1); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	f := filepath.Join(t.TempDir(), "data.txt")
+	if err := os.WriteFile(f, []byte("alpha beta\n\n  gamma delta  \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := loadDataset(f, 1)
+	if err != nil || len(rs) != 2 || rs[1].Text != "gamma delta" {
+		t.Fatalf("file dataset: %v %v", rs, err)
+	}
+	for i, r := range rs {
+		if r.TID != i+1 {
+			t.Fatalf("tids must be 1..n: %v", rs)
+		}
+	}
+}
+
+// TestBadFlags keeps flag errors at exit code 2.
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(context.Background(), []string{"-nosuchflag"}, &out, &out); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+	if code := run(context.Background(), []string{"-dataset", "dblp:x"}, &out, &out); code != 1 {
+		t.Fatalf("bad dataset spec: exit %d", code)
+	}
+}

@@ -71,6 +71,9 @@ func (c *Corpus) Predicate(name string, opts ...BuildOption) (Predicate, error) 
 	for _, o := range opts {
 		o.ApplyBuild(&settings)
 	}
+	if settings.Corpus != nil && settings.Corpus != c.c {
+		return nil, fmt.Errorf("approxsel: WithCorpus naming a different corpus is not a valid Corpus.Predicate option")
+	}
 	return attachToCorpus(c.c, Realization(settings.Realization), name, settings.Config)
 }
 

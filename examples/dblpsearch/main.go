@@ -2,25 +2,44 @@
 // over a bibliography: misspelled, reordered queries against a DBLP-like
 // title relation, plus the §5.6 IDF-pruning enhancement and its
 // accuracy/speed trade-off.
+//
+// With -serve the same search runs as an HTTP client against an in-process
+// approxserved instance instead of the in-memory library: the example boots
+// the serving subsystem on a loopback port, POSTs the queries to
+// /v1/select, inserts a record over /v1/insert, and shows the epoch-keyed
+// cache hitting on a repeated query.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"time"
 
 	approxsel "repro"
+	"repro/internal/server"
 )
 
 func main() {
 	size := flag.Int("size", 5000, "number of titles in the relation")
+	serve := flag.Bool("serve", false, "run the search through approxserved over HTTP instead of in-process")
 	flag.Parse()
 
 	titles := approxsel.DBLPTitles(*size, 7)
 	records := make([]approxsel.Record, len(titles))
 	for i, title := range titles {
 		records[i] = approxsel.Record{TID: i + 1, Text: title}
+	}
+
+	if *serve {
+		if err := serveDemo(titles, records); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	bm25, err := approxsel.New("BM25", records)
@@ -76,6 +95,84 @@ func main() {
 		avg := time.Since(start) / 20
 		fmt.Printf("  %.1f   %10s   %10s   %d\n", rate, prep.Round(time.Millisecond), avg.Round(time.Microsecond), hits)
 	}
+}
+
+// serveDemo is the HTTP-client example: everything below talks to
+// approxserved's JSON API exactly as a remote client would.
+func serveDemo(titles []string, records []approxsel.Record) error {
+	srv := server.New(server.Config{})
+	if err := srv.AddCorpus("dblp", records); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("approxserved serving %d titles at %s\n", len(records), ts.URL)
+
+	type match struct {
+		TID   int     `json:"tid"`
+		Score float64 `json:"score"`
+	}
+	type selectResponse struct {
+		Matches   []match `json:"matches"`
+		Cached    bool    `json:"cached"`
+		ElapsedUS int64   `json:"elapsed_us"`
+	}
+	search := func(query string) (selectResponse, error) {
+		body, err := json.Marshal(map[string]any{
+			"corpus": "dblp", "predicate": "BM25", "query": query, "limit": 1,
+		})
+		if err != nil {
+			return selectResponse{}, err
+		}
+		resp, err := http.Post(ts.URL+"/v1/select", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return selectResponse{}, err
+		}
+		defer resp.Body.Close()
+		var out selectResponse
+		if resp.StatusCode != http.StatusOK {
+			return out, fmt.Errorf("select: status %d", resp.StatusCode)
+		}
+		return out, json.NewDecoder(resp.Body).Decode(&out)
+	}
+
+	base := titles[123]
+	fmt.Printf("target: %q\n", base)
+	for _, q := range []string{base, misspell(base), swapFirstWords(base), misspell(base)} {
+		r, err := search(q)
+		if err != nil {
+			return err
+		}
+		hit := "MISS"
+		if len(r.Matches) > 0 && r.Matches[0].TID == 124 {
+			hit = "hit "
+		}
+		fmt.Printf("  [%s] cached=%-5v %6dµs  query %q\n", hit, r.Cached, r.ElapsedUS, q)
+	}
+
+	// Mutations invalidate by epoch advance: the repeated query misses the
+	// cache once, then caches again under the new version.
+	ins, err := json.Marshal(map[string]any{
+		"corpus":  "dblp",
+		"records": []map[string]any{{"tid": len(records) + 1, "text": base + " (extended version)"}},
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(ts.URL+"/v1/insert", "application/json", bytes.NewReader(ins))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	fmt.Println("inserted one record; epoch advanced")
+	for i := 0; i < 2; i++ {
+		r, err := search(misspell(base))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  re-query: cached=%-5v %6dµs\n", r.Cached, r.ElapsedUS)
+	}
+	return nil
 }
 
 // misspell introduces two character errors.

@@ -1,0 +1,81 @@
+package core
+
+// MergeRanked merges per-shard rankings — each already in the SortMatches
+// order (decreasing score, ties by increasing TID) — into one global
+// ranking in the same order. It is the merge hook of sharded selection:
+// every shard contributes its own top-k heap output and the merge is a
+// k-way heap walk that stops as soon as limit matches are emitted (limit
+// <= 0 merges everything). The result is identical to concatenating the
+// lists, sorting with SortMatches and truncating, for any shard count.
+func MergeRanked(lists [][]Match, limit int) []Match {
+	total := 0
+	nonEmpty := 0
+	for _, l := range lists {
+		total += len(l)
+		if len(l) > 0 {
+			nonEmpty++
+		}
+	}
+	if limit <= 0 || limit > total {
+		limit = total
+	}
+	out := make([]Match, 0, limit)
+	switch nonEmpty {
+	case 0:
+		return out
+	case 1:
+		for _, l := range lists {
+			if len(l) > 0 {
+				return append(out, l[:limit]...)
+			}
+		}
+	}
+
+	// A heap of cursors, one per non-empty list, ordered by the head match.
+	type cursor struct {
+		list []Match
+		pos  int
+	}
+	h := make([]cursor, 0, nonEmpty)
+	better := func(a, b cursor) bool {
+		return worseRank(b.list[b.pos], a.list[a.pos])
+	}
+	down := func(i int) {
+		for {
+			best := i
+			if l := 2*i + 1; l < len(h) && better(h[l], h[best]) {
+				best = l
+			}
+			if r := 2*i + 2; r < len(h) && better(h[r], h[best]) {
+				best = r
+			}
+			if best == i {
+				return
+			}
+			h[i], h[best] = h[best], h[i]
+			i = best
+		}
+	}
+	for _, l := range lists {
+		if len(l) > 0 {
+			h = append(h, cursor{list: l})
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	for len(out) < limit {
+		c := &h[0]
+		out = append(out, c.list[c.pos])
+		c.pos++
+		if c.pos == len(c.list) {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			if len(h) == 0 {
+				break
+			}
+		}
+		down(0)
+	}
+	return out
+}

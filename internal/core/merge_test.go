@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// mergeReference is the trivially-correct merge: concatenate, sort,
+// truncate.
+func mergeReference(lists [][]Match, limit int) []Match {
+	var all []Match
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	SortMatches(all)
+	if limit > 0 && limit < len(all) {
+		all = all[:limit]
+	}
+	if all == nil {
+		all = []Match{}
+	}
+	return all
+}
+
+func TestMergeRankedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nLists := rng.Intn(6)
+		lists := make([][]Match, nLists)
+		tid := 0
+		for i := range lists {
+			n := rng.Intn(8)
+			l := make([]Match, n)
+			for j := range l {
+				// Coarse scores force cross-list ties broken by TID.
+				l[j] = Match{TID: tid, Score: float64(rng.Intn(4))}
+				tid++
+			}
+			SortMatches(l)
+			lists[i] = l
+		}
+		for _, limit := range []int{0, 1, 3, 100} {
+			got := MergeRanked(lists, limit)
+			want := mergeReference(lists, limit)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d limit %d:\n got %v\nwant %v", trial, limit, got, want)
+			}
+		}
+	}
+}
+
+func TestMergeRankedEdges(t *testing.T) {
+	if got := MergeRanked(nil, 5); len(got) != 0 {
+		t.Fatalf("empty merge: %v", got)
+	}
+	one := [][]Match{{{TID: 1, Score: 2}, {TID: 2, Score: 1}}}
+	if got := MergeRanked(one, 1); len(got) != 1 || got[0].TID != 1 {
+		t.Fatalf("single-list truncation: %v", got)
+	}
+	if got := MergeRanked([][]Match{nil, {}, one[0]}, 0); len(got) != 2 {
+		t.Fatalf("nil/empty lists must be skipped: %v", got)
+	}
+}

@@ -1,0 +1,173 @@
+// Package cache implements the serving subsystem's epoch-keyed LRU result
+// cache. Keys embed the corpus's shard-epoch vector (see Key), so any
+// Insert/Delete/Upsert invalidates exactly by advancing an epoch — entries
+// for the old version simply stop being addressable and age out of the LRU
+// tail; nothing ever flushes explicitly. Repeated and overlapping query
+// workloads (the hot head of a zipf-skewed mix) are served from the cache
+// without re-probing any predicate.
+package cache
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// LRU is a fixed-capacity least-recently-used map from string keys to
+// values, safe for concurrent use. Values must be treated as immutable by
+// callers: Get returns the cached value itself, not a copy.
+type LRU[V any] struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*node[V]
+	head    *node[V] // most recently used
+	tail    *node[V] // least recently used
+	stats   Stats
+}
+
+type node[V any] struct {
+	key        string
+	val        V
+	prev, next *node[V]
+}
+
+// New returns an LRU holding at most capacity entries; capacity < 1 is
+// clamped to 1.
+func New[V any](capacity int) *LRU[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[V]{cap: capacity, entries: make(map[string]*node[V], capacity)}
+}
+
+// Get returns the value cached under key, marking it most recently used.
+func (c *LRU[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		var zero V
+		return zero, false
+	}
+	c.stats.Hits++
+	c.moveToFront(n)
+	return n.val, true
+}
+
+// Put caches val under key, evicting the least recently used entry when
+// the cache is full. An existing entry is replaced in place.
+func (c *LRU[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.entries[key]; ok {
+		n.val = val
+		c.moveToFront(n)
+		return
+	}
+	if len(c.entries) >= c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+		c.stats.Evictions++
+	}
+	n := &node[V]{key: key, val: val}
+	c.entries[key] = n
+	c.pushFront(n)
+}
+
+// Len returns the current entry count.
+func (c *LRU[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the effectiveness counters.
+func (c *LRU[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}
+
+func (c *LRU[V]) moveToFront(n *node[V]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *LRU[V]) pushFront(n *node[V]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *LRU[V]) unlink(n *node[V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// Key builds a cache key from the request coordinates and the shard-epoch
+// vector observed for the result: any mutation advances an epoch and
+// thereby changes every future key for that corpus, which is the whole
+// invalidation story. Fields are joined with an unprintable separator so
+// user-supplied strings cannot collide across fields.
+func Key(corpus, predicate, realization string, limit int, threshold float64, hasThreshold bool, epochs []uint64, query string) string {
+	var b strings.Builder
+	b.Grow(len(corpus) + len(predicate) + len(realization) + len(query) + 16*len(epochs) + 32)
+	b.WriteString(corpus)
+	b.WriteByte(0x1f)
+	b.WriteString(predicate)
+	b.WriteByte(0x1f)
+	b.WriteString(realization)
+	b.WriteByte(0x1f)
+	b.WriteString(strconv.Itoa(limit))
+	b.WriteByte(0x1f)
+	if hasThreshold {
+		b.WriteString(strconv.FormatFloat(threshold, 'x', -1, 64))
+	}
+	b.WriteByte(0x1f)
+	for _, e := range epochs {
+		b.WriteString(strconv.FormatUint(e, 36))
+		b.WriteByte('.')
+	}
+	b.WriteByte(0x1f)
+	b.WriteString(query)
+	return b.String()
+}

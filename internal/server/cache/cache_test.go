@@ -1,0 +1,90 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := New[int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a: %v %v", v, ok)
+	}
+	c.Put("c", 3) // evicts b (a was just used)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a after eviction: %v %v", v, ok)
+	}
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("replace in place: %v", v)
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.HitRate() <= 0 || s.HitRate() >= 1 {
+		t.Fatalf("hit rate: %v", s.HitRate())
+	}
+}
+
+func TestLRUCapacityClamp(t *testing.T) {
+	c := New[string](0)
+	c.Put("a", "x")
+	c.Put("b", "y")
+	if c.Len() != 1 {
+		t.Fatalf("capacity clamp: %d entries", c.Len())
+	}
+}
+
+// TestKeyEpochInvalidation is the invalidation story in miniature: the same
+// request under a moved epoch vector builds a different key, so a mutation
+// invalidates without any flush.
+func TestKeyEpochInvalidation(t *testing.T) {
+	k1 := Key("main", "BM25", "native", 10, 0, false, []uint64{3, 0, 7}, "q")
+	k2 := Key("main", "BM25", "native", 10, 0, false, []uint64{3, 1, 7}, "q")
+	if k1 == k2 {
+		t.Fatal("epoch advance must change the key")
+	}
+	if k1 != Key("main", "BM25", "native", 10, 0, false, []uint64{3, 0, 7}, "q") {
+		t.Fatal("key must be deterministic")
+	}
+	// Field boundaries must be collision-free even with crafted strings.
+	a := Key("c", "pq", "", 0, 0, false, nil, "x")
+	b := Key("c", "p", "q", 0, 0, false, nil, "x")
+	if a == b {
+		t.Fatal("field separator collision")
+	}
+	// Threshold presence and value are part of the key.
+	if Key("c", "p", "n", 0, 0.5, true, nil, "x") == Key("c", "p", "n", 0, 0, false, nil, "x") {
+		t.Fatal("threshold must be keyed")
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := New[int](64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%100)
+				c.Put(k, i)
+				c.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+}

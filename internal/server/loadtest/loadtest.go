@@ -1,0 +1,471 @@
+// Package loadtest is approxserved's self-contained load generator: it
+// builds a dirty relation, replays a zipf-skewed query mix against (a) the
+// naive per-request path — Corpus.Predicate(...).Select(...) with no
+// sharding and no cache — and (b) a warm approxserved instance over HTTP,
+// and reports the QPS of both plus the serving stack's cache hit rate and
+// latency quantiles. The report writes as BENCH_serve.json in the same
+// machine-readable format family as BENCH_select.json, giving the
+// performance trajectory a serving datapoint.
+//
+// The run also differential-tests the serve path: cached responses must be
+// bit-identical to uncached ones, before and after a mutation advances the
+// epoch vector.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	approxsel "repro"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/dirty"
+	"repro/internal/server"
+)
+
+// Options configure one load-test run; zero fields select the defaults of
+// the acceptance scenario (5k records, zipf-skewed mix, NumCPU shards).
+type Options struct {
+	// Records is the relation size (default 5000).
+	Records int
+	// Distinct is the number of distinct queries in the mix (default 200).
+	Distinct int
+	// Requests is the number of timed serve-path requests (default 2000).
+	Requests int
+	// NaiveRequests bounds the naive-baseline loop (default Requests/5,
+	// min 30): the naive path is the slow one being measured against.
+	NaiveRequests int
+	// ZipfS is the zipf skew parameter of the query mix (default 1.3).
+	ZipfS float64
+	// Predicate is the probed predicate (default BM25).
+	Predicate string
+	// Limit is the per-query top-k (default 10).
+	Limit int
+	// Shards is the serve-path shard count (default GOMAXPROCS).
+	Shards int
+	// Concurrency is the number of client goroutines (default 8).
+	Concurrency int
+	// CacheEntries sizes the serve-path result cache (default: server's).
+	CacheEntries int
+	// Verify is the number of queries differential-tested per epoch
+	// (default 20).
+	Verify int
+	// Seed drives data generation, query sampling and the zipf draw.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Records <= 0 {
+		o.Records = 5000
+	}
+	if o.Distinct <= 0 {
+		o.Distinct = 200
+	}
+	if o.Requests <= 0 {
+		o.Requests = 2000
+	}
+	if o.NaiveRequests <= 0 {
+		o.NaiveRequests = o.Requests / 5
+		if o.NaiveRequests < 30 {
+			o.NaiveRequests = 30
+		}
+	}
+	if o.ZipfS == 0 {
+		o.ZipfS = 1.3
+	}
+	if o.Predicate == "" {
+		o.Predicate = "BM25"
+	}
+	if o.Limit <= 0 {
+		o.Limit = 10
+	}
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Verify <= 0 {
+		o.Verify = 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// PathEntry is one measured serving path, the per-path record of
+// BENCH_serve.json (the format family of BENCH_select.json entries).
+type PathEntry struct {
+	Path         string  `json:"path"` // "naive" or "served"
+	Requests     int     `json:"requests"`
+	QPS          float64 `json:"qps"`
+	AvgNS        int64   `json:"avg_ns"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	P50US        int64   `json:"p50_us,omitempty"`
+	P99US        int64   `json:"p99_us,omitempty"`
+}
+
+// Report is the full machine-readable load-test result.
+type Report struct {
+	Records        int         `json:"records"`
+	Queries        int         `json:"queries"` // timed serve-path requests
+	Seed           int64       `json:"seed"`
+	Predicate      string      `json:"predicate"`
+	Shards         int         `json:"shards"`
+	Distinct       int         `json:"distinct_queries"`
+	ZipfS          float64     `json:"zipf_s"`
+	Limit          int         `json:"limit"`
+	Concurrency    int         `json:"concurrency"`
+	Entries        []PathEntry `json:"entries"`
+	Speedup        float64     `json:"speedup"` // served QPS / naive QPS
+	DifferentialOK bool        `json:"differential_ok"`
+	EpochsVerified int         `json:"epochs_verified"`
+}
+
+// Run executes the load test and returns the report.
+func Run(o Options) (Report, error) {
+	if o.ZipfS != 0 && o.ZipfS <= 1 {
+		return Report{}, fmt.Errorf("loadtest: zipf s must be > 1, got %v", o.ZipfS)
+	}
+	o = o.withDefaults()
+	r := Report{
+		Records:     o.Records,
+		Queries:     o.Requests,
+		Seed:        o.Seed,
+		Predicate:   o.Predicate,
+		Shards:      o.Shards,
+		Distinct:    o.Distinct,
+		ZipfS:       o.ZipfS,
+		Limit:       o.Limit,
+		Concurrency: o.Concurrency,
+	}
+
+	records, err := relation(o.Records, o.Seed)
+	if err != nil {
+		return r, err
+	}
+	queries := queryMix(records, o.Distinct, o.Seed)
+	r.Distinct = len(queries)
+	// The zipf-skewed request sequence, drawn once so both paths and every
+	// client goroutine replay the same mix.
+	rng := rand.New(rand.NewSource(o.Seed + 17))
+	zipf := rand.NewZipf(rng, o.ZipfS, 1, uint64(len(queries)-1))
+	seq := make([]int, o.Requests)
+	for i := range seq {
+		seq[i] = int(zipf.Uint64())
+	}
+
+	naive, err := runNaive(o, records, queries, seq)
+	if err != nil {
+		return r, err
+	}
+	r.Entries = append(r.Entries, naive)
+
+	served, verified, diffOK, err := runServed(o, records, queries, seq)
+	if err != nil {
+		return r, err
+	}
+	r.Entries = append(r.Entries, served)
+	r.EpochsVerified = verified
+	r.DifferentialOK = diffOK
+	if naive.QPS > 0 {
+		r.Speedup = served.QPS / naive.QPS
+	}
+	return r, nil
+}
+
+// relation generates the dirty DBLP-like relation of the benchmark's
+// performance experiments (§5.5 error mix).
+func relation(size int, seed int64) ([]approxsel.Record, error) {
+	numClean := size / 10
+	if numClean < 10 {
+		numClean = 10
+	}
+	clean := datasets.DBLPTitles(numClean, seed)
+	ds, err := dirty.Generate(clean, nil, dirty.Params{
+		Size: size, NumClean: numClean, Dist: dirty.Uniform,
+		ErroneousPct: 0.70, ErrorExtent: 0.20, TokenSwapPct: 0.20,
+		Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ds.Records, nil
+}
+
+// queryMix samples distinct record texts as the query population — the
+// data-cleaning workload probes the relation with (dirty) versions of its
+// own tuples.
+func queryMix(records []approxsel.Record, distinct int, seed int64) []string {
+	if distinct > len(records) {
+		distinct = len(records)
+	}
+	rng := rand.New(rand.NewSource(seed + 29))
+	perm := rng.Perm(len(records))
+	out := make([]string, distinct)
+	for i := 0; i < distinct; i++ {
+		out[i] = records[perm[i]].Text
+	}
+	return out
+}
+
+// runNaive times the baseline: every request attaches the predicate to the
+// shared corpus anew and probes it, single corpus, no sharding, no cache.
+func runNaive(o Options, records []approxsel.Record, queries []string, seq []int) (PathEntry, error) {
+	corpus, err := approxsel.OpenCorpus(records)
+	if err != nil {
+		return PathEntry{}, err
+	}
+	n := o.NaiveRequests
+	if n > len(seq) {
+		n = len(seq)
+	}
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		p, err := corpus.Predicate(o.Predicate)
+		if err != nil {
+			return PathEntry{}, err
+		}
+		if _, err := approxsel.SelectCtx(ctx, p, queries[seq[i]], approxsel.Limit(o.Limit)); err != nil {
+			return PathEntry{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	return PathEntry{
+		Path:     "naive",
+		Requests: n,
+		QPS:      float64(n) / elapsed.Seconds(),
+		AvgNS:    elapsed.Nanoseconds() / int64(n),
+	}, nil
+}
+
+// runServed stands up approxserved over a loopback HTTP listener, warms
+// the cache with one pass over the distinct queries, replays the timed mix
+// from concurrent clients, and differential-tests cached responses against
+// direct computation at the same epoch — before and after a mutation.
+func runServed(o Options, records []approxsel.Record, queries []string, seq []int) (PathEntry, int, bool, error) {
+	srv := server.New(server.Config{
+		Shards:       o.Shards,
+		CacheEntries: o.CacheEntries,
+		Workers:      o.Concurrency,
+		MaxInFlight:  o.Concurrency * 4,
+	})
+	if err := srv.AddCorpus("main", records); err != nil {
+		return PathEntry{}, 0, false, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.Concurrency}}
+
+	// Warm pass: one request per distinct query fills the cache.
+	for _, q := range queries {
+		if _, err := doSelect(client, ts.URL, o, q); err != nil {
+			return PathEntry{}, 0, false, err
+		}
+	}
+
+	// Timed replay from Concurrency client goroutines.
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		lats    = make([]time.Duration, 0, len(seq))
+		nextReq int
+		runErr  error
+	)
+	start := time.Now()
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, len(seq)/o.Concurrency+1)
+			for {
+				mu.Lock()
+				if runErr != nil || nextReq >= len(seq) {
+					mu.Unlock()
+					break
+				}
+				i := nextReq
+				nextReq++
+				mu.Unlock()
+				t0 := time.Now()
+				if _, err := doSelect(client, ts.URL, o, queries[seq[i]]); err != nil {
+					mu.Lock()
+					if runErr == nil {
+						runErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if runErr != nil {
+		return PathEntry{}, 0, false, runErr
+	}
+
+	entry := PathEntry{
+		Path:     "served",
+		Requests: len(seq),
+		QPS:      float64(len(seq)) / elapsed.Seconds(),
+		AvgNS:    elapsed.Nanoseconds() / int64(len(seq)),
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		entry.P50US = lats[len(lats)/2].Microseconds()
+		entry.P99US = lats[len(lats)*99/100].Microseconds()
+	}
+	var stats server.Stats
+	if err := getJSON(client, ts.URL+"/v1/stats", &stats); err != nil {
+		return PathEntry{}, 0, false, err
+	}
+	entry.CacheHitRate = stats.Cache.HitRate
+
+	verified, diffOK, err := differential(client, ts.URL, o, records, queries)
+	if err != nil {
+		return PathEntry{}, 0, false, err
+	}
+	return entry, verified, diffOK, nil
+}
+
+// differential checks the acceptance contract: cached responses are
+// bit-identical to uncached computation at the same epoch vector, across a
+// mutation. The reference is an independent ShardedCorpus sharded
+// identically, so scores must agree to the last bit.
+func differential(client *http.Client, base string, o Options, records []approxsel.Record, queries []string) (int, bool, error) {
+	ref, err := approxsel.OpenShardedCorpus(records, o.Shards)
+	if err != nil {
+		return 0, false, err
+	}
+	verified := 0
+	check := func() (bool, error) {
+		p, err := ref.Predicate(o.Predicate)
+		if err != nil {
+			return false, err
+		}
+		n := o.Verify
+		if n > len(queries) {
+			n = len(queries)
+		}
+		for _, q := range queries[:n] {
+			resp, err := doSelect(client, base, o, q)
+			if err != nil {
+				return false, err
+			}
+			want, err := approxsel.SelectCtx(context.Background(), p, q, approxsel.Limit(o.Limit))
+			if err != nil {
+				return false, err
+			}
+			got := make([]core.Match, len(resp.Matches))
+			for i, m := range resp.Matches {
+				got[i] = core.Match{TID: m.TID, Score: m.Score}
+			}
+			if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+				return false, nil
+			}
+			verified++
+		}
+		return true, nil
+	}
+	ok1, err := check()
+	if err != nil {
+		return verified, false, err
+	}
+	// Advance the epoch: mutate both the served corpus and the reference
+	// identically, then re-verify at the new version.
+	extra := approxsel.Record{TID: 1 << 30, Text: "epoch advance sentinel title"}
+	body, _ := json.Marshal(map[string]any{"records": []map[string]any{{"tid": extra.TID, "text": extra.Text}}})
+	resp, err := client.Post(base+"/v1/insert", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return verified, false, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return verified, false, fmt.Errorf("loadtest: mutation failed with status %d", resp.StatusCode)
+	}
+	if err := ref.Insert(extra); err != nil {
+		return verified, false, err
+	}
+	ok2, err := check()
+	if err != nil {
+		return verified, false, err
+	}
+	return verified, ok1 && ok2, nil
+}
+
+func doSelect(client *http.Client, base string, o Options, query string) (server.SelectResponse, error) {
+	var out server.SelectResponse
+	body, err := json.Marshal(server.SelectRequest{Predicate: o.Predicate, Query: query, Limit: o.Limit})
+	if err != nil {
+		return out, err
+	}
+	resp, err := client.Post(base+"/v1/select", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return out, fmt.Errorf("loadtest: select status %d: %s", resp.StatusCode, b)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// WriteJSON writes the report as BENCH_serve.json in dir (created if
+// missing).
+func (r Report) WriteJSON(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_serve.json"), append(data, '\n'), 0o644)
+}
+
+// Print writes a human-readable summary.
+func (r Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "Serving load test — %d records, %d distinct queries (zipf s=%.2f), predicate %s, %d shards\n",
+		r.Records, r.Distinct, r.ZipfS, r.Predicate, r.Shards)
+	for _, e := range r.Entries {
+		fmt.Fprintf(w, "  %-7s %6d req  %9.1f qps  avg %v", e.Path, e.Requests, e.QPS,
+			time.Duration(e.AvgNS).Round(time.Microsecond))
+		if e.Path == "served" {
+			fmt.Fprintf(w, "  hit-rate %.2f  p50 %dµs  p99 %dµs", e.CacheHitRate, e.P50US, e.P99US)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  speedup %.1fx  differential ok=%v (%d responses verified)\n",
+		r.Speedup, r.DifferentialOK, r.EpochsVerified)
+}

@@ -1,0 +1,64 @@
+package loadtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadtestSmall runs the full loadtest pipeline at a tiny scale and
+// checks the report invariants, including the cached/uncached differential
+// across epochs.
+func TestLoadtestSmall(t *testing.T) {
+	r, err := Run(Options{
+		Records:  200,
+		Distinct: 20,
+		Requests: 120,
+		Shards:   2,
+		Verify:   5,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 2 || r.Entries[0].Path != "naive" || r.Entries[1].Path != "served" {
+		t.Fatalf("entries: %+v", r.Entries)
+	}
+	for _, e := range r.Entries {
+		if e.QPS <= 0 || e.AvgNS <= 0 || e.Requests <= 0 {
+			t.Fatalf("degenerate entry: %+v", e)
+		}
+	}
+	if r.Entries[1].CacheHitRate <= 0 {
+		t.Fatalf("warm serve path must report cache hits: %+v", r.Entries[1])
+	}
+	if !r.DifferentialOK || r.EpochsVerified == 0 {
+		t.Fatalf("differential failed: ok=%v verified=%d", r.DifferentialOK, r.EpochsVerified)
+	}
+	if r.Speedup <= 0 {
+		t.Fatalf("speedup: %v", r.Speedup)
+	}
+
+	dir := t.TempDir()
+	if err := r.WriteJSON(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Records != 200 || len(back.Entries) != 2 {
+		t.Fatalf("round-trip: %+v", back)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("speedup")) {
+		t.Fatalf("summary: %s", buf.String())
+	}
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a lock-free log2-bucketed latency histogram: bucket i counts
+// observations with ceil(log2(µs)) == i, so quantile estimates are accurate
+// to a factor of two — plenty for spotting regressions — while observation
+// is two atomic adds on the hot path.
+type histogram struct {
+	count   atomic.Uint64
+	sumUS   atomic.Uint64
+	buckets [32]atomic.Uint64
+}
+
+func bucketOf(us uint64) int {
+	if us == 0 {
+		return 0
+	}
+	b := bits.Len64(us) // ceil(log2)+1 for non-powers, fine for bucketing
+	if b >= len((&histogram{}).buckets) {
+		b = len((&histogram{}).buckets) - 1
+	}
+	return b
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	h.buckets[bucketOf(us)].Add(1)
+}
+
+// quantile returns an upper bound (the bucket boundary) for the q-quantile
+// latency in microseconds.
+func (h *histogram) quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > target {
+			if i == 0 {
+				return 1
+			}
+			return uint64(1) << i
+		}
+	}
+	return uint64(1) << (len(h.buckets) - 1)
+}
+
+// HistogramStats is the JSON shape of one predicate's latency histogram.
+type HistogramStats struct {
+	Count uint64 `json:"count"`
+	AvgUS uint64 `json:"avg_us"`
+	P50US uint64 `json:"p50_us"`
+	P90US uint64 `json:"p90_us"`
+	P99US uint64 `json:"p99_us"`
+}
+
+func (h *histogram) snapshot() HistogramStats {
+	n := h.count.Load()
+	s := HistogramStats{Count: n}
+	if n > 0 {
+		s.AvgUS = h.sumUS.Load() / n
+		s.P50US = h.quantile(0.50)
+		s.P90US = h.quantile(0.90)
+		s.P99US = h.quantile(0.99)
+	}
+	return s
+}
+
+// metrics aggregates the server-wide counters behind /v1/stats.
+type metrics struct {
+	start    time.Time
+	requests atomic.Uint64 // admitted requests
+	rejected atomic.Uint64 // 429s from admission
+	errors   atomic.Uint64 // non-2xx responses other than 429
+
+	mu          sync.Mutex
+	byEndpoint  map[string]*atomic.Uint64
+	byPredicate map[string]*histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:       time.Now(),
+		byEndpoint:  make(map[string]*atomic.Uint64),
+		byPredicate: make(map[string]*histogram),
+	}
+}
+
+func (m *metrics) endpoint(name string) *atomic.Uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.byEndpoint[name]
+	if !ok {
+		c = &atomic.Uint64{}
+		m.byEndpoint[name] = c
+	}
+	return c
+}
+
+func (m *metrics) predicate(name string) *histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.byPredicate[name]
+	if !ok {
+		h = &histogram{}
+		m.byPredicate[name] = h
+	}
+	return h
+}
+
+func (m *metrics) endpointCounts() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.byEndpoint))
+	for k, v := range m.byEndpoint {
+		out[k] = v.Load()
+	}
+	return out
+}
+
+func (m *metrics) predicateStats() map[string]HistogramStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]HistogramStats, len(m.byPredicate))
+	for k, h := range m.byPredicate {
+		out[k] = h.snapshot()
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+// Package server implements approxserved's HTTP/JSON serving subsystem: it
+// owns one or more sharded corpora and exposes approximate selection
+// (/v1/select, /v1/batch, /v1/join) and relation mutation (/v1/insert,
+// /v1/delete, /v1/upsert) over them, with request admission (max in-flight,
+// per-request deadline), an epoch-keyed LRU result cache, and a /v1/stats
+// endpoint reporting QPS, cache hit rate and per-predicate latency
+// histograms.
+//
+// Consistency contract: every response that reports a shard-epoch vector is
+// bit-identical to evaluating the same request against a fresh corpus at
+// that version. Results are cached only when the epoch vector is stable
+// across the probe (read before and after); a response that raced a
+// mutation is returned uncached with no epoch vector. Cache invalidation is
+// purely by epoch advance — mutations change every future cache key of the
+// corpus, and stale entries age out of the LRU tail.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	approxsel "repro"
+	"repro/internal/core"
+	"repro/internal/server/cache"
+)
+
+// Config tunes the serving subsystem; the zero value selects sensible
+// defaults for every knob.
+type Config struct {
+	// Shards is the default shard count of corpora the server creates
+	// (AddCorpus and POST /v1/corpora without an explicit count).
+	// Values < 1 select GOMAXPROCS.
+	Shards int
+	// CacheEntries caps the per-corpus result cache. 0 selects the default
+	// (4096 entries); negative disables result caching.
+	CacheEntries int
+	// MaxInFlight caps concurrently admitted requests; excess requests are
+	// rejected immediately with 429. Values < 1 select 16×GOMAXPROCS.
+	MaxInFlight int
+	// RequestTimeout bounds every admitted request's context. Values <= 0
+	// select 10s.
+	RequestTimeout time.Duration
+	// Workers sizes the per-request fan-out pool of /v1/batch and /v1/join.
+	// Values < 1 select GOMAXPROCS.
+	Workers int
+	// MaxBodyBytes caps every request body, so one oversized POST cannot
+	// exhaust memory regardless of admission. 0 selects 64 MiB; negative
+	// disables the cap.
+	MaxBodyBytes int64
+}
+
+const defaultCacheEntries = 4096
+
+// errCorpusExists marks name conflicts from addCorpus, so the corpora
+// handler can map them to 409 without matching message text.
+var errCorpusExists = errors.New("corpus already exists")
+
+// maxCachedMatches bounds the size of one result-cache entry: full or
+// near-full rankings over a large corpus are not cached, so the
+// entry-count cap (Config.CacheEntries) also bounds cache memory. Hot
+// serving traffic uses limits anyway; an uncacheably large ranking is
+// recomputed per request.
+const maxCachedMatches = 2048
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = defaultCacheEntries
+	}
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 16 * runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the serving subsystem. Construct with New, load relations with
+// AddCorpus (or POST /v1/corpora at runtime), and mount Handler on any
+// http.Server.
+type Server struct {
+	cfg Config
+	met *metrics
+	sem chan struct{}
+
+	mu      sync.RWMutex
+	corpora map[string]*corpusHandle
+
+	handler http.Handler
+}
+
+// New returns a server with no corpora loaded.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		met:     newMetrics(),
+		corpora: make(map[string]*corpusHandle),
+	}
+	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
+	s.handler = s.routes()
+	return s
+}
+
+// AddCorpus creates a sharded corpus under the given name with the server's
+// default shard count. It errors if the name is taken.
+func (s *Server) AddCorpus(name string, records []approxsel.Record, opts ...approxsel.BuildOption) error {
+	return s.addCorpus(name, records, s.cfg.Shards, opts...)
+}
+
+func (s *Server) addCorpus(name string, records []approxsel.Record, shards int, opts ...approxsel.BuildOption) error {
+	if name == "" {
+		return fmt.Errorf("server: empty corpus name")
+	}
+	// Control characters are rejected so corpus names can never spell out
+	// the cache-key field separator (cache.Key) and collide across corpora.
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("server: corpus name %q contains control characters", name)
+		}
+	}
+	if shards < 1 {
+		shards = s.cfg.Shards
+	}
+	// Fail fast on a taken name before paying for the corpus build; the
+	// insert below re-checks under the same lock for racing creators.
+	s.mu.RLock()
+	_, taken := s.corpora[name]
+	s.mu.RUnlock()
+	if taken {
+		return fmt.Errorf("server: corpus %q: %w", name, errCorpusExists)
+	}
+	sc, err := approxsel.OpenShardedCorpus(records, shards, opts...)
+	if err != nil {
+		return err
+	}
+	h := &corpusHandle{
+		name:  name,
+		sc:    sc,
+		preds: make(map[string]*predicateHandle),
+	}
+	if s.cfg.CacheEntries > 0 {
+		h.cache = cache.New[[]core.Match](s.cfg.CacheEntries)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.corpora[name]; ok {
+		return fmt.Errorf("server: corpus %q: %w", name, errCorpusExists)
+	}
+	s.corpora[name] = h
+	return nil
+}
+
+// corpus resolves a corpus by name; an empty name resolves when exactly one
+// corpus is loaded.
+func (s *Server) corpus(name string) (*corpusHandle, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.corpora) == 1 {
+			for _, h := range s.corpora {
+				return h, nil
+			}
+		}
+		return nil, fmt.Errorf("server: request names no corpus and %d are loaded", len(s.corpora))
+	}
+	h, ok := s.corpora[name]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown corpus %q", name)
+	}
+	return h, nil
+}
+
+func (s *Server) corpusNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.corpora))
+	for n := range s.corpora {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Handler returns the HTTP handler serving every endpoint.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// corpusHandle is one served corpus: the sharded relation, its epoch-keyed
+// result cache, and the attached predicate views (built once per
+// (realization, predicate) and auto-refreshing on epoch advance).
+type corpusHandle struct {
+	name  string
+	sc    *approxsel.ShardedCorpus
+	cache *cache.LRU[[]core.Match] // nil when caching is disabled
+
+	// mmu serializes the server's mutations on this corpus, so a mutation
+	// response reports exactly the version that mutation produced (not one
+	// a concurrent mutator advanced to in between).
+	mmu sync.Mutex
+
+	pmu   sync.Mutex
+	preds map[string]*predicateHandle
+}
+
+// predicateHandle pairs an attached predicate with the mutex that
+// serializes probing when the predicate does not declare concurrent probes
+// safe (the declarative realization).
+type predicateHandle struct {
+	p  approxsel.Predicate
+	mu *sync.Mutex // nil when concurrent probing is safe
+}
+
+// normRealization canonicalizes the request's realization name so cache
+// keys and predicate handles agree ("" means native).
+func normRealization(r string) string {
+	if r == "" {
+		return string(approxsel.Native)
+	}
+	return r
+}
+
+// cacheKey builds the epoch-keyed result-cache key of one probe.
+func cacheKey(corpus, predicate, realization string, opts core.SelectOptions, epochs []uint64, query string) string {
+	return cache.Key(corpus, predicate, realization, opts.Limit, opts.Threshold, opts.HasThreshold, epochs, query)
+}
+
+// predicate returns the attached view for (realization, name), building and
+// memoizing it on first use.
+func (h *corpusHandle) predicate(realization, name string) (*predicateHandle, error) {
+	key := realization + "\x1f" + name
+	h.pmu.Lock()
+	defer h.pmu.Unlock()
+	if ph, ok := h.preds[key]; ok {
+		return ph, nil
+	}
+	p, err := h.sc.Predicate(name, approxsel.WithRealization(approxsel.Realization(realization)))
+	if err != nil {
+		return nil, err
+	}
+	ph := &predicateHandle{p: p}
+	if !core.ConcurrentSafe(p) {
+		ph.mu = &sync.Mutex{}
+	}
+	h.preds[key] = ph
+	return ph, nil
+}
+
+// probe runs one selection with the epoch-stability handshake: the shard
+// epoch vector is read before the cache lookup and again after an uncached
+// probe. A stable vector identifies exactly the version the result was
+// computed against, so the result is cacheable and the vector is reported;
+// an unstable one (the probe raced a mutation) is returned uncached with a
+// nil vector.
+func (h *corpusHandle) probe(ctx context.Context, ph *predicateHandle, realization, name, query string, opts core.SelectOptions) (ms []core.Match, epochs []uint64, cached bool, err error) {
+	e1 := h.sc.Epochs()
+	var key string
+	if h.cache != nil {
+		key = cacheKey(h.name, name, realization, opts, e1, query)
+		if ms, ok := h.cache.Get(key); ok {
+			return ms, e1, true, nil
+		}
+	}
+	if ph.mu != nil {
+		ph.mu.Lock()
+		defer ph.mu.Unlock()
+	}
+	ms, err = core.SelectWithOptions(ctx, ph.p, query, opts)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	e2 := h.sc.Epochs()
+	if !epochsEqual(e1, e2) {
+		return ms, nil, false, nil
+	}
+	if h.cache != nil && len(ms) <= maxCachedMatches {
+		h.cache.Put(key, ms)
+	}
+	return ms, e1, false, nil
+}
+
+func epochsEqual(a, b []uint64) bool { return slices.Equal(a, b) }
+
+// admit is the admission middleware of every data endpoint: it bounds
+// in-flight requests (immediate 429 beyond MaxInFlight) and attaches the
+// per-request deadline.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.met.rejected.Add(1)
+			writeError(w, http.StatusTooManyRequests, fmt.Errorf("server: at max in-flight requests (%d)", s.cfg.MaxInFlight))
+			return
+		}
+		s.met.requests.Add(1)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// status maps a probe error to an HTTP status code. Validation and
+// resolution failures are reported with explicit 400/404s at their call
+// sites; an error surfacing from the probe itself is the server's fault.
+func status(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client went away; nginx's convention
+	default:
+		return http.StatusInternalServerError
+	}
+}

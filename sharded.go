@@ -1,0 +1,308 @@
+package approxsel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ShardedCorpus partitions the base relation across N shared Corpus shards
+// by a stable hash of the TID, so that preprocessing, mutation maintenance
+// and probing all parallelize across cores instead of serializing on one
+// snapshot. Shards are ordinary core corpora: attached predicates fan each
+// selection out to every shard on the SelectBatch worker pool and merge the
+// per-shard top-k rankings with a k-way heap, mutations route each record
+// to its home shard, and every shard keeps its own mutation epoch — the
+// epoch vector (Epochs) identifies one global version of the relation, the
+// invalidation key of the serving subsystem's result cache.
+//
+// Collection statistics (document frequencies, idf, average document
+// length) are computed per shard, the standard practice of partitioned
+// search engines: with one shard the scores are bit-identical to an
+// unsharded Corpus, and with more shards they converge to it as shards
+// grow. The merge itself is deterministic for any shard count.
+//
+// A ShardedCorpus is safe for concurrent use under the same contract as
+// Corpus: selections read immutable per-shard snapshots, mutations are
+// serialized and publish atomically per shard.
+type ShardedCorpus struct {
+	cfg    Config
+	shards []*core.Corpus
+	mu     sync.Mutex // serializes mutations across shards
+}
+
+// OpenShardedCorpus tokenizes the base relation once, partitioned across
+// the given number of shards (values < 1 select GOMAXPROCS) and built in
+// parallel. Options adjust the tokenization parameters exactly as in
+// OpenCorpus.
+func OpenShardedCorpus(records []Record, shards int, opts ...BuildOption) (*ShardedCorpus, error) {
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	settings := core.BuildSettings{
+		Config:      core.DefaultConfig(),
+		Realization: string(Native),
+	}
+	for _, o := range opts {
+		o.ApplyBuild(&settings)
+	}
+	if settings.Corpus != nil {
+		return nil, fmt.Errorf("approxsel: WithCorpus is not a valid OpenShardedCorpus option")
+	}
+	parts := make([][]Record, shards)
+	for _, r := range records {
+		i := shardOf(r.TID, shards)
+		parts[i] = append(parts[i], r)
+	}
+	s := &ShardedCorpus{cfg: settings.Config, shards: make([]*core.Corpus, shards)}
+	_, err := core.RunJobs(context.Background(), shards, 0, func(i int) error {
+		c, err := core.NewCorpus(parts[i], settings.Config, core.AllLayers)
+		if err != nil {
+			return err
+		}
+		s.shards[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// shardOf maps a TID to its home shard with a splitmix64-style finalizer,
+// so consecutive TIDs spread evenly and a record's shard never changes.
+func shardOf(tid, shards int) int {
+	x := uint64(tid)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
+
+// Shards returns the shard count.
+func (s *ShardedCorpus) Shards() int { return len(s.shards) }
+
+// Len returns the current number of records across all shards.
+func (s *ShardedCorpus) Len() int {
+	n := 0
+	for _, c := range s.shards {
+		n += c.Len()
+	}
+	return n
+}
+
+// Epochs returns the per-shard mutation epoch vector. Two equal vectors
+// identify bit-identical relation state: any Insert/Delete/Upsert advances
+// the epoch of every shard it touches.
+func (s *ShardedCorpus) Epochs() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i, c := range s.shards {
+		out[i] = c.Epoch()
+	}
+	return out
+}
+
+// State returns the record count and the epoch vector as one consistent
+// pair: it serializes against mutations, so the two values always describe
+// the same version of the relation (Len and Epochs called separately can
+// straddle a concurrent mutation).
+func (s *ShardedCorpus) State() (int, []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Len(), s.Epochs()
+}
+
+// Records returns a copy of the current base relation, in shard order and
+// per-shard storage order (not global insertion order).
+func (s *ShardedCorpus) Records() []Record {
+	var out []Record
+	for _, c := range s.shards {
+		out = append(out, c.Records()...)
+	}
+	return out
+}
+
+// Config returns the configuration the sharded corpus was opened with.
+func (s *ShardedCorpus) Config() Config { return s.cfg }
+
+// Predicate attaches the named predicate to every shard, resolving the
+// name through the predicate registry exactly like Corpus.Predicate, and
+// returns a view that fans selections out across the shards and merges the
+// per-shard rankings. Options may change scoring-level parameters only.
+func (s *ShardedCorpus) Predicate(name string, opts ...BuildOption) (Predicate, error) {
+	settings := core.BuildSettings{
+		Config:      s.cfg,
+		Realization: string(Native),
+	}
+	for _, o := range opts {
+		o.ApplyBuild(&settings)
+	}
+	if settings.Corpus != nil {
+		return nil, fmt.Errorf("approxsel: WithCorpus is not a valid ShardedCorpus.Predicate option")
+	}
+	v := &shardedView{name: name, views: make([]Predicate, len(s.shards)), safe: true}
+	for i, c := range s.shards {
+		p, err := attachToCorpus(c, Realization(settings.Realization), name, settings.Config)
+		if err != nil {
+			return nil, err
+		}
+		v.views[i] = p
+		if !core.ConcurrentSafe(p) {
+			v.safe = false
+		}
+	}
+	return v, nil
+}
+
+// ---- mutations ----
+
+// Insert adds records, each routed to its home shard; inserting an
+// existing TID is an error and the whole batch is rejected up front.
+func (s *ShardedCorpus) Insert(records ...Record) error {
+	return s.mutate(records, nil, false)
+}
+
+// Delete removes records by TID; deleting an unknown TID is an error and
+// the whole batch is rejected up front.
+func (s *ShardedCorpus) Delete(tids ...int) error {
+	return s.mutate(nil, tids, false)
+}
+
+// Upsert inserts records, replacing any existing record with the same TID.
+func (s *ShardedCorpus) Upsert(records ...Record) error {
+	return s.mutate(records, nil, true)
+}
+
+// mutate validates the whole batch against current state first — so a bad
+// batch leaves every shard untouched — then applies the per-shard slices in
+// parallel. Shards untouched by the batch keep their epoch; touched shards
+// advance.
+func (s *ShardedCorpus) mutate(add []Record, del []int, upsert bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.shards)
+	addBy := make([][]Record, n)
+	delBy := make([][]int, n)
+	seen := make(map[int]bool, len(add)+len(del))
+	for _, tid := range del {
+		if seen[tid] {
+			return fmt.Errorf("approxsel: duplicate TID %d in delete", tid)
+		}
+		seen[tid] = true
+		sh := shardOf(tid, n)
+		if _, ok := s.shards[sh].Snapshot().Index(tid); !ok {
+			return fmt.Errorf("approxsel: delete of unknown TID %d", tid)
+		}
+		delBy[sh] = append(delBy[sh], tid)
+	}
+	// A batch is adds XOR deletes (Insert/Upsert/Delete each pass one), so
+	// a repeated TID here is always a duplicate within the add batch.
+	op := "insert"
+	if upsert {
+		op = "upsert"
+	}
+	for _, r := range add {
+		if seen[r.TID] {
+			return fmt.Errorf("approxsel: duplicate TID %d in %s", r.TID, op)
+		}
+		seen[r.TID] = true
+		sh := shardOf(r.TID, n)
+		if _, ok := s.shards[sh].Snapshot().Index(r.TID); ok && !upsert {
+			return fmt.Errorf("approxsel: insert of existing TID %d (use Upsert to replace)", r.TID)
+		}
+		addBy[sh] = append(addBy[sh], r)
+	}
+	_, err := core.RunJobs(context.Background(), n, 0, func(i int) error {
+		if len(addBy[i]) == 0 && len(delBy[i]) == 0 {
+			return nil
+		}
+		if len(delBy[i]) > 0 {
+			if err := s.shards[i].Delete(delBy[i]...); err != nil {
+				return err
+			}
+		}
+		if len(addBy[i]) == 0 {
+			return nil
+		}
+		if upsert {
+			return s.shards[i].Upsert(addBy[i]...)
+		}
+		return s.shards[i].Insert(addBy[i]...)
+	})
+	return err
+}
+
+// ---- the fan-out predicate view ----
+
+// shardedView is the predicate ShardedCorpus.Predicate returns: one
+// epoch-refreshing corpus view per shard, probed concurrently on the
+// SelectBatch worker pool, with the per-shard rankings heap-merged into the
+// global SortMatches order. Limits and thresholds push down into every
+// shard unchanged: the global top k is a subset of the union of per-shard
+// top k's, and the merge stops after k.
+type shardedView struct {
+	name  string
+	views []Predicate
+	safe  bool
+}
+
+// Name implements core.Predicate.
+func (v *shardedView) Name() string { return v.name }
+
+// Select implements core.Predicate with the full global ranking.
+func (v *shardedView) Select(query string) ([]Match, error) {
+	return v.SelectCtx(context.Background(), query, core.SelectOptions{})
+}
+
+// SelectCtx implements core.ContextPredicate: the query fans out to every
+// shard with the options pushed down, and the merged result is identical
+// for any worker schedule.
+func (v *shardedView) SelectCtx(ctx context.Context, query string, opts core.SelectOptions) ([]Match, error) {
+	if opts.Limit < 0 {
+		return nil, fmt.Errorf("approxsel: negative selection limit %d", opts.Limit)
+	}
+	workers := 0 // GOMAXPROCS
+	if !v.safe {
+		workers = 1
+	}
+	per := make([][]Match, len(v.views))
+	_, err := core.RunJobs(ctx, len(v.views), workers, func(i int) error {
+		ms, err := core.SelectWithOptions(ctx, v.views[i], query, opts)
+		if err != nil {
+			return err
+		}
+		per[i] = ms
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return core.MergeRanked(per, opts.Limit), nil
+}
+
+// ConcurrentProbeSafe implements core.ConcurrentProber: a sharded view is
+// as safe as the least safe of its shard views.
+func (v *shardedView) ConcurrentProbeSafe() bool { return v.safe }
+
+// PreprocessPhases implements core.Phased with the summed per-shard phases
+// (the total work; shards overlap on the wall clock).
+func (v *shardedView) PreprocessPhases() (time.Duration, time.Duration) {
+	var tok, w time.Duration
+	for _, p := range v.views {
+		if ph, ok := p.(core.Phased); ok {
+			t0, w0 := ph.PreprocessPhases()
+			tok += t0
+			w += w0
+		}
+	}
+	return tok, w
+}
