@@ -8,7 +8,8 @@
 //	approxbench -scale 1         # paper scale (5000-tuple datasets, 500 queries)
 //	approxbench -exp figure5.3   # a single experiment
 //	approxbench -impl native     # measure the in-memory realization instead
-//	approxbench -exp bench -benchjson out/   # machine-readable BENCH_preprocess/select/serve .json
+//	approxbench -exp bench -benchjson out/   # machine-readable BENCH_preprocess/select/serve/hotpath .json
+//	approxbench -exp hotpath -benchjson out/ # only the selection hot-path benchmark (BENCH_hotpath.json)
 package main
 
 import (
@@ -51,6 +52,31 @@ func runServeBench(o experiments.PerfOptions) (loadtest.Report, error) {
 	})
 }
 
+// runHotPathBench runs the selection hot-path benchmark — the naive
+// map-accumulator merge versus the dense score-at-a-time path with
+// max-score pruning, per predicate, at Limit 10 over the zipf mix — and
+// writes BENCH_hotpath.json, the fourth machine-readable artifact.
+func runHotPathBench(o experiments.PerfOptions, w io.Writer, benchJSON string) error {
+	r, err := experiments.RunHotPath(experiments.HotPathOptions{
+		Records: o.Size,
+		Queries: o.Queries * 2,
+		Seed:    o.Seed,
+		Config:  o.Config,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	r.Print(w)
+	if benchJSON != "" {
+		if err := r.WriteJSON(benchJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s/BENCH_hotpath.json\n", benchJSON)
+	}
+	return nil
+}
+
 // run executes the tool with explicit arguments and streams, so tests can
 // drive it end to end.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -61,9 +87,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	perfSizes := fs.String("perfsizes", "1000,2000,4000", "comma-separated sizes for Figure 5.4 (paper: 10000..100000)")
 	perfQueries := fs.Int("perfqueries", 20, "timed queries per performance point (paper: 100)")
 	impl := fs.String("impl", "declarative", "realization measured by performance experiments: declarative|native (bench also accepts: both)")
-	exp := fs.String("exp", "all", "experiment: all, bench, table5.1, table5.3, qgram, table5.5, table5.6, figure5.1, table5.7, figure5.2, figure5.3, figure5.4, figure5.5, figure5.6, ablation.minhash, ablation.impl, ablation.q")
+	exp := fs.String("exp", "all", "experiment: all, bench, hotpath, table5.1, table5.3, qgram, table5.5, table5.6, figure5.1, table5.7, figure5.2, figure5.3, figure5.4, figure5.5, figure5.6, ablation.minhash, ablation.impl, ablation.q")
 	seed := fs.Int64("seed", 1, "generation seed")
-	benchJSON := fs.String("benchjson", "", "directory to write BENCH_preprocess.json/BENCH_select.json (with -exp bench)")
+	benchJSON := fs.String("benchjson", "", "directory to write the BENCH_*.json artifacts (with -exp bench or -exp hotpath)")
 	list := fs.Bool("list", false, "list the registered predicates and realizations, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -126,6 +152,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 			}
 		}
+		if err == nil {
+			err = runHotPathBench(po, w, *benchJSON)
+		}
+	case "hotpath":
+		err = runHotPathBench(po, w, *benchJSON)
 	case "table5.1":
 		experiments.Table51(ao).Print(w)
 	case "table5.3":

@@ -113,6 +113,48 @@ func TestRunBenchJSON(t *testing.T) {
 			t.Fatalf("non-positive qps for path %s", e.Path)
 		}
 	}
+
+	// The bench experiment also records the hot-path datapoint.
+	var hot struct {
+		Records int `json:"records"`
+		Entries []struct {
+			Predicate           string `json:"predicate"`
+			NaiveNSPerQuery     int64  `json:"naive_ns_per_query"`
+			OptimizedNSPerQuery int64  `json:"optimized_ns_per_query"`
+		} `json:"entries"`
+		DifferentialOK bool `json:"differential_ok"`
+	}
+	data, err = os.ReadFile(filepath.Join(dir, "BENCH_hotpath.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &hot); err != nil {
+		t.Fatalf("BENCH_hotpath.json: %v", err)
+	}
+	if hot.Records != 200 || len(hot.Entries) != 13 || !hot.DifferentialOK {
+		t.Fatalf("hotpath report: %s", data)
+	}
+	for _, e := range hot.Entries {
+		if e.NaiveNSPerQuery <= 0 || e.OptimizedNSPerQuery <= 0 {
+			t.Fatalf("missing hot-path timing for %s", e.Predicate)
+		}
+	}
+}
+
+// TestRunHotPathOnly drives the standalone hot-path experiment.
+func TestRunHotPathOnly(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-exp", "hotpath", "-perfsize", "200", "-perfqueries", "3",
+		"-benchjson", dir,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_hotpath.json")); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestRunBadFlags pins the error paths.

@@ -156,15 +156,27 @@ type GramLayer struct {
 	// RSByRank is the Robertson–Sparck Jones weight table (LayerRS), and
 	// RSLen the per-record summed RS weight over distinct tokens (the
 	// weighted Jaccard union denominator), present when postings are too.
+	// Each RS posting list has the uniform weight RSByRank[r], so the
+	// weight table doubles as its own per-rank score bound; RSLenMin is
+	// the denominator bound column of WeightedJaccard's admission test.
 	RSByRank []float64
 	RSLen    []float64
+	RSLenMin float64
 	// TFIDFPost is the normalized tf-idf posting table indexed by token
-	// rank (LayerTFIDF).
+	// rank (LayerTFIDF); TFIDFMax and TFIDFMin are its per-rank weight
+	// bound columns, the max-score pruning input of the hot path.
 	TFIDFPost [][]WPost
+	TFIDFMax  []float64
+	TFIDFMin  []float64
 	// LMPost and LMSumComp are the language-model posting table (indexed
 	// by token rank) and the per-record Σ log(1−pm) column (LayerLM).
+	// LMMax/LMMin bound the posting weights per rank and LMCompMax bounds
+	// LMSumComp over records that can appear in a posting list.
 	LMPost    [][]WPost
+	LMMax     []float64
+	LMMin     []float64
 	LMSumComp []float64
+	LMCompMax float64
 	// TFPost is the gram-frequency posting table indexed by token rank
 	// (LayerNorms, on the raw layer): the record-side multiset the edit
 	// predicate's count filter scans.
@@ -192,6 +204,14 @@ type WordLayer struct {
 	VocabGrams [][][]string
 	GramSizes  [][]int
 	GramIndex  map[string][]WordRef
+	// WordOff, WordRecOf and GramSizeOf flatten the distinct-word space
+	// into dense ids (WordOff[rec]+word), so the GES filters accumulate
+	// per-word match counts in a dense scratch instead of WordRef-keyed
+	// maps. WordTotal is the id-space size.
+	WordOff    []int32
+	WordRecOf  []int32
+	GramSizeOf []int32
+	WordTotal  int
 	// Sigs and SigIndex are the min-hash signatures and their shared
 	// (slot, value) index (LayerSigs).
 	Sigs     [][][]uint64
@@ -772,6 +792,12 @@ func (c *Corpus) buildGramTables(l *GramLayer) {
 					l.RSLen[i] += w
 				}
 			}
+			l.RSLenMin = 0
+			for i, v := range l.RSLen {
+				if i == 0 || v < l.RSLenMin {
+					l.RSLenMin = v
+				}
+			}
 		}
 	}
 	if c.layers.Has(LayerTFIDF) {
@@ -793,6 +819,7 @@ func (c *Corpus) buildGramTables(l *GramLayer) {
 				l.TFIDFPost[p.Rank] = append(l.TFIDFPost[p.Rank], WPost{Rec: i, W: w})
 			}
 		}
+		l.TFIDFMax, l.TFIDFMin = PostingBounds(l.TFIDFPost)
 	}
 	if c.layers.Has(LayerLM) {
 		// Mirrors weights.Corpus.LM term for term, with pavg and log(cf/cs)
@@ -827,7 +854,48 @@ func (c *Corpus) buildGramTables(l *GramLayer) {
 			}
 			l.LMSumComp[i] = sum
 		}
+		l.LMMax, l.LMMin = PostingBounds(l.LMPost)
+		// The admission bound only has to cover records reachable through
+		// a posting list, i.e. records with tokens; zero-length records
+		// keep the neutral LMSumComp of 0, which would badly loosen the
+		// bound (their Σ log(1−pm) would be far below 0 if they had any).
+		first := true
+		for i := range l.Counts {
+			if l.DL[i] == 0 {
+				continue
+			}
+			if first || l.LMSumComp[i] > l.LMCompMax {
+				l.LMCompMax = l.LMSumComp[i]
+			}
+			first = false
+		}
 	}
+}
+
+// PostingBounds computes per-rank weight bound columns of a rank-indexed
+// posting table: maxs[r] and mins[r] bound the record-side weights of rank
+// r's list (both zero for empty lists). These are the score upper bounds
+// max-score pruning consumes; they are rebuilt with the tables on every
+// mutation epoch, so they can never drift out of sync with the postings.
+func PostingBounds(table [][]WPost) (maxs, mins []float64) {
+	maxs = make([]float64, len(table))
+	mins = make([]float64, len(table))
+	for r, posts := range table {
+		if len(posts) == 0 {
+			continue
+		}
+		mx, mn := posts[0].W, posts[0].W
+		for _, p := range posts[1:] {
+			if p.W > mx {
+				mx = p.W
+			}
+			if p.W < mn {
+				mn = p.W
+			}
+		}
+		maxs[r], mins[r] = mx, mn
+	}
+	return maxs, mins
 }
 
 // powInt is x^n for small positive integer exponents (term frequencies):
@@ -924,6 +992,24 @@ func (c *Corpus) buildWordLayer(raw *rawData) *WordLayer {
 				for _, g := range grams {
 					l.GramIndex[g] = append(l.GramIndex[g], WordRef{Rec: i, Word: j})
 				}
+			}
+		}
+		// Flatten the distinct-word space into dense ids so the GES
+		// filters can count gram/signature matches in a dense scratch.
+		l.WordOff = make([]int32, len(raw.vocab))
+		off = 0
+		for i, vocab := range raw.vocab {
+			l.WordOff[i] = int32(off)
+			off += len(vocab)
+		}
+		l.WordTotal = off
+		l.WordRecOf = make([]int32, off)
+		l.GramSizeOf = make([]int32, off)
+		for i, sizes := range l.GramSizes {
+			base := l.WordOff[i]
+			for j, sz := range sizes {
+				l.WordRecOf[base+int32(j)] = int32(i)
+				l.GramSizeOf[base+int32(j)] = int32(sz)
 			}
 		}
 	}

@@ -1,0 +1,666 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+	"slices"
+	"sync/atomic"
+)
+
+// This file implements the score-at-a-time selection hot path shared by the
+// native predicates: a dense term-at-a-time merge over precomputed posting
+// lists, driven in descending-impact token order with max-score early
+// termination (Turtle & Flood style, exact results only).
+//
+// The contract is strict exactness: for any options, the result is
+// bit-identical — scores and tie order — to NaiveTermSelect over the same
+// terms, which performs the classic full map merge. Pruning only ever
+// avoids work whose absence is provable from precomputed per-list weight
+// bounds:
+//
+//   - While "admission" is open, every posting of every list is applied.
+//   - At each list boundary, the engine knows an upper bound on the total
+//     score any not-yet-touched record could still reach (the suffix sum of
+//     per-list maxima, plus the best per-record offset). Once that bound
+//     falls strictly below the floor — the k-th best lower-bounded
+//     candidate, or the pushed-down threshold — no new record can enter the
+//     result, and admission closes.
+//   - After closure, a remaining list either gets a cheap update-only walk
+//     (only already-touched records accumulate; no insertions), or — when
+//     the candidate set is smaller than the list — is skipped entirely:
+//     the candidates' contributions from that list are recovered by binary
+//     search into the (record-sorted) posting list, so every reported
+//     score still sums exactly the same contributions in the same order.
+
+// Term is one query token's posting-list contribution to a selection.
+// Exactly one of W and Ids is set: W carries weighted postings (the
+// contribution of posting p is Q·p.W), Ids carries unweighted postings
+// (contribution Q each). Posting lists must be sorted by ascending record
+// position, which is how every corpus/attach table is built.
+type Term struct {
+	// Q is the query-side factor of the token.
+	Q   float64
+	W   []WPost
+	Ids []int32
+	// MaxW and MinW bound the record-side weights of W (ignored for Ids,
+	// whose implicit weight is 1). They are the precomputed per-rank bound
+	// columns of the corpus snapshot or the attach-time weight tables.
+	MaxW, MinW float64
+}
+
+// bounds returns the per-record contribution bounds of the term: ub ≥ any
+// single record's gain from this list (clamped at 0 — absent records gain
+// nothing), lb ≤ any single record's gain (clamped at 0).
+func (t *Term) bounds() (ub, lb float64) {
+	var hi, lo float64
+	if t.Ids != nil {
+		hi, lo = t.Q, t.Q
+	} else {
+		hi, lo = t.Q*t.MaxW, t.Q*t.MinW
+		if lo > hi {
+			hi, lo = lo, hi
+		}
+	}
+	return math.Max(0, hi), math.Min(0, lo)
+}
+
+func (t *Term) size() int {
+	if t.Ids != nil {
+		return len(t.Ids)
+	}
+	return len(t.W)
+}
+
+// OrderTermsByImpact sorts terms by decreasing contribution upper bound,
+// keeping the original (token-rank) order for ties. Both the optimized and
+// the naive reference paths run over this order, so per-record
+// floating-point accumulation order — and therefore every score bit — is
+// shared by construction.
+func OrderTermsByImpact(terms []Term) {
+	slices.SortStableFunc(terms, func(a, b Term) int {
+		ua, _ := a.bounds()
+		ub, _ := b.bounds()
+		switch {
+		case ua > ub:
+			return -1
+		case ua < ub:
+			return 1
+		}
+		return 0
+	})
+}
+
+// Shape maps a record's accumulated mass to its final score. The zero
+// value is the identity (score = accumulated sum).
+type Shape struct {
+	// Comp is a per-record additive offset applied before Exp (the LM
+	// predicate's Σ log(1−pm) column); CompMax is its maximum over records
+	// that can appear in a posting list — the snapshot bound column.
+	Comp    []float64
+	CompMax float64
+	// Exp applies exp() to the offset sum (LM, HMM).
+	Exp bool
+	// Den switches to the ratio family (Jaccard, WeightedJaccard):
+	// score = acc / (Den[rec] + QSide − acc), with DenMin the precomputed
+	// minimum of Den over records. DenAtLeastAcc declares Den[rec] ≥ acc
+	// for every reachable record (true for Jaccard, where the denominator
+	// column counts a superset of the intersection), which tightens the
+	// admission bound.
+	Den           []float64
+	DenMin        float64
+	DenAtLeastAcc bool
+	QSide         float64
+}
+
+func (sh *Shape) ratio() bool { return sh.Den != nil }
+
+// pruneSlack is the relative safety margin applied to every pruning
+// comparison. The suffix bounds and a candidate's own accumulation sum the
+// same contributions in different association orders, so either float
+// result may exceed the other by a few ulps (~2^-52 relative per
+// addition); likewise exp/log are not exact inverses when a threshold is
+// mapped into key space. Widening the bound side by 1e-12 — orders of
+// magnitude above the achievable rounding error for any realistic term
+// count, immeasurably below any real floor gap — makes every skip
+// decision rigorous: rounding can only make pruning less aggressive,
+// never drop a record the naive merge would keep.
+const pruneSlack = 1e-12
+
+// upBound inflates an upper bound computed from x (whose magnitude also
+// caps the summation error of what it bounds).
+func upBound(x, scale float64) float64 {
+	return x + pruneSlack*(math.Abs(x)+math.Abs(scale)+1)
+}
+
+// downBound deflates a lower bound symmetrically.
+func downBound(x, scale float64) float64 {
+	return x - pruneSlack*(math.Abs(x)+math.Abs(scale)+1)
+}
+
+// final computes the exact final score of a touched record; ok=false drops
+// the record (the ratio family's zero-denominator guard).
+func (sh *Shape) final(rec int32, acc float64) (float64, bool) {
+	if sh.Den != nil {
+		den := sh.Den[rec] + sh.QSide - acc
+		if den == 0 {
+			return 0, false
+		}
+		return acc / den, true
+	}
+	k := acc
+	if sh.Comp != nil {
+		k += sh.Comp[rec]
+	}
+	if sh.Exp {
+		return math.Exp(k), true
+	}
+	return k, true
+}
+
+// ratioBound returns an upper bound on the final score of any not-yet
+// touched record whose remaining accumulable mass is at most x. +Inf means
+// no finite bound is provable (pruning stays off).
+func (sh *Shape) ratioBound(x float64) float64 {
+	if sh.QSide <= 0 {
+		return math.Inf(1)
+	}
+	if sh.DenAtLeastAcc && x > sh.QSide {
+		x = sh.QSide
+	}
+	dm := sh.DenMin
+	if sh.DenAtLeastAcc && x > dm {
+		dm = x
+	}
+	den := dm + sh.QSide - x
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return x / den
+}
+
+// ---- engine ----
+
+// MaxScoreSelect runs the score-at-a-time merge over terms (already in
+// OrderTermsByImpact order) and returns the ranked matches under opts.
+// The scratch must have been Reset for len(recs) records (GetScratch does).
+func MaxScoreSelect(s *Scratch, recs []Record, terms []Term, sh Shape, opts SelectOptions) []Match {
+	nt := len(terms)
+	pos, neg := s.suffixBounds(terms)
+
+	prune := opts.Limit > 0 || opts.HasThreshold
+	// Threshold in key space for the additive family: a key strictly below
+	// thKey has a final score provably below θ. The conversion is deflated
+	// by the pruning slack because log/exp are not exact inverses.
+	thKey := math.Inf(-1)
+	if opts.HasThreshold && !sh.ratio() {
+		if sh.Exp {
+			if opts.Threshold > 0 {
+				thKey = downBound(math.Log(opts.Threshold), 0)
+			}
+		} else {
+			thKey = downBound(opts.Threshold, 0)
+		}
+	}
+	useHeap := prune && !sh.ratio() && opts.Limit > 0
+	k := opts.Limit
+
+	closed := false
+	var skipped, updateOnly, postsSkipped uint64
+	for i := range terms {
+		t := &terms[i]
+		if prune && !closed {
+			if sh.ratio() {
+				if opts.HasThreshold {
+					bound := sh.ratioBound(upBound(pos[i], pos[i]))
+					if upBound(bound, 0) < opts.Threshold {
+						closed = true
+					}
+				}
+			} else {
+				unseen := upBound(pos[i]+sh.CompMax, pos[i])
+				if unseen < thKey {
+					closed = true
+				} else if useHeap && len(s.hkeys) == k &&
+					unseen < downBound(s.hkeys[0]+neg[i], neg[i]) {
+					closed = true
+				}
+			}
+		}
+		if closed {
+			// Admission is closed: this list can only adjust scores of
+			// candidates that can still reach the result. First drop the
+			// candidates that provably cannot (same bound argument as the
+			// closure test, applied per record), then pick the cheaper
+			// exact plan for the list — skip it entirely and recover the
+			// surviving candidates' contributions by binary search, or
+			// walk it in update-only mode.
+			s.compactCandidates(&sh, opts, pos[i], neg[i], thKey, useHeap, k)
+			n := t.size()
+			if lookupCheaper(len(s.touched), n) {
+				s.finishByLookup(t)
+				skipped++
+				postsSkipped += uint64(n)
+			} else {
+				s.walkUpdateOnly(t)
+				updateOnly++
+			}
+			continue
+		}
+		if useHeap {
+			s.walkFullHeap(t, sh.Comp, k)
+		} else {
+			s.walkFull(t)
+		}
+	}
+
+	out := s.materialize(recs, &sh, opts)
+
+	hotPath.queries.Add(1)
+	hotPath.lists.Add(uint64(nt))
+	if closed {
+		hotPath.prunedQueries.Add(1)
+		hotPath.listsSkipped.Add(skipped)
+		hotPath.listsUpdateOnly.Add(updateOnly)
+		hotPath.postingsSkipped.Add(postsSkipped)
+	}
+	s.terms = terms[:0]
+	return out
+}
+
+// NaiveTermSelect is the reference merge the optimized engine is
+// differential-tested against, and the "old" side of BENCH_hotpath.json:
+// a per-query map accumulator over every posting of every term, fully
+// materialized, then sorted and truncated. Because it visits the same
+// contributions in the same term order as MaxScoreSelect, the two paths
+// agree bit for bit.
+func NaiveTermSelect(recs []Record, terms []Term, sh Shape, opts SelectOptions) []Match {
+	acc := make(map[int32]float64)
+	for i := range terms {
+		t := &terms[i]
+		if t.Ids != nil {
+			for _, r := range t.Ids {
+				acc[r] += t.Q
+			}
+			continue
+		}
+		for _, p := range t.W {
+			acc[int32(p.Rec)] += t.Q * p.W
+		}
+	}
+	out := make([]Match, 0, len(acc))
+	for r, a := range acc {
+		score, ok := sh.final(r, a)
+		if !ok || !opts.Keeps(score) {
+			continue
+		}
+		out = append(out, Match{TID: recs[r].TID, Score: score})
+	}
+	return FinishMatches(out, opts)
+}
+
+// suffixBounds fills the scratch's suffix arrays: pos[i] (neg[i]) is the
+// summed positive (negative) contribution bound of terms[i:].
+func (s *Scratch) suffixBounds(terms []Term) (pos, neg []float64) {
+	nt := len(terms)
+	if cap(s.pos) < nt+1 {
+		s.pos = make([]float64, nt+1)
+		s.neg = make([]float64, nt+1)
+	}
+	pos = s.pos[:nt+1]
+	neg = s.neg[:nt+1]
+	pos[nt], neg[nt] = 0, 0
+	for i := nt - 1; i >= 0; i-- {
+		ub, lb := terms[i].bounds()
+		pos[i] = pos[i+1] + ub
+		neg[i] = neg[i+1] + lb
+	}
+	return pos, neg
+}
+
+// lookupCheaper decides between binary-search finishing (candidates × log
+// posts) and an update-only walk (posts).
+func lookupCheaper(candidates, posts int) bool {
+	return candidates*(bits.Len(uint(posts))+1) < posts
+}
+
+func (s *Scratch) walkFull(t *Term) {
+	q := t.Q
+	if t.Ids != nil {
+		for _, r := range t.Ids {
+			s.Add(r, q)
+		}
+		return
+	}
+	for _, p := range t.W {
+		s.Add(int32(p.Rec), q*p.W)
+	}
+}
+
+// walkFullHeap is walkFull plus floor-heap maintenance: after each
+// accumulation the record's key (accumulated mass plus its Comp offset)
+// updates the k-sized min-heap whose root is the pruning floor.
+func (s *Scratch) walkFullHeap(t *Term, comp []float64, k int) {
+	q := t.Q
+	if t.Ids != nil {
+		for _, r := range t.Ids {
+			s.Add(r, q)
+			kv := s.f[r]
+			if comp != nil {
+				kv += comp[r]
+			}
+			s.heapFix(r, kv, k)
+		}
+		return
+	}
+	for _, p := range t.W {
+		r := int32(p.Rec)
+		s.Add(r, q*p.W)
+		kv := s.f[r]
+		if comp != nil {
+			kv += comp[r]
+		}
+		s.heapFix(r, kv, k)
+	}
+}
+
+func (s *Scratch) walkUpdateOnly(t *Term) {
+	q := t.Q
+	if t.Ids != nil {
+		for _, r := range t.Ids {
+			if s.stamp[r] == s.cur {
+				s.f[r] += q
+			}
+		}
+		return
+	}
+	for _, p := range t.W {
+		r := int32(p.Rec)
+		if s.stamp[r] == s.cur {
+			s.f[r] += q * p.W
+		}
+	}
+}
+
+// compactCandidates drops candidates that provably cannot appear in the
+// result: with a full floor heap, a candidate whose best possible final
+// key (current key plus the remaining positive suffix) stays strictly
+// below the heap members' worst possible final key is outside the top-k —
+// the k members all outrank it; with a threshold, a candidate whose best
+// possible final score stays below θ is filtered either way. Dropping is
+// pure exclusion: surviving candidates keep accumulating every remaining
+// contribution, so reported scores are untouched.
+func (s *Scratch) compactCandidates(sh *Shape, opts SelectOptions, pos, neg, thKey float64, useHeap bool, k int) {
+	if len(s.touched) == 0 {
+		return
+	}
+	if sh.ratio() {
+		if !opts.HasThreshold {
+			return
+		}
+		kept := s.touched[:0]
+		for _, r := range s.touched {
+			x := upBound(s.f[r]+pos, pos)
+			if sh.DenAtLeastAcc {
+				if x > sh.Den[r] {
+					x = sh.Den[r]
+				}
+				if x > sh.QSide {
+					x = sh.QSide
+				}
+			}
+			den := sh.Den[r] + sh.QSide - x
+			if den <= 0 || upBound(x/den, 0) >= opts.Threshold {
+				kept = append(kept, r)
+			}
+		}
+		s.touched = kept
+		return
+	}
+	// Floor over the heap members' current keys (update-only walks keep
+	// accumulating into them, so recompute instead of trusting the root).
+	floor := math.Inf(1)
+	haveFloor := useHeap && len(s.hkeys) == k
+	if haveFloor {
+		for _, hr := range s.hrecs {
+			kv := s.f[hr]
+			if sh.Comp != nil {
+				kv += sh.Comp[hr]
+			}
+			if kv < floor {
+				floor = kv
+			}
+		}
+	}
+	haveTh := opts.HasThreshold && !math.IsInf(thKey, -1)
+	if !haveFloor && !haveTh {
+		return
+	}
+	floorLow := downBound(floor+neg, neg)
+	kept := s.touched[:0]
+	for _, r := range s.touched {
+		kv := s.f[r]
+		if sh.Comp != nil {
+			kv += sh.Comp[r]
+		}
+		best := upBound(kv+pos, math.Abs(kv)+math.Abs(pos))
+		if (haveFloor && best < floorLow) || (haveTh && best < thKey) {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.touched = kept
+}
+
+// finishByLookup recovers the candidates' contributions from a skipped
+// list by binary search, in touched order — each record still receives its
+// lists' contributions in list-processing order, so sums stay exact.
+func (s *Scratch) finishByLookup(t *Term) {
+	q := t.Q
+	if t.Ids != nil {
+		ids := t.Ids
+		for _, r := range s.touched {
+			lo, hi := 0, len(ids)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if ids[mid] < r {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(ids) && ids[lo] == r {
+				s.f[r] += q
+			}
+		}
+		return
+	}
+	posts := t.W
+	for _, r := range s.touched {
+		rec := int(r)
+		lo, hi := 0, len(posts)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if posts[mid].Rec < rec {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(posts) && posts[lo].Rec == rec {
+			s.f[r] += q * posts[lo].W
+		}
+	}
+}
+
+// materialize turns the touched set into the ranked result. With a limit
+// the candidates stage through the scratch's match buffer and only the
+// k-sized result is freshly allocated; without one the result itself is
+// O(candidates) and allocated exactly.
+func (s *Scratch) materialize(recs []Record, sh *Shape, opts SelectOptions) []Match {
+	if opts.Limit > 0 {
+		buf := s.ms[:0]
+		for _, r := range s.touched {
+			score, ok := sh.final(r, s.f[r])
+			if !ok || !opts.Keeps(score) {
+				continue
+			}
+			buf = append(buf, Match{TID: recs[r].TID, Score: score})
+		}
+		s.ms = buf
+		if opts.Limit < len(buf) {
+			return FinishMatches(buf, opts) // k-bounded heap, fresh k-slice
+		}
+		out := append([]Match(nil), buf...)
+		SortMatches(out)
+		return out
+	}
+	out := make([]Match, 0, len(s.touched))
+	for _, r := range s.touched {
+		score, ok := sh.final(r, s.f[r])
+		if !ok || !opts.Keeps(score) {
+			continue
+		}
+		out = append(out, Match{TID: recs[r].TID, Score: score})
+	}
+	SortMatches(out)
+	return out
+}
+
+// ---- floor heap (min-heap over candidate keys, root = pruning floor) ----
+
+// heapFix updates the floor heap after rec's key changed to kv: in-heap
+// records re-sift in place, new records displace the root only when they
+// strictly beat it. The root is always the minimum of k actual candidate
+// keys, which makes it a valid lower bound on the true k-th best key.
+func (s *Scratch) heapFix(r int32, kv float64, k int) {
+	if p := int(s.hpos[r]); p >= 0 {
+		s.hkeys[p] = kv
+		if !s.heapDown(p) {
+			s.heapUp(p)
+		}
+		return
+	}
+	if len(s.hkeys) < k {
+		s.hkeys = append(s.hkeys, kv)
+		s.hrecs = append(s.hrecs, r)
+		s.hpos[r] = int32(len(s.hkeys) - 1)
+		s.heapUp(len(s.hkeys) - 1)
+		return
+	}
+	if kv > s.hkeys[0] {
+		s.hpos[s.hrecs[0]] = -1
+		s.hkeys[0] = kv
+		s.hrecs[0] = r
+		s.hpos[r] = 0
+		s.heapDown(0)
+	}
+}
+
+func (s *Scratch) heapSwap(i, j int) {
+	s.hkeys[i], s.hkeys[j] = s.hkeys[j], s.hkeys[i]
+	s.hrecs[i], s.hrecs[j] = s.hrecs[j], s.hrecs[i]
+	s.hpos[s.hrecs[i]] = int32(i)
+	s.hpos[s.hrecs[j]] = int32(j)
+}
+
+func (s *Scratch) heapDown(i int) bool {
+	moved := false
+	for {
+		small := i
+		if l := 2*i + 1; l < len(s.hkeys) && s.hkeys[l] < s.hkeys[small] {
+			small = l
+		}
+		if r := 2*i + 2; r < len(s.hkeys) && s.hkeys[r] < s.hkeys[small] {
+			small = r
+		}
+		if small == i {
+			return moved
+		}
+		s.heapSwap(i, small)
+		i = small
+		moved = true
+	}
+}
+
+func (s *Scratch) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.hkeys[i] >= s.hkeys[parent] {
+			return
+		}
+		s.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+// ---- pruning statistics ----
+
+// hotPathCounters aggregates process-wide max-score pruning counters. They
+// are written once per query (not per posting) and surface through
+// HotPathSnapshot, the /v1/stats hot_path block, and BENCH_hotpath.json.
+var hotPath struct {
+	queries         atomic.Uint64
+	prunedQueries   atomic.Uint64
+	lists           atomic.Uint64
+	listsSkipped    atomic.Uint64
+	listsUpdateOnly atomic.Uint64
+	postingsSkipped atomic.Uint64
+}
+
+// HotPathStats is a snapshot of the hot path's pruning counters.
+type HotPathStats struct {
+	// Queries counts engine selections; PrunedQueries those where
+	// admission closed before the last list.
+	Queries       uint64 `json:"queries"`
+	PrunedQueries uint64 `json:"pruned_queries"`
+	// Lists counts posting lists presented to the engine; ListsSkipped the
+	// ones never walked (candidates finished by binary search);
+	// ListsUpdateOnly the ones walked without admitting new candidates.
+	Lists           uint64 `json:"lists"`
+	ListsSkipped    uint64 `json:"lists_skipped"`
+	ListsUpdateOnly uint64 `json:"lists_update_only"`
+	// PostingsSkipped sums the lengths of skipped lists.
+	PostingsSkipped uint64 `json:"postings_skipped"`
+}
+
+// PruneRate is the fraction of posting lists skipped entirely.
+func (st HotPathStats) PruneRate() float64 {
+	if st.Lists == 0 {
+		return 0
+	}
+	return float64(st.ListsSkipped) / float64(st.Lists)
+}
+
+// HotPathSnapshot returns the current pruning counters.
+func HotPathSnapshot() HotPathStats {
+	return HotPathStats{
+		Queries:         hotPath.queries.Load(),
+		PrunedQueries:   hotPath.prunedQueries.Load(),
+		Lists:           hotPath.lists.Load(),
+		ListsSkipped:    hotPath.listsSkipped.Load(),
+		ListsUpdateOnly: hotPath.listsUpdateOnly.Load(),
+		PostingsSkipped: hotPath.postingsSkipped.Load(),
+	}
+}
+
+// ResetHotPathStats zeroes the pruning counters (benchmark harness hook).
+func ResetHotPathStats() {
+	hotPath.queries.Store(0)
+	hotPath.prunedQueries.Store(0)
+	hotPath.lists.Store(0)
+	hotPath.listsSkipped.Store(0)
+	hotPath.listsUpdateOnly.Store(0)
+	hotPath.postingsSkipped.Store(0)
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (st HotPathStats) Sub(prev HotPathStats) HotPathStats {
+	return HotPathStats{
+		Queries:         st.Queries - prev.Queries,
+		PrunedQueries:   st.PrunedQueries - prev.PrunedQueries,
+		Lists:           st.Lists - prev.Lists,
+		ListsSkipped:    st.ListsSkipped - prev.ListsSkipped,
+		ListsUpdateOnly: st.ListsUpdateOnly - prev.ListsUpdateOnly,
+		PostingsSkipped: st.PostingsSkipped - prev.PostingsSkipped,
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomTerms builds a random but valid query plan over n records: sorted
+// posting lists, mixed-sign weights, correct per-list bound columns.
+func randomTerms(rng *rand.Rand, n, nt int, weighted, signed bool) []Term {
+	terms := make([]Term, 0, nt)
+	for t := 0; t < nt; t++ {
+		df := 1 + rng.Intn(n)
+		perm := rng.Perm(n)[:df]
+		recs := append([]int(nil), perm...)
+		// Posting lists must be sorted by record position.
+		for i := 1; i < len(recs); i++ {
+			for j := i; j > 0 && recs[j] < recs[j-1]; j-- {
+				recs[j], recs[j-1] = recs[j-1], recs[j]
+			}
+		}
+		q := rng.Float64() * 3
+		if signed && rng.Intn(3) == 0 {
+			q = -q
+		}
+		if !weighted {
+			ids := make([]int32, len(recs))
+			for i, r := range recs {
+				ids[i] = int32(r)
+			}
+			terms = append(terms, Term{Q: q, Ids: ids})
+			continue
+		}
+		posts := make([]WPost, len(recs))
+		mx, mn := math.Inf(-1), math.Inf(1)
+		for i, r := range recs {
+			w := rng.Float64() * 2
+			if signed && rng.Intn(4) == 0 {
+				w = -w
+			}
+			posts[i] = WPost{Rec: r, W: w}
+			mx = math.Max(mx, w)
+			mn = math.Min(mn, w)
+		}
+		terms = append(terms, Term{Q: q, W: posts, MaxW: mx, MinW: mn})
+	}
+	OrderTermsByImpact(terms)
+	return terms
+}
+
+func matchesIdentical(t *testing.T, label string, want, got []Match) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d != %d\nwant %v\ngot  %v", label, len(want), len(got), want, got)
+	}
+	for i := range want {
+		if want[i].TID != got[i].TID || want[i].Score != got[i].Score {
+			t.Fatalf("%s: position %d: want %+v got %+v", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestMaxScoreMatchesNaive fuzzes the score-at-a-time engine against the
+// naive reference merge across every shape family and option combination:
+// the results must be bit-identical — scores and tie order — because
+// pruning is only ever allowed to skip provably irrelevant work.
+func TestMaxScoreMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 60
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{TID: 1000 - i} // non-monotone TIDs exercise tie order
+	}
+	comp := make([]float64, n)
+	den := make([]float64, n)
+	for i := range comp {
+		comp[i] = -5 * rng.Float64()
+		den[i] = rng.Float64() * 10
+	}
+	compMax := math.Inf(-1)
+	denMin := math.Inf(1)
+	for i := range comp {
+		compMax = math.Max(compMax, comp[i])
+		denMin = math.Min(denMin, den[i])
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		nt := 1 + rng.Intn(12)
+		weighted := rng.Intn(2) == 0
+		signed := rng.Intn(2) == 0
+		terms := randomTerms(rng, n, nt, weighted, signed)
+
+		var sh Shape
+		var thresholds []float64
+		switch trial % 4 {
+		case 0: // identity (Cosine/BM25/WeightedMatch/IntersectSize)
+			sh = Shape{}
+			thresholds = []float64{0.5, 2, -1}
+		case 1: // exp (HMM)
+			sh = Shape{Exp: true}
+			thresholds = []float64{1.5, 0.2}
+		case 2: // exp with per-record offset (LM)
+			sh = Shape{Exp: true, Comp: comp, CompMax: compMax}
+			thresholds = []float64{0.05, 0.3}
+		case 3: // ratio (Jaccard/WeightedJaccard)
+			// A denominator column that dominates any achievable count
+			// keeps DenAtLeastAcc honest for the unweighted case.
+			rden := make([]float64, n)
+			for i := range rden {
+				rden[i] = den[i] + float64(nt)
+			}
+			sh = Shape{Den: rden, DenMin: denMin + float64(nt), DenAtLeastAcc: !signed && !weighted, QSide: float64(nt) + 1}
+			thresholds = []float64{0.1, 0.4}
+		}
+
+		optsList := []SelectOptions{
+			{},
+			{Limit: 1},
+			{Limit: 5},
+			{Limit: n + 10},
+			{Threshold: thresholds[0], HasThreshold: true},
+			{Limit: 3, Threshold: thresholds[len(thresholds)-1], HasThreshold: true},
+		}
+		for _, opts := range optsList {
+			want := NaiveTermSelect(recs, cloneTerms(terms), sh, opts)
+			s := GetScratch(n)
+			got := MaxScoreSelect(s, recs, cloneTerms(terms), sh, opts)
+			s.Release()
+			matchesIdentical(t, "engine vs naive", want, got)
+		}
+	}
+}
+
+// cloneTerms guards against the engine mutating the shared plan.
+func cloneTerms(terms []Term) []Term {
+	return append([]Term(nil), terms...)
+}
+
+// TestMaxScorePrunesSkewedLists checks that pruning actually happens on the
+// workload shape it is designed for: a few rare high-weight lists followed
+// by long low-weight ones, probed with a small limit.
+func TestMaxScorePrunesSkewedLists(t *testing.T) {
+	n := 2000
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{TID: i}
+	}
+	var terms []Term
+	// Three short, heavy lists.
+	for k := 0; k < 3; k++ {
+		posts := make([]WPost, 0, 10)
+		for r := k * 10; r < k*10+10; r++ {
+			posts = append(posts, WPost{Rec: r, W: 5})
+		}
+		terms = append(terms, Term{Q: 1, W: posts, MaxW: 5, MinW: 5})
+	}
+	// Ten long, feather-weight lists covering every record.
+	for k := 0; k < 10; k++ {
+		posts := make([]WPost, n)
+		for r := 0; r < n; r++ {
+			posts[r] = WPost{Rec: r, W: 0.001}
+		}
+		terms = append(terms, Term{Q: 1, W: posts, MaxW: 0.001, MinW: 0.001})
+	}
+	OrderTermsByImpact(terms)
+
+	before := HotPathSnapshot()
+	s := GetScratch(n)
+	got := MaxScoreSelect(s, recs, terms, Shape{}, SelectOptions{Limit: 5})
+	s.Release()
+	delta := HotPathSnapshot().Sub(before)
+
+	want := NaiveTermSelect(recs, terms, Shape{}, SelectOptions{Limit: 5})
+	matchesIdentical(t, "pruned top-k", want, got)
+	if delta.PrunedQueries != 1 {
+		t.Fatalf("admission must close on the skewed workload: %+v", delta)
+	}
+	if delta.ListsSkipped == 0 {
+		t.Fatalf("long feather-weight lists must be skipped entirely: %+v", delta)
+	}
+	if delta.PostingsSkipped == 0 {
+		t.Fatalf("postings skipped must be counted: %+v", delta)
+	}
+}
+
+// TestScratchEpochWrap forces the 32-bit epoch counter to wrap and checks
+// that stale stamps cannot leak into the new epoch.
+func TestScratchEpochWrap(t *testing.T) {
+	s := GetScratch(4)
+	defer s.Release()
+	s.Add(2, 1.5)
+	if !s.Stamped(2) || s.Val(2) != 1.5 {
+		t.Fatal("basic accumulate broken")
+	}
+	s.cur = ^uint32(0) // pretend 2^32-1 resets happened; stamp[2] aliases nothing yet
+	s.stamp[2] = s.cur // simulate a record stamped at the wrap boundary
+	s.Reset(4)
+	if s.cur != 1 {
+		t.Fatalf("epoch must restart at 1 after wrap, got %d", s.cur)
+	}
+	if s.Stamped(2) {
+		t.Fatal("stale stamp survived the epoch wrap")
+	}
+	if s.Val(2) != 0 {
+		t.Fatal("stale value visible after wrap")
+	}
+}
+
+// TestScratchRowFor exercises the flat stride-row buffer the GES filters
+// use for their per-(record, query word) maxsim tables.
+func TestScratchRowFor(t *testing.T) {
+	s := GetScratch(8)
+	defer s.Release()
+	r1 := s.RowFor(3, 4)
+	r1[2] = 0.5
+	r2 := s.RowFor(6, 4)
+	r2[0] = 0.25
+	again := s.RowFor(3, 4)
+	if again[2] != 0.5 || again[0] != 0 {
+		t.Fatalf("row not stable across touches: %v", again)
+	}
+	if got := s.RowFor(6, 4); got[0] != 0.25 {
+		t.Fatalf("second record's row clobbered: %v", got)
+	}
+	if len(s.Touched()) != 2 {
+		t.Fatalf("touched list: %v", s.Touched())
+	}
+	s.Reset(8)
+	if row := s.RowFor(3, 4); row[2] != 0 {
+		t.Fatal("row not zeroed after reset")
+	}
+}

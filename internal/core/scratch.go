@@ -1,0 +1,139 @@
+package core
+
+import "sync"
+
+// Scratch is the reusable dense accumulator of the selection hot path. It
+// replaces the per-query map[int]float64 accumulators (and their secondary
+// intersection/match maps) with one epoch-stamped float column plus a
+// touched list: accumulating into a record is an array add, resetting
+// between queries is a single epoch bump, and the backing arrays are
+// recycled through a sync.Pool so concurrent Selects stop allocating
+// O(candidates) maps per query.
+//
+// A Scratch is single-goroutine state: concurrent selections each check
+// their own scratch out of the pool (GetScratch) and return it when the
+// query's results have been materialized (Release).
+type Scratch struct {
+	f     []float64 // dense accumulator, valid where stamp matches cur
+	slot  []int32   // per-record spill-row slot, valid where stamp matches cur
+	stamp []uint32
+	cur   uint32
+	// touched lists the stamped records in first-touch order; its length is
+	// the candidate count of the running query.
+	touched []int32
+
+	// Floor heap of the max-score engine: a min-heap over candidate keys
+	// whose root is the k-th best key seen so far. hpos tracks each
+	// record's heap position (-1 when absent), valid where stamp matches.
+	hkeys []float64
+	hrecs []int32
+	hpos  []int32
+
+	// Per-query side buffers reused across checkouts.
+	terms []Term
+	pos   []float64 // suffix sums of positive contribution bounds
+	neg   []float64 // suffix sums of negative contribution bounds
+	ms    []Match
+	spill []float64 // flat stride-rows buffer (the GES filters' maxsim table)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch checks a scratch out of the shared pool, reset for n records.
+func GetScratch(n int) *Scratch {
+	s := scratchPool.Get().(*Scratch)
+	s.Reset(n)
+	return s
+}
+
+// Release returns the scratch (and its grown backing arrays) to the pool.
+func (s *Scratch) Release() { scratchPool.Put(s) }
+
+// Reset prepares the scratch for a fresh accumulation over records
+// 0..n-1: the backing arrays grow to cover n and every previous stamp is
+// invalidated by bumping the epoch (no O(n) clearing).
+func (s *Scratch) Reset(n int) {
+	if cap(s.stamp) < n {
+		s.f = make([]float64, n)
+		s.slot = make([]int32, n)
+		s.stamp = make([]uint32, n)
+		s.hpos = make([]int32, n)
+		s.cur = 0
+	} else {
+		s.f = s.f[:cap(s.stamp)]
+		s.slot = s.slot[:cap(s.stamp)]
+		s.stamp = s.stamp[:cap(s.stamp)]
+		s.hpos = s.hpos[:cap(s.stamp)]
+	}
+	s.cur++
+	if s.cur == 0 {
+		// Epoch wrap: stale stamps from 2^32 resets ago could alias the new
+		// epoch, so clear them once and restart at 1.
+		clear(s.stamp)
+		s.cur = 1
+	}
+	s.touched = s.touched[:0]
+	s.hkeys = s.hkeys[:0]
+	s.hrecs = s.hrecs[:0]
+}
+
+// Add accumulates w into rec's score, stamping the record into the touched
+// list on first contact. First touch stores w directly, which is exactly
+// 0 + w, so the accumulated value is bit-identical to a map merge visiting
+// the same contributions in the same order.
+func (s *Scratch) Add(rec int32, w float64) {
+	if s.stamp[rec] != s.cur {
+		s.stamp[rec] = s.cur
+		s.f[rec] = w
+		s.hpos[rec] = -1
+		s.touched = append(s.touched, rec)
+		return
+	}
+	s.f[rec] += w
+}
+
+// Stamped reports whether rec has been touched since the last Reset.
+func (s *Scratch) Stamped(rec int32) bool { return s.stamp[rec] == s.cur }
+
+// Val returns rec's accumulated value (zero when untouched).
+func (s *Scratch) Val(rec int32) float64 {
+	if s.stamp[rec] != s.cur {
+		return 0
+	}
+	return s.f[rec]
+}
+
+// Touched returns the stamped records in first-touch order. The slice is
+// owned by the scratch and is invalidated by the next Reset.
+func (s *Scratch) Touched() []int32 { return s.touched }
+
+// TermBuf returns the scratch's reusable term buffer, empty. A nil scratch
+// yields a nil buffer, so plan builders work without a scratch too.
+func (s *Scratch) TermBuf() []Term {
+	if s == nil {
+		return nil
+	}
+	return s.terms[:0]
+}
+
+// RowFor returns rec's stride-sized row of the flat spill buffer, zeroing
+// the row (and assigning the record a dense slot) on first touch. It backs
+// the per-(record, query-token) maxsim tables of the GES filters, replacing
+// their map[int][]float64 with one reusable flat array.
+func (s *Scratch) RowFor(rec int32, stride int) []float64 {
+	if s.stamp[rec] != s.cur {
+		s.stamp[rec] = s.cur
+		s.slot[rec] = int32(len(s.touched))
+		s.touched = append(s.touched, rec)
+		need := len(s.touched) * stride
+		for cap(s.spill) < need {
+			s.spill = append(s.spill[:cap(s.spill)], 0)
+		}
+		s.spill = s.spill[:cap(s.spill)]
+		row := s.spill[need-stride : need]
+		clear(row)
+		return row
+	}
+	off := int(s.slot[rec]) * stride
+	return s.spill[off : off+stride]
+}

@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/native"
+)
+
+// This file implements the hot-path benchmark of the selection engine: the
+// pre-optimization merge (per-query map accumulators, no pruning — the
+// NaiveSelect reference path) against the dense score-at-a-time path with
+// max-score early termination, per predicate, over the 5k-record zipf mix
+// of the serving benchmark. The machine-readable result is
+// BENCH_hotpath.json, the fourth committed artifact next to
+// BENCH_preprocess/select/serve.json.
+
+// HotPathOptions configure one hot-path benchmark run; zero fields select
+// the committed-artifact scenario (5000 records, Limit 10, zipf 1.3).
+type HotPathOptions struct {
+	// Records is the relation size (default 5000).
+	Records int
+	// Distinct is the number of distinct queries in the mix (default 100).
+	Distinct int
+	// Queries is the number of timed queries per predicate (default 40).
+	Queries int
+	// HeavyQueries bounds the timed queries of the verification-heavy
+	// predicates (GES class, SoftTFIDF, EditDistance), whose per-query
+	// cost dwarfs the merge (default max(3, Queries/5)).
+	HeavyQueries int
+	// Limit is the pushed-down top-k (default 10).
+	Limit int
+	// ZipfS is the zipf skew of the query mix (default 1.3).
+	ZipfS float64
+	// Seed drives data generation and the query draw.
+	Seed int64
+	// Config holds predicate parameters.
+	Config core.Config
+}
+
+func (o HotPathOptions) withDefaults() HotPathOptions {
+	if o.Records <= 0 {
+		o.Records = 5000
+	}
+	if o.Distinct <= 0 {
+		o.Distinct = 100
+	}
+	if o.Queries <= 0 {
+		o.Queries = 40
+	}
+	if o.HeavyQueries <= 0 {
+		o.HeavyQueries = o.Queries / 5
+		if o.HeavyQueries < 3 {
+			o.HeavyQueries = 3
+		}
+	}
+	if o.Limit <= 0 {
+		o.Limit = 10
+	}
+	if o.ZipfS == 0 {
+		o.ZipfS = 1.3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Config == (core.Config{}) {
+		o.Config = core.DefaultConfig()
+	}
+	return o
+}
+
+// heavyPredicates are dominated by per-candidate verification (dynamic
+// programs), not the inverted-list merge this benchmark targets.
+var heavyPredicates = map[string]bool{
+	"EditDistance": true,
+	"GES":          true,
+	"GESJaccard":   true,
+	"GESapx":       true,
+	"SoftTFIDF":    true,
+}
+
+// predicateClass labels each predicate with its paper class.
+func predicateClass(name string) string {
+	switch name {
+	case "IntersectSize", "Jaccard", "WeightedMatch", "WeightedJaccard":
+		return "overlap"
+	case "Cosine", "BM25":
+		return "aggregate"
+	case "LM", "HMM":
+		return "langmodel"
+	case "EditDistance":
+		return "edit"
+	default:
+		return "combination"
+	}
+}
+
+// HotPathEntry is one predicate's old-vs-new measurement.
+type HotPathEntry struct {
+	Predicate string `json:"predicate"`
+	Class     string `json:"class"`
+	Queries   int    `json:"queries"`
+	// NaiveNSPerQuery times the map-accumulator reference merge;
+	// OptimizedNSPerQuery the dense pruned hot path. Both paths return
+	// bit-identical results (the run verifies a sample).
+	NaiveNSPerQuery     int64   `json:"naive_ns_per_query"`
+	OptimizedNSPerQuery int64   `json:"optimized_ns_per_query"`
+	Speedup             float64 `json:"speedup"`
+	// Allocations per query on each path, from runtime.MemStats deltas.
+	NaiveAllocsPerQuery     float64 `json:"naive_allocs_per_query"`
+	OptimizedAllocsPerQuery float64 `json:"optimized_allocs_per_query"`
+	// Pruning counters of the optimized pass (engine-backed predicates
+	// only; the verification-heavy class reports zeros).
+	Pruning core.HotPathStats `json:"pruning"`
+}
+
+// HotPathReport is the full machine-readable hot-path benchmark result.
+type HotPathReport struct {
+	Records  int            `json:"records"`
+	Distinct int            `json:"distinct_queries"`
+	ZipfS    float64        `json:"zipf_s"`
+	Limit    int            `json:"limit"`
+	Seed     int64          `json:"seed"`
+	Entries  []HotPathEntry `json:"entries"`
+	// Pruning aggregates the optimized-pass counters across predicates,
+	// and PruneRate is its skipped-list fraction.
+	Pruning   core.HotPathStats `json:"pruning"`
+	PruneRate float64           `json:"prune_rate"`
+	// AggregateWeightedSpeedup is the minimum speedup over the
+	// aggregate-weighted class (Cosine, BM25, LM) — the acceptance gate.
+	AggregateWeightedSpeedup float64 `json:"aggregate_weighted_speedup"`
+	// DifferentialOK records that the two paths returned identical
+	// rankings on the verified sample.
+	DifferentialOK bool `json:"differential_ok"`
+}
+
+// RunHotPath executes the hot-path benchmark.
+func RunHotPath(o HotPathOptions) (HotPathReport, error) {
+	o = o.withDefaults()
+	r := HotPathReport{
+		Records:  o.Records,
+		Distinct: o.Distinct,
+		ZipfS:    o.ZipfS,
+		Limit:    o.Limit,
+		Seed:     o.Seed,
+	}
+	ds, err := dblpDataset(o.Records, o.Seed)
+	if err != nil {
+		return r, err
+	}
+	// The zipf-skewed query mix of the serving benchmark: distinct record
+	// texts drawn with skew, so hot queries repeat like production traffic.
+	rng := rand.New(rand.NewSource(o.Seed + 29))
+	perm := rng.Perm(len(ds.Records))
+	distinct := o.Distinct
+	if distinct > len(ds.Records) {
+		distinct = len(ds.Records)
+	}
+	r.Distinct = distinct
+	queries := make([]string, distinct)
+	for i := range queries {
+		queries[i] = ds.Records[perm[i]].Text
+	}
+	zrng := rand.New(rand.NewSource(o.Seed + 17))
+	zipf := rand.NewZipf(zrng, o.ZipfS, 1, uint64(distinct-1))
+	seq := make([]int, o.Queries)
+	for i := range seq {
+		seq[i] = int(zipf.Uint64())
+	}
+
+	corpus, err := core.NewCorpus(ds.Records, o.Config, core.AllLayers)
+	if err != nil {
+		return r, err
+	}
+	opts := core.SelectOptions{Limit: o.Limit}
+	ctx := context.Background()
+	r.DifferentialOK = true
+	minAgg := 0.0
+	for _, name := range core.PredicateNames {
+		p, err := native.Attach(name, corpus, o.Config)
+		if err != nil {
+			return r, err
+		}
+		cp := p.(core.ContextPredicate)
+		qn := o.Queries
+		if heavyPredicates[name] && qn > o.HeavyQueries {
+			qn = o.HeavyQueries
+		}
+		e := HotPathEntry{Predicate: name, Class: predicateClass(name), Queries: qn}
+
+		// Differential spot-check: both paths must return the identical
+		// ranking for the first queries of the mix.
+		for i := 0; i < qn && i < 3; i++ {
+			want, err := native.NaiveSelect(p, queries[seq[i]], opts)
+			if err != nil {
+				return r, err
+			}
+			got, err := cp.SelectCtx(ctx, queries[seq[i]], opts)
+			if err != nil {
+				return r, err
+			}
+			if len(want) != len(got) {
+				r.DifferentialOK = false
+			} else {
+				for j := range want {
+					if want[j] != got[j] {
+						r.DifferentialOK = false
+						break
+					}
+				}
+			}
+		}
+
+		naiveNS, naiveAllocs, err := timeHotPath(qn, func(i int) error {
+			_, err := native.NaiveSelect(p, queries[seq[i]], opts)
+			return err
+		})
+		if err != nil {
+			return r, err
+		}
+		before := core.HotPathSnapshot()
+		optNS, optAllocs, err := timeHotPath(qn, func(i int) error {
+			_, err := cp.SelectCtx(ctx, queries[seq[i]], opts)
+			return err
+		})
+		if err != nil {
+			return r, err
+		}
+		e.Pruning = core.HotPathSnapshot().Sub(before)
+		e.NaiveNSPerQuery = naiveNS
+		e.OptimizedNSPerQuery = optNS
+		e.NaiveAllocsPerQuery = naiveAllocs
+		e.OptimizedAllocsPerQuery = optAllocs
+		if optNS > 0 {
+			e.Speedup = float64(naiveNS) / float64(optNS)
+		}
+		r.Entries = append(r.Entries, e)
+		r.Pruning.Queries += e.Pruning.Queries
+		r.Pruning.PrunedQueries += e.Pruning.PrunedQueries
+		r.Pruning.Lists += e.Pruning.Lists
+		r.Pruning.ListsSkipped += e.Pruning.ListsSkipped
+		r.Pruning.ListsUpdateOnly += e.Pruning.ListsUpdateOnly
+		r.Pruning.PostingsSkipped += e.Pruning.PostingsSkipped
+		if name == "Cosine" || name == "BM25" || name == "LM" {
+			if minAgg == 0 || e.Speedup < minAgg {
+				minAgg = e.Speedup
+			}
+		}
+	}
+	r.PruneRate = r.Pruning.PruneRate()
+	r.AggregateWeightedSpeedup = minAgg
+	return r, nil
+}
+
+// timeHotPath runs fn over qn queries (after a short warmup) and reports
+// ns/query and allocations/query.
+func timeHotPath(qn int, fn func(i int) error) (int64, float64, error) {
+	for i := 0; i < qn && i < 2; i++ {
+		if err := fn(i); err != nil {
+			return 0, 0, err
+		}
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < qn; i++ {
+		if err := fn(i); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return elapsed.Nanoseconds() / int64(qn), float64(m1.Mallocs-m0.Mallocs) / float64(qn), nil
+}
+
+// WriteJSON writes the report as BENCH_hotpath.json in dir.
+func (r HotPathReport) WriteJSON(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(dir, "BENCH_hotpath.json"), r)
+}
+
+// Print writes a human-readable summary of the hot-path benchmark.
+func (r HotPathReport) Print(w io.Writer) {
+	t := &table{header: []string{"predicate", "class", "naive/q", "optimized/q", "speedup", "allocs naive→opt", "lists skipped"}}
+	for _, e := range r.Entries {
+		t.add(e.Predicate, e.Class,
+			time.Duration(e.NaiveNSPerQuery).Round(time.Microsecond).String(),
+			time.Duration(e.OptimizedNSPerQuery).Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1fx", e.Speedup),
+			fmt.Sprintf("%.0f→%.0f", e.NaiveAllocsPerQuery, e.OptimizedAllocsPerQuery),
+			fmt.Sprintf("%d/%d", e.Pruning.ListsSkipped, e.Pruning.Lists))
+	}
+	t.write(w, fmt.Sprintf("Hot path — %d records, limit %d, zipf %.1f (prune rate %.1f%%, aggregate-weighted speedup %.1fx, differential ok=%v)",
+		r.Records, r.Limit, r.ZipfS, 100*r.PruneRate, r.AggregateWeightedSpeedup, r.DifferentialOK))
+}

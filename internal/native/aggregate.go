@@ -36,19 +36,37 @@ func attachCosine(s *core.Snapshot, cfg core.Config) *Cosine {
 // Name implements core.Predicate.
 func (p *Cosine) Name() string { return "Cosine" }
 
-// selectOpts ranks records by Σ w_q(t)·w_d(t). Query weights are normalized
-// tf-idf computed with the base relation's idf; tokens unknown to the base
-// relation are dropped from the query vector, as in the declarative plan.
-func (p *Cosine) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
+// plan assembles the query's posting-list terms — Σ w_q(t)·w_d(t) scoring
+// with the shared TFIDFMax/TFIDFMin bound columns — in descending-impact
+// order. Query weights are normalized tf-idf computed with the base
+// relation's idf; tokens unknown to the base relation are dropped from the
+// query vector, as in the declarative plan.
+func (p *Cosine) plan(query string, s *core.Scratch) ([]core.Term, core.Shape) {
 	qw := p.g.Stats.TFIDF(tokenize.Counts(tokenize.QGrams(query, p.q)))
-	acc := accumulator{}
+	terms := s.TermBuf()
 	for _, rt := range p.g.OrderedKnownRankWeights(qw) {
-		wq := qw[rt.Tok]
-		for _, post := range p.g.TFIDFPost[rt.Rank] {
-			acc[post.Rec] += wq * post.W
-		}
+		terms = append(terms, core.Term{
+			Q:    qw[rt.Tok],
+			W:    p.g.TFIDFPost[rt.Rank],
+			MaxW: p.g.TFIDFMax[rt.Rank],
+			MinW: p.g.TFIDFMin[rt.Rank],
+		})
 	}
-	return acc.matches(p.recs, opts), nil
+	core.OrderTermsByImpact(terms)
+	return terms, core.Shape{}
+}
+
+// selectOpts ranks records by Σ w_q(t)·w_d(t) on the score-at-a-time path.
+func (p *Cosine) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
+	s := core.GetScratch(len(p.recs))
+	defer s.Release()
+	terms, sh := p.plan(query, s)
+	return core.MaxScoreSelect(s, p.recs, terms, sh, opts), nil
+}
+
+func (p *Cosine) selectNaive(query string, opts core.SelectOptions) ([]core.Match, error) {
+	terms, sh := p.plan(query, nil)
+	return core.NaiveTermSelect(p.recs, terms, sh, opts), nil
 }
 
 // BM25 is the BM25 probabilistic weighting predicate (§3.2.2), deployed for
@@ -57,11 +75,12 @@ func (p *Cosine) selectOpts(query string, opts core.SelectOptions) ([]core.Match
 // the shared corpus statistics.
 type BM25 struct {
 	phases
-	recs     []core.Record
-	g        *core.GramLayer
-	postings [][]core.WPost // indexed by token rank
-	params   weights.BM25Params
-	q        int
+	recs       []core.Record
+	g          *core.GramLayer
+	postings   [][]core.WPost // indexed by token rank
+	maxW, minW []float64      // per-rank posting weight bounds
+	params     weights.BM25Params
+	q          int
 }
 
 // NewBM25 preprocesses the base relation with BM25 record-side weights.
@@ -98,21 +117,42 @@ func attachBM25(s *core.Snapshot, cfg core.Config) *BM25 {
 			p.postings[pr.Rank] = append(p.postings[pr.Rank], core.WPost{Rec: i, W: w})
 		}
 	}
+	// The per-rank weight bounds feeding max-score pruning; the attach
+	// reruns on every corpus epoch, so bounds and postings move together.
+	p.maxW, p.minW = core.PostingBounds(p.postings)
 	return p
 }
 
 // Name implements core.Predicate.
 func (p *BM25) Name() string { return "BM25" }
 
+// plan assembles the Eq. 3.4 scoring terms in descending-impact order. The
+// RS factor inside w_d can be negative for very common tokens, so the
+// per-rank minima feed the engine's negative-suffix bound.
+func (p *BM25) plan(query string, s *core.Scratch) ([]core.Term, core.Shape) {
+	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
+	terms := s.TermBuf()
+	for _, rt := range p.g.OrderedKnownRanks(qcounts) {
+		terms = append(terms, core.Term{
+			Q:    weights.BM25Query(qcounts[rt.Tok], p.params),
+			W:    p.postings[rt.Rank],
+			MaxW: p.maxW[rt.Rank],
+			MinW: p.minW[rt.Rank],
+		})
+	}
+	core.OrderTermsByImpact(terms)
+	return terms, core.Shape{}
+}
+
 // selectOpts ranks records by the BM25 score of Eq. 3.4.
 func (p *BM25) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
-	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
-	acc := accumulator{}
-	for _, rt := range p.g.OrderedKnownRanks(qcounts) {
-		wq := weights.BM25Query(qcounts[rt.Tok], p.params)
-		for _, post := range p.postings[rt.Rank] {
-			acc[post.Rec] += wq * post.W
-		}
-	}
-	return acc.matches(p.recs, opts), nil
+	s := core.GetScratch(len(p.recs))
+	defer s.Release()
+	terms, sh := p.plan(query, s)
+	return core.MaxScoreSelect(s, p.recs, terms, sh, opts), nil
+}
+
+func (p *BM25) selectNaive(query string, opts core.SelectOptions) ([]core.Match, error) {
+	terms, sh := p.plan(query, nil)
+	return core.NaiveTermSelect(p.recs, terms, sh, opts), nil
 }

@@ -40,7 +40,11 @@ var layerNeeds = map[string]core.CorpusLayers{
 	"SoftTFIDF":       core.LayerWords | core.LayerWordTFIDF,
 }
 
-// accumulator gathers per-record scores during a Select.
+// accumulator is the legacy per-query map accumulator. The hot path now
+// runs on core.Scratch dense accumulators; the map form survives only in
+// the predicates' selectNaive reference branches, which NaiveSelect exposes
+// as the differential-testing oracle and the "old" side of
+// BENCH_hotpath.json.
 type accumulator map[int]float64
 
 // matches converts accumulated scores into the ranked Match slice contract,
@@ -55,6 +59,26 @@ func (a accumulator) matches(records []core.Record, opts core.SelectOptions) []c
 		out = append(out, core.Match{TID: records[idx].TID, Score: score})
 	}
 	return core.FinishMatches(out, opts)
+}
+
+// naiveSelector is implemented by every native predicate: selectNaive runs
+// the pre-optimization merge (map accumulators, no pruning) over the same
+// query plan, visiting contributions in the same order as the optimized
+// path, so the two are bit-identical by construction.
+type naiveSelector interface {
+	selectNaive(query string, opts core.SelectOptions) ([]core.Match, error)
+}
+
+// NaiveSelect runs the reference (map-accumulator, unpruned) merge of a
+// native predicate. It exists for differential testing and for the
+// old-vs-new measurements of BENCH_hotpath.json; production callers use
+// Select/SelectCtx, which run the dense score-at-a-time hot path.
+func NaiveSelect(p core.Predicate, query string, opts core.SelectOptions) ([]core.Match, error) {
+	ns, ok := p.(naiveSelector)
+	if !ok {
+		return nil, fmt.Errorf("native: %s has no naive reference path", p.Name())
+	}
+	return ns.selectNaive(query, opts)
 }
 
 // editNormalize prepares a string for the edit-based predicate: whitespace

@@ -133,6 +133,12 @@ func (p *GES) selectOpts(query string, opts core.SelectOptions) ([]core.Match, e
 	return core.FinishMatches(out, opts), nil
 }
 
+// selectNaive: exact GES never used per-query accumulator maps — the
+// reference path is the production path.
+func (p *GES) selectNaive(query string, opts core.SelectOptions) ([]core.Match, error) {
+	return p.selectOpts(query, opts)
+}
+
 // GESJaccard filters candidates with the over-estimating Jaccard bound of
 // Eq. 4.7 before verifying them with exact GES. The word q-gram inverted
 // index is shared corpus state (core.LayerWordGrams).
@@ -168,8 +174,75 @@ func attachGESJaccard(s *core.Snapshot, cfg core.Config) *GESJaccard {
 func (p *GESJaccard) Name() string { return "GESJaccard" }
 
 // selectOpts generates candidates whose Eq. 4.7 over-estimate reaches θ, then
-// ranks them by exact GES score.
+// ranks them by exact GES score. Per-word gram-match counts accumulate in a
+// dense scratch over the corpus's flat word-id space, and the per-record
+// maxsim rows live in a second scratch's flat stride buffer — the former
+// WordRef- and record-keyed maps of this filter, pooled and reused.
 func (p *GESJaccard) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
+	qws := queryWords(query)
+	if len(qws) == 0 {
+		return nil, nil
+	}
+	qWeights, wtQ := p.ges.queryWeights(qws)
+	if wtQ == 0 {
+		return nil, nil
+	}
+	distinctQ := tokenize.Distinct(qws)
+	ws := core.GetScratch(p.w.WordTotal)
+	rs := core.GetScratch(len(p.recs))
+	defer ws.Release()
+	defer rs.Release()
+	for qi, t := range distinctQ {
+		grams := tokenize.Distinct(tokenize.WordQGrams(t, p.q))
+		ws.Reset(p.w.WordTotal)
+		for _, g := range grams {
+			for _, ref := range p.w.GramIndex[g] {
+				ws.Add(p.w.WordOff[ref.Rec]+int32(ref.Word), 1)
+			}
+		}
+		for _, wid := range ws.Touched() {
+			c := ws.Val(wid)
+			jac := c / (float64(len(grams)+int(p.w.GramSizeOf[wid])) - c)
+			row := rs.RowFor(p.w.WordRecOf[wid], len(distinctQ))
+			if jac > row[qi] {
+				row[qi] = jac
+			}
+		}
+	}
+	return gesVerifyCandidates(p.recs, p.w, p.ges, p.q, p.theta, rs, distinctQ, qws, qWeights, wtQ, opts), nil
+}
+
+// gesVerifyCandidates evaluates the Fig. 4.6 filter score over matched
+// query words only and verifies survivors with exact GES. It is shared by
+// GESJaccard and GESapx, whose filters differ only in how the candidate
+// maxsim rows are estimated.
+func gesVerifyCandidates(recs []core.Record, w *core.WordLayer, ges *gesEval, q int, theta float64, rs *core.Scratch, distinctQ []string, qws []string, qWeights []float64, wtQ float64, opts core.SelectOptions) []core.Match {
+	dq := 1 - 1.0/float64(q)
+	twoOverQ := 2.0 / float64(q)
+	out := make([]core.Match, 0, len(rs.Touched()))
+	for _, rec := range rs.Touched() {
+		ms := rs.RowFor(rec, len(distinctQ))
+		score := 0.0
+		for qi, t := range distinctQ {
+			if ms[qi] == 0 {
+				continue
+			}
+			score += w.Stats.IDF(t) * (twoOverQ*ms[qi] + dq)
+		}
+		score = (1.0 / wtQ) * score // match the SQL plan's association order
+		if score >= theta {
+			g := ges.score(qws, qWeights, wtQ, int(rec))
+			if opts.Keeps(g) {
+				out = append(out, core.Match{TID: recs[rec].TID, Score: g})
+			}
+		}
+	}
+	return core.FinishMatches(out, opts)
+}
+
+// selectNaive is the pre-optimization filter: WordRef- and record-keyed
+// maps allocated per query.
+func (p *GESJaccard) selectNaive(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qws := queryWords(query)
 	if len(qws) == 0 {
 		return nil, nil
@@ -261,8 +334,44 @@ func attachGESapx(s *core.Snapshot, cfg core.Config) *GESapx {
 func (p *GESapx) Name() string { return "GESapx" }
 
 // selectOpts generates candidates with the min-hash estimate of Eq. 4.8 and
-// ranks them by exact GES score.
+// ranks them by exact GES score, accumulating signature-slot matches in the
+// dense word-id scratch exactly like GESJaccard's filter.
 func (p *GESapx) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
+	qws := queryWords(query)
+	if len(qws) == 0 {
+		return nil, nil
+	}
+	qWeights, wtQ := p.ges.queryWeights(qws)
+	if wtQ == 0 {
+		return nil, nil
+	}
+	k := float64(p.family.K())
+	distinctQ := tokenize.Distinct(qws)
+	ws := core.GetScratch(p.w.WordTotal)
+	rs := core.GetScratch(len(p.recs))
+	defer ws.Release()
+	defer rs.Release()
+	for qi, t := range distinctQ {
+		sig := p.family.Signature(tokenize.Distinct(tokenize.WordQGrams(t, p.q)))
+		ws.Reset(p.w.WordTotal)
+		for slot, v := range sig {
+			for _, ref := range p.w.SigIndex[core.SigKey{Slot: slot, Value: v}] {
+				ws.Add(p.w.WordOff[ref.Rec]+int32(ref.Word), 1)
+			}
+		}
+		for _, wid := range ws.Touched() {
+			sim := ws.Val(wid) / k
+			row := rs.RowFor(p.w.WordRecOf[wid], len(distinctQ))
+			if sim > row[qi] {
+				row[qi] = sim
+			}
+		}
+	}
+	return gesVerifyCandidates(p.recs, p.w, p.ges, p.q, p.theta, rs, distinctQ, qws, qWeights, wtQ, opts), nil
+}
+
+// selectNaive is the pre-optimization filter with per-query maps.
+func (p *GESapx) selectNaive(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qws := queryWords(query)
 	if len(qws) == 0 {
 		return nil, nil
@@ -346,7 +455,59 @@ func (p *SoftTFIDF) Name() string { return "SoftTFIDF" }
 // record word (CLOSE set), the contribution is w_q(t)·w_d(argmax)·maxsim.
 // Multiplicities follow the declarative cross-product: repeated query or
 // record word occurrences contribute repeatedly, and argmax ties all count.
+// The scan visits every record anyway, so matches materialize straight into
+// the result slice — no accumulator at all.
 func (p *SoftTFIDF) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
+	qws := queryWords(query)
+	if len(qws) == 0 {
+		return nil, nil
+	}
+	qcounts := tokenize.Counts(qws)
+	qw := p.w.Stats.TFIDF(qcounts)
+	ordered := p.w.OrderedKnownWeights(qw)
+	out := make([]core.Match, 0, len(p.recs))
+	for i := range p.recs {
+		total, matched := p.scoreRecord(i, ordered, qw, qcounts)
+		if !matched || !opts.Keeps(total) {
+			continue
+		}
+		out = append(out, core.Match{TID: p.recs[i].TID, Score: total})
+	}
+	return core.FinishMatches(out, opts), nil
+}
+
+// scoreRecord evaluates Eq. 3.15 for one record.
+func (p *SoftTFIDF) scoreRecord(i int, ordered []string, qw map[string]float64, qcounts map[string]int) (float64, bool) {
+	recWords := p.w.Words[i]
+	if len(recWords) == 0 {
+		return 0, false
+	}
+	total := 0.0
+	matched := false
+	for _, t := range ordered {
+		wq := qw[t]
+		maxsim := 0.0
+		for _, r := range recWords {
+			if sim := strutil.JaroWinkler(t, r); sim >= p.theta && sim > maxsim {
+				maxsim = sim
+			}
+		}
+		if maxsim == 0 {
+			continue
+		}
+		matched = true
+		qtf := float64(qcounts[t])
+		for _, r := range recWords {
+			if strutil.JaroWinkler(t, r) == maxsim {
+				total += qtf * wq * p.w.TFIDF[i][r] * maxsim
+			}
+		}
+	}
+	return total, matched
+}
+
+// selectNaive is the pre-optimization merge through a map accumulator.
+func (p *SoftTFIDF) selectNaive(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qws := queryWords(query)
 	if len(qws) == 0 {
 		return nil, nil
@@ -356,32 +517,7 @@ func (p *SoftTFIDF) selectOpts(query string, opts core.SelectOptions) ([]core.Ma
 	ordered := p.w.OrderedKnownWeights(qw)
 	acc := accumulator{}
 	for i := range p.recs {
-		recWords := p.w.Words[i]
-		if len(recWords) == 0 {
-			continue
-		}
-		total := 0.0
-		matched := false
-		for _, t := range ordered {
-			wq := qw[t]
-			maxsim := 0.0
-			for _, r := range recWords {
-				if sim := strutil.JaroWinkler(t, r); sim >= p.theta && sim > maxsim {
-					maxsim = sim
-				}
-			}
-			if maxsim == 0 {
-				continue
-			}
-			matched = true
-			qtf := float64(qcounts[t])
-			for _, r := range recWords {
-				if strutil.JaroWinkler(t, r) == maxsim {
-					total += qtf * wq * p.w.TFIDF[i][r] * maxsim
-				}
-			}
-		}
-		if matched {
+		if total, matched := p.scoreRecord(i, ordered, qw, qcounts); matched {
 			acc[i] = total
 		}
 	}

@@ -116,8 +116,115 @@ func (p *EditDistance) Name() string { return "EditDistance" }
 // selectOpts ranks records by edit similarity. With a positive threshold the
 // q-gram filter prunes candidates before verification; with θ = 0 the whole
 // base relation is scored exactly (used by the accuracy study, which does
-// not threshold rankings).
+// not threshold rankings). Candidate gram counts accumulate in a pooled
+// dense scratch instead of a per-query map, and verified matches
+// materialize straight into the result slice.
 func (p *EditDistance) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
+	qnorm := editNormalize(query, p.q)
+	qlen := len([]rune(qnorm))
+
+	if p.theta <= 0 {
+		out := make([]core.Match, 0, len(p.recs))
+		for i := range p.norm {
+			sim := editSim(qnorm, qlen, p.norm[i])
+			if !opts.Keeps(sim) {
+				continue
+			}
+			out = append(out, core.Match{TID: p.recs[i].TID, Score: sim})
+		}
+		return core.FinishMatches(out, opts), nil
+	}
+
+	// Candidate generation: count matching grams. The positional variant
+	// only counts occurrences whose positions are within the record's edit
+	// budget (a strictly tighter, still false-negative-free filter); the
+	// default counts multiset overlap.
+	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
+	qgrams := 0
+	for _, tf := range qcounts {
+		qgrams += tf
+	}
+	kFor := func(idx int) int {
+		dlen := len([]rune(p.norm[idx]))
+		maxLen := qlen
+		if dlen > maxLen {
+			maxLen = dlen
+		}
+		return int((1 - p.theta) * float64(maxLen))
+	}
+	s := core.GetScratch(len(p.recs))
+	defer s.Release()
+	if p.positional {
+		for t, qp := range gramPositions(query, p.q) {
+			for _, post := range p.posIndex[t] {
+				s.Add(int32(post.idx), float64(matchWithin(qp, post.positions, kFor(post.idx))))
+			}
+		}
+	} else {
+		for t, qtf := range qcounts {
+			r, ok := p.raw.Rank(t)
+			if !ok {
+				continue
+			}
+			for _, post := range p.raw.TFPost[r] {
+				m := int(post.W)
+				if qtf < m {
+					m = qtf
+				}
+				s.Add(int32(post.Rec), float64(m))
+			}
+		}
+	}
+	out := make([]core.Match, 0, len(s.Touched()))
+	for _, rec := range s.Touched() {
+		idx := int(rec)
+		c := int(s.Val(rec))
+		sim, ok := p.verify(qnorm, qlen, qgrams, idx, c)
+		if !ok || !opts.Keeps(sim) {
+			continue
+		}
+		out = append(out, core.Match{TID: p.recs[idx].TID, Score: sim})
+	}
+	return core.FinishMatches(out, opts), nil
+}
+
+// verify applies the length and count filters to one candidate and, when
+// they pass, the banded dynamic program. ok reports whether the record
+// survives with edit similarity ≥ θ.
+func (p *EditDistance) verify(qnorm string, qlen, qgrams, idx, c int) (float64, bool) {
+	dlen := len([]rune(p.norm[idx]))
+	maxLen := qlen
+	if dlen > maxLen {
+		maxLen = dlen
+	}
+	if maxLen == 0 {
+		return 1, true
+	}
+	k := int((1 - p.theta) * float64(maxLen))
+	// Length filter.
+	if abs(qlen-dlen) > k {
+		return 0, false
+	}
+	// Count filter: one edit operation destroys at most q grams of the
+	// padded gram multiset.
+	maxG := qgrams
+	if p.grams[idx] > maxG {
+		maxG = p.grams[idx]
+	}
+	if c < maxG-k*p.q {
+		return 0, false
+	}
+	d, ok := strutil.LevenshteinWithin(qnorm, p.norm[idx], k)
+	if !ok {
+		return 0, false
+	}
+	sim := 1 - float64(d)/float64(maxLen)
+	return sim, sim >= p.theta
+}
+
+// selectNaive is the pre-optimization merge: per-query map accumulators,
+// identical filters and verification.
+func (p *EditDistance) selectNaive(query string, opts core.SelectOptions) ([]core.Match, error) {
 	qnorm := editNormalize(query, p.q)
 	qlen := len([]rune(qnorm))
 	acc := accumulator{}
@@ -129,10 +236,6 @@ func (p *EditDistance) selectOpts(query string, opts core.SelectOptions) ([]core
 		return acc.matches(p.recs, opts), nil
 	}
 
-	// Candidate generation: count matching grams. The positional variant
-	// only counts occurrences whose positions are within the record's edit
-	// budget (a strictly tighter, still false-negative-free filter); the
-	// default counts multiset overlap.
 	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
 	qgrams := 0
 	for _, tf := range qcounts {
@@ -169,35 +272,7 @@ func (p *EditDistance) selectOpts(query string, opts core.SelectOptions) ([]core
 		}
 	}
 	for idx, c := range common {
-		dlen := len([]rune(p.norm[idx]))
-		maxLen := qlen
-		if dlen > maxLen {
-			maxLen = dlen
-		}
-		if maxLen == 0 {
-			acc[idx] = 1
-			continue
-		}
-		k := int((1 - p.theta) * float64(maxLen))
-		// Length filter.
-		if abs(qlen-dlen) > k {
-			continue
-		}
-		// Count filter: one edit operation destroys at most q grams of the
-		// padded gram multiset.
-		maxG := qgrams
-		if p.grams[idx] > maxG {
-			maxG = p.grams[idx]
-		}
-		if c < maxG-k*p.q {
-			continue
-		}
-		d, ok := strutil.LevenshteinWithin(qnorm, p.norm[idx], k)
-		if !ok {
-			continue
-		}
-		sim := 1 - float64(d)/float64(maxLen)
-		if sim >= p.theta {
+		if sim, ok := p.verify(qnorm, qlen, qgrams, idx, c); ok {
 			acc[idx] = sim
 		}
 	}

@@ -38,24 +38,41 @@ func attachLM(s *core.Snapshot, cfg core.Config) *LM {
 // Name implements core.Predicate.
 func (p *LM) Name() string { return "LM" }
 
-// selectOpts ranks records by p̂(Q|M_D) (Eq. 4.4). Each query token occurrence
-// contributes its per-match log term, matching the declarative join of
-// BASE_PM with the query token multiset.
-func (p *LM) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
+// plan assembles the rewritten Eq. 4.4 terms: each query token occurrence
+// contributes its per-match log term (which can be negative, bounded by
+// the shared LMMax/LMMin columns), and the per-record Σ log(1−pm) column
+// enters as the shape's additive offset under exp.
+func (p *LM) plan(query string, s *core.Scratch) ([]core.Term, core.Shape) {
 	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
-	acc := accumulator{}
-	matched := map[int]bool{}
+	terms := s.TermBuf()
 	for _, rt := range p.g.OrderedKnownRanks(qcounts) {
-		tf := qcounts[rt.Tok]
-		for _, post := range p.g.LMPost[rt.Rank] {
-			acc[post.Rec] += float64(tf) * post.W
-			matched[post.Rec] = true
-		}
+		terms = append(terms, core.Term{
+			Q:    float64(qcounts[rt.Tok]),
+			W:    p.g.LMPost[rt.Rank],
+			MaxW: p.g.LMMax[rt.Rank],
+			MinW: p.g.LMMin[rt.Rank],
+		})
 	}
-	for idx := range matched {
-		acc[idx] = math.Exp(acc[idx] + p.g.LMSumComp[idx])
+	core.OrderTermsByImpact(terms)
+	return terms, core.Shape{
+		Comp:    p.g.LMSumComp,
+		CompMax: p.g.LMCompMax,
+		Exp:     true,
 	}
-	return acc.matches(p.recs, opts), nil
+}
+
+// selectOpts ranks records by p̂(Q|M_D) (Eq. 4.4), matching the declarative
+// join of BASE_PM with the query token multiset.
+func (p *LM) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
+	s := core.GetScratch(len(p.recs))
+	defer s.Release()
+	terms, sh := p.plan(query, s)
+	return core.MaxScoreSelect(s, p.recs, terms, sh, opts), nil
+}
+
+func (p *LM) selectNaive(query string, opts core.SelectOptions) ([]core.Match, error) {
+	terms, sh := p.plan(query, nil)
+	return core.NaiveTermSelect(p.recs, terms, sh, opts), nil
 }
 
 // HMM is the two-state Hidden Markov Model predicate: the similarity is the
@@ -65,10 +82,11 @@ func (p *LM) selectOpts(query string, opts core.SelectOptions) ([]core.Match, er
 // statistics.
 type HMM struct {
 	phases
-	recs     []core.Record
-	g        *core.GramLayer
-	postings [][]core.WPost // indexed by token rank; W = log weight
-	q        int
+	recs       []core.Record
+	g          *core.GramLayer
+	postings   [][]core.WPost // indexed by token rank; W = log weight
+	maxW, minW []float64      // per-rank posting weight bounds
+	q          int
 }
 
 // NewHMM preprocesses the base relation for the HMM predicate.
@@ -105,24 +123,41 @@ func attachHMM(s *core.Snapshot, cfg core.Config) *HMM {
 			p.postings[pr.Rank] = append(p.postings[pr.Rank], core.WPost{Rec: i, W: math.Log(w)})
 		}
 	}
+	// The per-rank weight bounds feeding max-score pruning; the attach
+	// reruns on every corpus epoch, so bounds and postings move together.
+	p.maxW, p.minW = core.PostingBounds(p.postings)
 	return p
 }
 
 // Name implements core.Predicate.
 func (p *HMM) Name() string { return "HMM" }
 
+// plan assembles the rewritten HMM terms (log weights, so the product
+// becomes a sum under exp) in descending-impact order.
+func (p *HMM) plan(query string, s *core.Scratch) ([]core.Term, core.Shape) {
+	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
+	terms := s.TermBuf()
+	for _, rt := range p.g.OrderedKnownRanks(qcounts) {
+		terms = append(terms, core.Term{
+			Q:    float64(qcounts[rt.Tok]),
+			W:    p.postings[rt.Rank],
+			MaxW: p.maxW[rt.Rank],
+			MinW: p.minW[rt.Rank],
+		})
+	}
+	core.OrderTermsByImpact(terms)
+	return terms, core.Shape{Exp: true}
+}
+
 // selectOpts ranks records by the rewritten HMM score.
 func (p *HMM) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
-	qcounts := tokenize.Counts(tokenize.QGrams(query, p.q))
-	acc := accumulator{}
-	for _, rt := range p.g.OrderedKnownRanks(qcounts) {
-		tf := qcounts[rt.Tok]
-		for _, post := range p.postings[rt.Rank] {
-			acc[post.Rec] += float64(tf) * post.W
-		}
-	}
-	for idx, logScore := range acc {
-		acc[idx] = math.Exp(logScore)
-	}
-	return acc.matches(p.recs, opts), nil
+	s := core.GetScratch(len(p.recs))
+	defer s.Release()
+	terms, sh := p.plan(query, s)
+	return core.MaxScoreSelect(s, p.recs, terms, sh, opts), nil
+}
+
+func (p *HMM) selectNaive(query string, opts core.SelectOptions) ([]core.Match, error) {
+	terms, sh := p.plan(query, nil)
+	return core.NaiveTermSelect(p.recs, terms, sh, opts), nil
 }

@@ -10,7 +10,10 @@ import (
 // distinct-token tables the declarative framework stores for this class
 // (§5.5.1 notes the "small difference which is due to storing distinct
 // tokens only"). All four share the corpus's distinct-token inverted index
-// (core.LayerPostings) — the single TOKENS table of the paper's framework.
+// (core.LayerPostings) — the single TOKENS table of the paper's framework —
+// and run on the score-at-a-time engine: each posting list's bound is its
+// uniform weight (1 for the unweighted pair, RSByRank for the weighted
+// pair), the "list length bound" of this class.
 
 // IntersectSize is sim(Q,D) = |Q ∩ D| (Eq. 3.1).
 type IntersectSize struct {
@@ -36,19 +39,31 @@ func attachIntersectSize(s *core.Snapshot, cfg core.Config) *IntersectSize {
 // Name implements core.Predicate.
 func (p *IntersectSize) Name() string { return "IntersectSize" }
 
+// plan: one unit-weight term per known distinct query token. Every list
+// bounds a record's gain by exactly 1, so with a limit pushed down the
+// engine stops admitting candidates once the remaining list count cannot
+// beat the current top-k floor.
+func (p *IntersectSize) plan(query string, s *core.Scratch) ([]core.Term, core.Shape) {
+	qset := tokenize.Counts(tokenize.QGrams(query, p.q))
+	terms := s.TermBuf()
+	for _, rt := range p.g.OrderedKnownRanks(qset) {
+		terms = append(terms, core.Term{Q: 1, Ids: p.g.Postings[rt.Rank]})
+	}
+	core.OrderTermsByImpact(terms)
+	return terms, core.Shape{}
+}
+
 // selectOpts ranks records by the number of distinct shared tokens.
 func (p *IntersectSize) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
-	acc := accumulator{}
-	for t := range tokenize.Counts(tokenize.QGrams(query, p.q)) {
-		r, ok := p.g.Rank(t)
-		if !ok {
-			continue
-		}
-		for _, idx := range p.g.Postings[r] {
-			acc[int(idx)]++
-		}
-	}
-	return acc.matches(p.recs, opts), nil
+	s := core.GetScratch(len(p.recs))
+	defer s.Release()
+	terms, sh := p.plan(query, s)
+	return core.MaxScoreSelect(s, p.recs, terms, sh, opts), nil
+}
+
+func (p *IntersectSize) selectNaive(query string, opts core.SelectOptions) ([]core.Match, error) {
+	terms, sh := p.plan(query, nil)
+	return core.NaiveTermSelect(p.recs, terms, sh, opts), nil
 }
 
 // Jaccard is sim(Q,D) = |Q ∩ D| / |Q ∪ D| (Eq. 3.2).
@@ -56,7 +71,8 @@ type Jaccard struct {
 	phases
 	recs   []core.Record
 	g      *core.GramLayer
-	setLen []int // distinct token count per record
+	setLen []float64 // distinct token count per record (the ratio denominator)
+	minLen float64
 	q      int
 }
 
@@ -71,9 +87,12 @@ func NewJaccard(records []core.Record, cfg core.Config) (*Jaccard, error) {
 
 func attachJaccard(s *core.Snapshot, cfg core.Config) *Jaccard {
 	p := &Jaccard{recs: s.Records, g: s.Grams, q: cfg.Q}
-	p.setLen = make([]int, len(s.Grams.Counts))
+	p.setLen = make([]float64, len(s.Grams.Counts))
 	for i, counts := range s.Grams.Counts {
-		p.setLen[i] = len(counts)
+		p.setLen[i] = float64(len(counts))
+		if i == 0 || p.setLen[i] < p.minLen {
+			p.minLen = p.setLen[i]
+		}
 	}
 	return p
 }
@@ -81,27 +100,37 @@ func attachJaccard(s *core.Snapshot, cfg core.Config) *Jaccard {
 // Name implements core.Predicate.
 func (p *Jaccard) Name() string { return "Jaccard" }
 
-// selectOpts ranks records by Jaccard coefficient over distinct tokens. The
-// query length counts all distinct query tokens, matching the declarative
-// plan's COUNT(*) over QUERY_TOKENS.
-func (p *Jaccard) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
+// plan: unit-weight terms with the ratio shape — the engine accumulates
+// the intersection size and divides by |Q ∪ D| per touched record in one
+// pass (the former two-pass inter-map-then-score merge, folded). The query
+// length counts all distinct query tokens, matching the declarative plan's
+// COUNT(*) over QUERY_TOKENS.
+func (p *Jaccard) plan(query string, s *core.Scratch) ([]core.Term, core.Shape) {
 	qset := tokenize.Counts(tokenize.QGrams(query, p.q))
-	inter := map[int]int{}
-	for t := range qset {
-		r, ok := p.g.Rank(t)
-		if !ok {
-			continue
-		}
-		for _, idx := range p.g.Postings[r] {
-			inter[int(idx)]++
-		}
+	terms := s.TermBuf()
+	for _, rt := range p.g.OrderedKnownRanks(qset) {
+		terms = append(terms, core.Term{Q: 1, Ids: p.g.Postings[rt.Rank]})
 	}
-	acc := accumulator{}
-	qlen := len(qset)
-	for idx, common := range inter {
-		acc[idx] = float64(common) / float64(p.setLen[idx]+qlen-common)
+	core.OrderTermsByImpact(terms)
+	return terms, core.Shape{
+		Den:           p.setLen,
+		DenMin:        p.minLen,
+		DenAtLeastAcc: true, // |D| ≥ |Q ∩ D| always
+		QSide:         float64(len(qset)),
 	}
-	return acc.matches(p.recs, opts), nil
+}
+
+// selectOpts ranks records by Jaccard coefficient over distinct tokens.
+func (p *Jaccard) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
+	s := core.GetScratch(len(p.recs))
+	defer s.Release()
+	terms, sh := p.plan(query, s)
+	return core.MaxScoreSelect(s, p.recs, terms, sh, opts), nil
+}
+
+func (p *Jaccard) selectNaive(query string, opts core.SelectOptions) ([]core.Match, error) {
+	terms, sh := p.plan(query, nil)
+	return core.NaiveTermSelect(p.recs, terms, sh, opts), nil
 }
 
 // WeightedMatch is Σ_{t∈Q∩D} w(t) with Robertson–Sparck Jones weights
@@ -130,17 +159,30 @@ func attachWeightedMatch(s *core.Snapshot, cfg core.Config) *WeightedMatch {
 // Name implements core.Predicate.
 func (p *WeightedMatch) Name() string { return "WeightedMatch" }
 
+// plan: each list carries the uniform RS weight of its token, which is its
+// own exact score bound (RS can be negative for tokens in more than half
+// the records; the engine's negative-suffix bound covers that).
+func (p *WeightedMatch) plan(query string, s *core.Scratch) ([]core.Term, core.Shape) {
+	qset := tokenize.Counts(tokenize.QGrams(query, p.q))
+	terms := s.TermBuf()
+	for _, rt := range p.g.OrderedKnownRanks(qset) {
+		terms = append(terms, core.Term{Q: p.g.RSByRank[rt.Rank], Ids: p.g.Postings[rt.Rank]})
+	}
+	core.OrderTermsByImpact(terms)
+	return terms, core.Shape{}
+}
+
 // selectOpts ranks records by the summed RS weight of shared distinct tokens.
 func (p *WeightedMatch) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
-	acc := accumulator{}
-	qset := tokenize.Counts(tokenize.QGrams(query, p.q))
-	for _, rt := range p.g.OrderedKnownRanks(qset) {
-		w := p.g.RSByRank[rt.Rank]
-		for _, idx := range p.g.Postings[rt.Rank] {
-			acc[int(idx)] += w
-		}
-	}
-	return acc.matches(p.recs, opts), nil
+	s := core.GetScratch(len(p.recs))
+	defer s.Release()
+	terms, sh := p.plan(query, s)
+	return core.MaxScoreSelect(s, p.recs, terms, sh, opts), nil
+}
+
+func (p *WeightedMatch) selectNaive(query string, opts core.SelectOptions) ([]core.Match, error) {
+	terms, sh := p.plan(query, nil)
+	return core.NaiveTermSelect(p.recs, terms, sh, opts), nil
 }
 
 // WeightedJaccard divides the weight of the intersection by the weight of
@@ -170,30 +212,40 @@ func attachWeightedJaccard(s *core.Snapshot, cfg core.Config) *WeightedJaccard {
 // Name implements core.Predicate.
 func (p *WeightedJaccard) Name() string { return "WeightedJaccard" }
 
-// selectOpts ranks records by weighted Jaccard. Query token weights come from
-// the base relation's weight table, so unseen query tokens contribute
-// nothing to the union weight (join semantics of the declarative plan).
-func (p *WeightedJaccard) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
+// plan: RS-weighted terms with the ratio shape over the shared RSLen
+// column — the former inter-map pass and the scoring pass fold into one
+// accumulation. Query token weights come from the base relation's weight
+// table, so unseen query tokens contribute nothing to the union weight
+// (join semantics of the declarative plan). The query-side union weight is
+// summed in ascending token-rank order before impact ordering, preserving
+// the exact float of the previous implementation.
+func (p *WeightedJaccard) plan(query string, s *core.Scratch) ([]core.Term, core.Shape) {
 	qset := tokenize.Counts(tokenize.QGrams(query, p.q))
 	known := p.g.OrderedKnownRanks(qset)
 	qlen := 0.0
-	for _, rt := range known {
-		qlen += p.g.RSByRank[rt.Rank]
-	}
-	inter := map[int]float64{}
+	terms := s.TermBuf()
 	for _, rt := range known {
 		w := p.g.RSByRank[rt.Rank]
-		for _, idx := range p.g.Postings[rt.Rank] {
-			inter[int(idx)] += w
-		}
+		qlen += w
+		terms = append(terms, core.Term{Q: w, Ids: p.g.Postings[rt.Rank]})
 	}
-	acc := accumulator{}
-	for idx, common := range inter {
-		den := p.g.RSLen[idx] + qlen - common
-		if den == 0 {
-			continue
-		}
-		acc[idx] = common / den
+	core.OrderTermsByImpact(terms)
+	return terms, core.Shape{
+		Den:    p.g.RSLen,
+		DenMin: p.g.RSLenMin,
+		QSide:  qlen,
 	}
-	return acc.matches(p.recs, opts), nil
+}
+
+// selectOpts ranks records by weighted Jaccard.
+func (p *WeightedJaccard) selectOpts(query string, opts core.SelectOptions) ([]core.Match, error) {
+	s := core.GetScratch(len(p.recs))
+	defer s.Release()
+	terms, sh := p.plan(query, s)
+	return core.MaxScoreSelect(s, p.recs, terms, sh, opts), nil
+}
+
+func (p *WeightedJaccard) selectNaive(query string, opts core.SelectOptions) ([]core.Match, error) {
+	terms, sh := p.plan(query, nil)
+	return core.NaiveTermSelect(p.recs, terms, sh, opts), nil
 }

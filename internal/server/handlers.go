@@ -139,6 +139,17 @@ type Stats struct {
 	Endpoints     map[string]uint64         `json:"endpoints"`
 	Predicates    map[string]HistogramStats `json:"predicates"`
 	Corpora       []CorpusInfo              `json:"corpora"`
+	// HotPath reports the selection engine's max-score pruning counters —
+	// process-wide (every native selection in this server, across corpora
+	// and shards), the cost the result cache cannot hide.
+	HotPath HotPathStats `json:"hot_path"`
+}
+
+// HotPathStats is the wire form of the engine's pruning counters, plus the
+// derived skipped-list fraction.
+type HotPathStats struct {
+	core.HotPathStats
+	PruneRate float64 `json:"prune_rate"`
 }
 
 // CacheStats aggregates result-cache counters across corpora.
@@ -574,5 +585,7 @@ func (s *Server) stats() Stats {
 	if total := st.Cache.Hits + st.Cache.Misses; total > 0 {
 		st.Cache.HitRate = float64(st.Cache.Hits) / float64(total)
 	}
+	hp := core.HotPathSnapshot()
+	st.HotPath = HotPathStats{HotPathStats: hp, PruneRate: hp.PruneRate()}
 	return st
 }

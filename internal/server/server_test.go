@@ -122,6 +122,9 @@ func TestServeSelectCacheLifecycle(t *testing.T) {
 	if st.Requests == 0 || st.Predicates["BM25"].Count == 0 {
 		t.Fatalf("stats must report request and predicate counts: %+v", st)
 	}
+	if st.HotPath.Queries == 0 || st.HotPath.Lists == 0 {
+		t.Fatalf("stats must surface the hot-path pruning counters: %+v", st.HotPath)
+	}
 
 	// Upsert and delete round out the mutation endpoints.
 	up, code := post[MutateResponse](t, ts, "/v1/upsert", MutateRequest{

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -133,19 +134,52 @@ func TestJoinNativeDeclarativeParity(t *testing.T) {
 	}
 }
 
+// joinPairsEqual compares join results as keyed sets — same pairs, same
+// scores within tolerance — plus a positional check that the two score
+// sequences agree within tolerance, so gross ordering bugs still fail.
+// The exact order of pairs whose scores agree only within float tolerance
+// is not a cross-realization contract: the realizations accumulate sums
+// in different orders (the native hot path merges posting lists in
+// descending-impact order), so near-ties may legitimately swap.
 func joinPairsEqual(a, b []JoinPair) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	for i := range a {
-		if a[i].ProbeTID != b[i].ProbeTID || a[i].BaseTID != b[i].BaseTID {
+		if !scoreClose(a[i].Score, b[i].Score) {
 			return false
 		}
-		if math.Abs(a[i].Score-b[i].Score) > 1e-9 {
+	}
+	key := func(p JoinPair) [2]int { return [2]int{p.ProbeTID, p.BaseTID} }
+	byKey := func(ps []JoinPair) []JoinPair {
+		out := append([]JoinPair(nil), ps...)
+		sort.Slice(out, func(i, j int) bool {
+			ki, kj := key(out[i]), key(out[j])
+			if ki[0] != kj[0] {
+				return ki[0] < kj[0]
+			}
+			return ki[1] < kj[1]
+		})
+		return out
+	}
+	as, bs := byKey(a), byKey(b)
+	for i := range as {
+		if key(as[i]) != key(bs[i]) {
+			return false
+		}
+		if !scoreClose(as[i].Score, bs[i].Score) {
 			return false
 		}
 	}
 	return true
+}
+
+func scoreClose(a, b float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= 1e-9 {
+		return true
+	}
+	return diff <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
 }
 
 // TestJoinCtxMatchesSequentialWorkers checks that worker count does not
