@@ -118,6 +118,9 @@ func New(name string, records []Record, opts ...BuildOption) (Predicate, error) 
 	for _, o := range opts {
 		o.ApplyBuild(&settings)
 	}
+	if settings.DataDir != "" {
+		return nil, fmt.Errorf("approxsel: WithDataDir is not a valid New option; open a durable corpus with OpenCorpus(records, WithDataDir(dir)) and attach through Corpus.Predicate")
+	}
 	if settings.Corpus != nil {
 		return attachToCorpus(settings.Corpus, Realization(settings.Realization), name, settings.Config)
 	}

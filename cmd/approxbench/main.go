@@ -8,8 +8,9 @@
 //	approxbench -scale 1         # paper scale (5000-tuple datasets, 500 queries)
 //	approxbench -exp figure5.3   # a single experiment
 //	approxbench -impl native     # measure the in-memory realization instead
-//	approxbench -exp bench -benchjson out/   # machine-readable BENCH_preprocess/select/serve/hotpath .json
+//	approxbench -exp bench -benchjson out/   # machine-readable BENCH_preprocess/select/serve/hotpath/persist .json
 //	approxbench -exp hotpath -benchjson out/ # only the selection hot-path benchmark (BENCH_hotpath.json)
+//	approxbench -exp persist -benchjson out/ # only the persistence benchmark (BENCH_persist.json)
 package main
 
 import (
@@ -77,6 +78,29 @@ func runHotPathBench(o experiments.PerfOptions, w io.Writer, benchJSON string) e
 	return nil
 }
 
+// runPersistBench runs the approxstore persistence benchmark — cold corpus
+// build versus snapshot-segment load (and load + WAL replay) — and writes
+// BENCH_persist.json, the fifth machine-readable artifact.
+func runPersistBench(o experiments.PerfOptions, w io.Writer, benchJSON string) error {
+	r, err := experiments.RunPersist(experiments.PersistOptions{
+		Records: o.Size,
+		Seed:    o.Seed,
+		Config:  o.Config,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	r.Print(w)
+	if benchJSON != "" {
+		if err := r.WriteJSON(benchJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s/BENCH_persist.json\n", benchJSON)
+	}
+	return nil
+}
+
 // run executes the tool with explicit arguments and streams, so tests can
 // drive it end to end.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -87,9 +111,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	perfSizes := fs.String("perfsizes", "1000,2000,4000", "comma-separated sizes for Figure 5.4 (paper: 10000..100000)")
 	perfQueries := fs.Int("perfqueries", 20, "timed queries per performance point (paper: 100)")
 	impl := fs.String("impl", "declarative", "realization measured by performance experiments: declarative|native (bench also accepts: both)")
-	exp := fs.String("exp", "all", "experiment: all, bench, hotpath, table5.1, table5.3, qgram, table5.5, table5.6, figure5.1, table5.7, figure5.2, figure5.3, figure5.4, figure5.5, figure5.6, ablation.minhash, ablation.impl, ablation.q")
+	exp := fs.String("exp", "all", "experiment: all, bench, hotpath, persist, table5.1, table5.3, qgram, table5.5, table5.6, figure5.1, table5.7, figure5.2, figure5.3, figure5.4, figure5.5, figure5.6, ablation.minhash, ablation.impl, ablation.q")
 	seed := fs.Int64("seed", 1, "generation seed")
-	benchJSON := fs.String("benchjson", "", "directory to write the BENCH_*.json artifacts (with -exp bench or -exp hotpath)")
+	benchJSON := fs.String("benchjson", "", "directory to write the BENCH_*.json artifacts (with -exp bench, hotpath or persist)")
 	list := fs.Bool("list", false, "list the registered predicates and realizations, then exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -155,8 +179,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err == nil {
 			err = runHotPathBench(po, w, *benchJSON)
 		}
+		if err == nil {
+			err = runPersistBench(po, w, *benchJSON)
+		}
 	case "hotpath":
 		err = runHotPathBench(po, w, *benchJSON)
+	case "persist":
+		err = runPersistBench(po, w, *benchJSON)
 	case "table5.1":
 		experiments.Table51(ao).Print(w)
 	case "table5.3":

@@ -9,6 +9,7 @@
 //	approxserved                                  # serve dblp:5000 on :8080
 //	approxserved -addr :9090 -dataset company:2000 -shards 4
 //	approxserved -dataset titles.txt              # one record per line
+//	approxserved -data /var/lib/approxsel         # durable: load-on-start, WAL, /v1/snapshot
 //	approxserved -selftest                        # run the bundled load test
 //	approxserved -selftest -benchjson out/        # ... and write BENCH_serve.json
 package main
@@ -49,6 +50,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	portfile := fs.String("portfile", "", "write the resolved listen address to this file once serving")
 	dataset := fs.String("dataset", "dblp:5000", "relation to load: dblp:N, company:N, or a file with one record per line")
 	corpusName := fs.String("corpus", "main", "name of the served corpus")
+	dataDir := fs.String("data", "", "data directory for durable corpora (load-on-start, WAL on mutations, /v1/snapshot checkpoints; empty = in-memory)")
 	shards := fs.Int("shards", 0, "shards per corpus (0 = GOMAXPROCS)")
 	cacheEntries := fs.Int("cache", 0, "result-cache entries per corpus (0 = default 4096, negative disables)")
 	maxInFlight := fs.Int("maxinflight", 0, "max concurrently admitted requests (0 = 16x GOMAXPROCS)")
@@ -105,21 +107,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	records, err := loadDataset(*dataset, *seed)
-	if err != nil {
-		fmt.Fprintf(stderr, "approxserved: %v\n", err)
-		return 1
-	}
 	srv := server.New(server.Config{
 		Shards:         *shards,
 		CacheEntries:   *cacheEntries,
 		MaxInFlight:    *maxInFlight,
 		RequestTimeout: *timeout,
 		Workers:        *workers,
+		DataDir:        *dataDir,
 	})
-	if err := srv.AddCorpus(*corpusName, records); err != nil {
-		fmt.Fprintf(stderr, "approxserved: %v\n", err)
-		return 1
+	// A data directory restores every stored corpus first — including ones
+	// created at runtime through POST /v1/corpora in a previous life. Only
+	// when the named corpus is not among them is the -dataset loaded and
+	// parsed at all: the fast-restart path never touches the raw relation.
+	if *dataDir != "" {
+		names, err := srv.LoadStoredCorpora()
+		if err != nil {
+			fmt.Fprintf(stderr, "approxserved: %v\n", err)
+			return 1
+		}
+		for _, n := range names {
+			fmt.Fprintf(stdout, "approxserved: restored corpus %q from %s\n", n, *dataDir)
+		}
+	}
+	if !srv.HasCorpus(*corpusName) {
+		records, err := loadDataset(*dataset, *seed)
+		if err != nil {
+			fmt.Fprintf(stderr, "approxserved: %v\n", err)
+			return 1
+		}
+		if err := srv.AddCorpus(*corpusName, records); err != nil {
+			fmt.Fprintf(stderr, "approxserved: %v\n", err)
+			return 1
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -133,8 +152,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	fmt.Fprintf(stdout, "approxserved: serving corpus %q (%d records, %d shards) on %s\n",
-		*corpusName, len(records), srvShards(*shards), ln.Addr())
+	fmt.Fprintf(stdout, "approxserved: serving corpus %q (%d shards) on %s\n",
+		*corpusName, srvShards(*shards), ln.Addr())
 
 	hs := &http.Server{Handler: srv.Handler()}
 	done := make(chan error, 1)
@@ -146,12 +165,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	case <-ctx.Done():
-		// Graceful shutdown: stop accepting, drain in-flight requests.
+		// Graceful shutdown: stop accepting, drain in-flight requests, then
+		// fsync and seal the write-ahead logs — the last acknowledged
+		// mutation is on stable storage before the process exits.
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintf(stderr, "approxserved: shutdown: %v\n", err)
 			return 1
+		}
+		if err := srv.CloseStores(); err != nil {
+			fmt.Fprintf(stderr, "approxserved: store close: %v\n", err)
+			return 1
+		}
+		if *dataDir != "" {
+			fmt.Fprintln(stdout, "approxserved: store synced")
 		}
 		fmt.Fprintln(stdout, "approxserved: drained, bye")
 	}

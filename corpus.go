@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/store"
 )
 
 // Corpus is the shared, mutable base relation the paper's framework stores
@@ -26,6 +27,9 @@ import (
 // mix.
 type Corpus struct {
 	c *core.Corpus
+	// log is the attached approxstore write-ahead log when the corpus was
+	// opened with WithDataDir; nil for a purely in-memory corpus.
+	log *store.Log
 }
 
 // OpenCorpus tokenizes the base relation once, materializing every
@@ -45,6 +49,30 @@ func OpenCorpus(records []Record, opts ...BuildOption) (*Corpus, error) {
 	}
 	if settings.Corpus != nil {
 		return nil, fmt.Errorf("approxsel: WithCorpus is not a valid OpenCorpus option")
+	}
+	if dir := settings.DataDir; dir != "" {
+		// Durable corpus: an existing store wins over the records argument
+		// (its segment carries the configuration it was built with); a fresh
+		// directory is seeded from records and the WAL attaches either way.
+		if store.HasManifest(dir) {
+			return nil, fmt.Errorf("approxsel: %s holds a sharded corpus store; open it with OpenShardedCorpus", dir)
+		}
+		if store.Exists(dir) {
+			log, err := store.Open(dir)
+			if err != nil {
+				return nil, err
+			}
+			return &Corpus{c: log.Corpus(), log: log}, nil
+		}
+		c, err := core.NewCorpus(records, settings.Config, core.AllLayers)
+		if err != nil {
+			return nil, err
+		}
+		log, err := store.Create(dir, c)
+		if err != nil {
+			return nil, err
+		}
+		return &Corpus{c: c, log: log}, nil
 	}
 	c, err := core.NewCorpus(records, settings.Config, core.AllLayers)
 	if err != nil {

@@ -338,6 +338,68 @@ type Corpus struct {
 	mu     sync.Mutex // serializes mutations
 	snap   atomic.Pointer[Snapshot]
 	passes atomic.Int64 // full tokenization passes (test instrumentation)
+
+	// hook, when set, observes every applied mutation under the mutation
+	// lock — the write-ahead attachment point of the persistence layer.
+	hook func(Mutation) error
+}
+
+// PersistenceError marks a mutation aborted because the persistence layer
+// could not log it (disk full, log sealed by a graceful drain). It is the
+// server's cue to answer 5xx — the mutation itself was valid and is
+// retryable — where plain validation errors stay client faults.
+type PersistenceError struct{ Err error }
+
+func (e *PersistenceError) Error() string {
+	return fmt.Sprintf("approxsel: mutation rejected by persistence hook: %v", e.Err)
+}
+
+// Unwrap exposes the hook's underlying error.
+func (e *PersistenceError) Unwrap() error { return e.Err }
+
+// MutationKind names one of the three mutation operations.
+type MutationKind uint8
+
+const (
+	// MutationInsert adds new records.
+	MutationInsert MutationKind = iota + 1
+	// MutationDelete removes records by TID.
+	MutationDelete
+	// MutationUpsert inserts records, replacing existing TIDs.
+	MutationUpsert
+)
+
+// Mutation describes one validated mutation batch about to be published.
+type Mutation struct {
+	Kind MutationKind
+	// Add holds the inserted or upserted records; Del the deleted TIDs.
+	Add []Record
+	Del []int
+	// Epoch is the epoch the corpus moves to when this batch publishes.
+	Epoch uint64
+}
+
+// SetMutationHook installs fn as the corpus's mutation observer. It is
+// called under the mutation lock after a batch has validated and its new
+// snapshot has been assembled, but before the snapshot publishes: an error
+// from fn aborts the mutation with no visible state change. This is the
+// write-ahead contract the WAL builds on — a mutation is acknowledged only
+// after the hook has accepted it. Passing nil removes the hook.
+func (c *Corpus) SetMutationHook(fn func(Mutation) error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hook = fn
+}
+
+// Freeze runs fn on the current snapshot while holding the mutation lock,
+// so no mutation can land (or append to a WAL) while fn runs. The
+// persistence layer checkpoints inside Freeze, making "write segment at
+// epoch E, truncate the log" atomic against concurrent writers. Selections
+// are unaffected — they read the published snapshot without the lock.
+func (c *Corpus) Freeze(fn func(*Snapshot) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fn(c.snap.Load())
 }
 
 // CorpusBuilderFunc constructs a predicate attached to a shared corpus —
@@ -471,35 +533,9 @@ func (c *Corpus) mutate(add []Record, del []int, upsert bool) error {
 	}
 	old := c.snap.Load()
 
-	drop := make(map[int]bool, len(del))
-	for _, tid := range del {
-		if _, ok := old.byTID[tid]; !ok {
-			return fmt.Errorf("approxsel: delete of unknown TID %d", tid)
-		}
-		if drop[tid] {
-			return fmt.Errorf("approxsel: duplicate TID %d in delete", tid)
-		}
-		drop[tid] = true
-	}
-	replace := make(map[int]Record)
-	var appended []Record
-	seen := make(map[int]bool, len(add))
-	for _, r := range add {
-		if seen[r.TID] {
-			return fmt.Errorf("approxsel: duplicate TID %d in insert", r.TID)
-		}
-		seen[r.TID] = true
-		if drop[r.TID] {
-			return fmt.Errorf("approxsel: TID %d both inserted and deleted", r.TID)
-		}
-		if _, ok := old.byTID[r.TID]; ok {
-			if !upsert {
-				return fmt.Errorf("approxsel: insert of existing TID %d (use Upsert to replace)", r.TID)
-			}
-			replace[r.TID] = r
-		} else {
-			appended = append(appended, r)
-		}
+	drop, replace, appended, err := splitBatch(old.byTID, add, del, upsert)
+	if err != nil {
+		return err
 	}
 
 	t0 := time.Now()
@@ -523,7 +559,20 @@ func (c *Corpus) mutate(add []Record, del []int, upsert bool) error {
 		raw.appendTokenized(c, r.Text)
 	}
 	tokDur := time.Since(t0)
-	c.snap.Store(c.assemble(recs, raw, old.Epoch+1, tokDur))
+	next := c.assemble(recs, raw, old.Epoch+1, tokDur)
+	if c.hook != nil {
+		kind := MutationInsert
+		switch {
+		case len(del) > 0:
+			kind = MutationDelete
+		case upsert:
+			kind = MutationUpsert
+		}
+		if err := c.hook(Mutation{Kind: kind, Add: add, Del: del, Epoch: next.Epoch}); err != nil {
+			return &PersistenceError{Err: err}
+		}
+	}
+	c.snap.Store(next)
 	return nil
 }
 
@@ -532,6 +581,43 @@ func (c *Corpus) mutate(add []Record, del []int, upsert bool) error {
 // rawData carries the per-record tokenization products a snapshot is
 // assembled from. Mutations splice these arrays, re-tokenizing only the
 // changed records.
+// splitBatch validates one mutation batch against the current TID index
+// and splits it into the three splice groups: TIDs to drop, records to
+// replace in place, and records to append.
+func splitBatch(byTID map[int]int, add []Record, del []int, upsert bool) (map[int]bool, map[int]Record, []Record, error) {
+	drop := make(map[int]bool, len(del))
+	for _, tid := range del {
+		if _, ok := byTID[tid]; !ok {
+			return nil, nil, nil, fmt.Errorf("approxsel: delete of unknown TID %d", tid)
+		}
+		if drop[tid] {
+			return nil, nil, nil, fmt.Errorf("approxsel: duplicate TID %d in delete", tid)
+		}
+		drop[tid] = true
+	}
+	replace := make(map[int]Record)
+	var appended []Record
+	seen := make(map[int]bool, len(add))
+	for _, r := range add {
+		if seen[r.TID] {
+			return nil, nil, nil, fmt.Errorf("approxsel: duplicate TID %d in insert", r.TID)
+		}
+		seen[r.TID] = true
+		if drop[r.TID] {
+			return nil, nil, nil, fmt.Errorf("approxsel: TID %d both inserted and deleted", r.TID)
+		}
+		if _, ok := byTID[r.TID]; ok {
+			if !upsert {
+				return nil, nil, nil, fmt.Errorf("approxsel: insert of existing TID %d (use Upsert to replace)", r.TID)
+			}
+			replace[r.TID] = r
+		} else {
+			appended = append(appended, r)
+		}
+	}
+	return drop, replace, appended, nil
+}
+
 type rawData struct {
 	layers  CorpusLayers
 	docs    [][]string

@@ -50,6 +50,82 @@ func TestMergeRankedMatchesReference(t *testing.T) {
 	}
 }
 
+// TestMergeRankedEmptyShards covers the no-results fan-out: every shard
+// returned nothing (nil or empty), in any mixture, at any limit.
+func TestMergeRankedEmptyShards(t *testing.T) {
+	for _, lists := range [][][]Match{
+		{},
+		{nil},
+		{{}, {}, {}},
+		{nil, {}, nil, {}},
+	} {
+		for _, limit := range []int{0, 1, 10} {
+			got := MergeRanked(lists, limit)
+			if got == nil || len(got) != 0 {
+				t.Fatalf("empty shards (%d lists, limit %d) must merge to an empty non-nil ranking: %#v",
+					len(lists), limit, got)
+			}
+		}
+	}
+}
+
+// TestMergeRankedAllTiesAtLimit pins the tie contract at the truncation
+// boundary: when every candidate ties on score, the merge must emit
+// ascending TIDs and cut exactly like the global SortMatches order —
+// regardless of which shard holds which TID.
+func TestMergeRankedAllTiesAtLimit(t *testing.T) {
+	// TIDs dealt round-robin across three shards, all scores equal.
+	lists := make([][]Match, 3)
+	for tid := 1; tid <= 9; tid++ {
+		i := (tid - 1) % 3
+		lists[i] = append(lists[i], Match{TID: tid, Score: 0.5})
+	}
+	for i := range lists {
+		SortMatches(lists[i])
+	}
+	for limit := 0; limit <= 10; limit++ {
+		got := MergeRanked(lists, limit)
+		want := mergeReference(lists, limit)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("all-ties limit %d:\n got %v\nwant %v", limit, got, want)
+		}
+		for j := 1; j < len(got); j++ {
+			if got[j-1].TID >= got[j].TID {
+				t.Fatalf("all-ties limit %d: TIDs not ascending: %v", limit, got)
+			}
+		}
+	}
+}
+
+// TestMergeRankedSingleShardPassthrough pins the one-shard identity: the
+// merged ranking equals the shard's own ranking (truncated), element for
+// element — the shards=1 bit-compatibility path of ShardedCorpus.
+func TestMergeRankedSingleShardPassthrough(t *testing.T) {
+	shard := []Match{{TID: 3, Score: 9}, {TID: 1, Score: 4}, {TID: 7, Score: 4}, {TID: 2, Score: 0.25}}
+	for _, padded := range [][][]Match{
+		{shard},
+		{nil, shard, {}}, // empty siblings must not disturb the passthrough
+	} {
+		for _, limit := range []int{0, 2, 4, 99} {
+			got := MergeRanked(padded, limit)
+			want := shard
+			if limit > 0 && limit < len(shard) {
+				want = shard[:limit]
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("single-shard limit %d:\n got %v\nwant %v", limit, got, want)
+			}
+		}
+	}
+	// The passthrough must copy, not alias: mutating the merge result
+	// cannot corrupt the shard's (cached) ranking.
+	got := MergeRanked([][]Match{shard}, 0)
+	got[0].TID = -1
+	if shard[0].TID != 3 {
+		t.Fatal("merge result aliases the shard ranking")
+	}
+}
+
 func TestMergeRankedEdges(t *testing.T) {
 	if got := MergeRanked(nil, 5); len(got) != 0 {
 		t.Fatalf("empty merge: %v", got)

@@ -1,0 +1,1313 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+	"time"
+
+	"repro/internal/minhash"
+	"repro/internal/store/segment"
+	"repro/internal/tokenize"
+	"repro/internal/weights"
+)
+
+// This file implements corpus snapshot persistence: WriteSnapshot encodes
+// the current immutable Snapshot — records, interned token tables, every
+// derived posting/weight table, bound columns, epoch — into a versioned,
+// CRC-framed binary segment, and LoadSnapshot decodes it back into a ready
+// Corpus without re-tokenizing or re-assembling anything.
+//
+// The encoding strategy follows one rule: everything carrying floating
+// point is serialized verbatim (bit patterns, never recomputed), and only
+// purely structural state — rank maps, frequency maps, document lengths,
+// the dense word-id space, TID index — is rebuilt from the serialized
+// arrays with the exact integer arithmetic of the assembly path. That
+// makes a loaded corpus bit-identical to the corpus that was saved: same
+// epoch, same scores, same tie order, for every predicate. Strings are
+// interned through the token tables on decode (a document's grams alias
+// the TokenByRank entries), so a loaded snapshot is also more compact in
+// memory than a freshly tokenized one.
+
+// SnapshotMagic identifies a corpus snapshot segment file.
+const SnapshotMagic = "APXSNAP1"
+
+// Section tags of a snapshot segment.
+const (
+	secHeader   = 1
+	secRecords  = 2
+	secRawGrams = 3
+	secEffGrams = 4
+	secWords    = 5
+	secNorms    = 6
+)
+
+// gramFlags say which derived tables a serialized gram layer carries; they
+// mirror the assembly path, which builds tables on the effective layer and
+// only the TF posting table on the raw layer when pruning splits the two.
+type gramFlags struct {
+	tokenIDs bool
+	postings bool
+	rs       bool
+	tfidf    bool
+	lm       bool
+	tfpost   bool
+}
+
+func (f gramFlags) byte() uint8 {
+	var b uint8
+	set := func(bit uint8, on bool) {
+		if on {
+			b |= bit
+		}
+	}
+	set(1, f.tokenIDs)
+	set(2, f.postings)
+	set(4, f.rs)
+	set(8, f.tfidf)
+	set(16, f.lm)
+	set(32, f.tfpost)
+	return b
+}
+
+func gramFlagsFrom(b uint8) gramFlags {
+	return gramFlags{
+		tokenIDs: b&1 != 0,
+		postings: b&2 != 0,
+		rs:       b&4 != 0,
+		tfidf:    b&8 != 0,
+		lm:       b&16 != 0,
+		tfpost:   b&32 != 0,
+	}
+}
+
+// effGramFlags derives the effective layer's table set from the corpus's
+// materialized layers.
+func (c *Corpus) effGramFlags(pruned bool) gramFlags {
+	return gramFlags{
+		tokenIDs: c.layers.Has(LayerTokenIDs),
+		postings: c.layers.Has(LayerPostings),
+		rs:       c.layers.Has(LayerRS),
+		tfidf:    c.layers.Has(LayerTFIDF),
+		lm:       c.layers.Has(LayerLM),
+		tfpost:   c.layers.Has(LayerNorms) && !pruned,
+	}
+}
+
+// WriteSnapshot serializes the corpus's current snapshot to w. The write
+// works on the immutable snapshot and never blocks mutations or
+// selections; pair it with Freeze when the byte stream must be atomic with
+// respect to a write-ahead log (checkpointing).
+func (c *Corpus) WriteSnapshot(w io.Writer) error {
+	s := c.snap.Load()
+	sw, err := segment.NewWriter(w, SnapshotMagic)
+	if err != nil {
+		return err
+	}
+	pruned := s.Grams != nil && s.Grams != s.RawGrams
+
+	e := segment.NewEncoder(256)
+	encodeConfig(e, c.cfg)
+	e.U32(uint32(c.layers))
+	e.U64(s.Epoch)
+	e.Int(len(s.Records))
+	e.Bool(pruned)
+	if err := sw.Section(secHeader, e.Bytes()); err != nil {
+		return err
+	}
+
+	e = segment.NewEncoder(32 * len(s.Records))
+	for _, r := range s.Records {
+		e.I64(int64(r.TID))
+		e.Str(r.Text)
+	}
+	if err := sw.Section(secRecords, e.Bytes()); err != nil {
+		return err
+	}
+
+	if c.layers.Has(LayerGrams) {
+		if pruned {
+			// The raw layer keeps only tokenization-level state (plus the
+			// edit filter's TF posting table); the derived tables live on
+			// the pruned effective layer.
+			e = segment.NewEncoder(1 << 20)
+			encodeGramLayer(e, s.RawGrams, gramFlags{tfpost: c.layers.Has(LayerNorms)})
+			if err := sw.Section(secRawGrams, e.Bytes()); err != nil {
+				return err
+			}
+			e = segment.NewEncoder(1 << 20)
+			encodeGramLayer(e, s.Grams, c.effGramFlags(true))
+			if err := sw.Section(secEffGrams, e.Bytes()); err != nil {
+				return err
+			}
+		} else {
+			e = segment.NewEncoder(1 << 20)
+			encodeGramLayer(e, s.RawGrams, c.effGramFlags(false))
+			if err := sw.Section(secRawGrams, e.Bytes()); err != nil {
+				return err
+			}
+		}
+	}
+	if c.layers.Has(LayerWords) {
+		e = segment.NewEncoder(1 << 20)
+		encodeWordLayer(e, s.Words, c.layers)
+		if err := sw.Section(secWords, e.Bytes()); err != nil {
+			return err
+		}
+	}
+	if c.layers.Has(LayerNorms) {
+		e = segment.NewEncoder(16 * len(s.Norms))
+		e.Strs(s.Norms)
+		if err := sw.Section(secNorms, e.Bytes()); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}
+
+// LoadSnapshot decodes a snapshot segment (the full file contents) into a
+// ready corpus at the serialized epoch. The loaded corpus is bit-identical
+// to the one WriteSnapshot captured and accepts mutations exactly like a
+// freshly built corpus; its TokenizePasses counter stays at zero because
+// no string is ever re-tokenized.
+func LoadSnapshot(data []byte) (*Corpus, error) {
+	r, err := segment.NewReader(data, SnapshotMagic)
+	if err != nil {
+		return nil, err
+	}
+	sections := make(map[uint8][]byte)
+	for {
+		tag, payload, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := sections[tag]; dup {
+			return nil, fmt.Errorf("approxsel: duplicate snapshot section 0x%02x", tag)
+		}
+		sections[tag] = payload
+	}
+
+	hdr, ok := sections[secHeader]
+	if !ok {
+		return nil, fmt.Errorf("approxsel: snapshot has no header section")
+	}
+	d := segment.NewDecoder(hdr)
+	cfg := decodeConfig(d)
+	layers := CorpusLayers(d.U32())
+	epoch := d.U64()
+	nrec := d.Int()
+	pruned := d.Bool()
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	if nrec < 0 {
+		return nil, fmt.Errorf("approxsel: snapshot claims %d records", nrec)
+	}
+
+	rec, ok := sections[secRecords]
+	if !ok {
+		return nil, fmt.Errorf("approxsel: snapshot has no records section")
+	}
+	d = segment.NewDecoder(rec)
+	records := make([]Record, nrec)
+	for i := range records {
+		records[i] = Record{TID: int(d.I64()), Text: d.Str()}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+
+	c := &Corpus{cfg: cfg, layers: layers}
+	if c.layers.Has(LayerSigs) {
+		c.fam = minhash.NewFamily(cfg.MinHashSize(), cfg.MinHashSeed)
+	}
+	s := &Snapshot{Epoch: epoch, Records: records, byTID: make(map[int]int, nrec)}
+	for i, r := range records {
+		s.byTID[r.TID] = i
+	}
+	if len(s.byTID) != nrec {
+		return nil, fmt.Errorf("approxsel: snapshot records contain duplicate TIDs")
+	}
+
+	if layers.Has(LayerGrams) {
+		raw, ok := sections[secRawGrams]
+		if !ok {
+			return nil, fmt.Errorf("approxsel: snapshot has no gram layer section")
+		}
+		rawFlags := gramFlags{tfpost: layers.Has(LayerNorms)}
+		if !pruned {
+			rawFlags = c.effGramFlags(false)
+		}
+		l, err := decodeGramLayer(raw, nrec, rawFlags)
+		if err != nil {
+			return nil, err
+		}
+		s.RawGrams, s.Grams = l, l
+		if pruned {
+			eff, ok := sections[secEffGrams]
+			if !ok {
+				return nil, fmt.Errorf("approxsel: pruned snapshot has no effective gram layer")
+			}
+			el, err := decodeGramLayer(eff, nrec, c.effGramFlags(true))
+			if err != nil {
+				return nil, err
+			}
+			s.Grams = el
+		}
+	}
+	if layers.Has(LayerWords) {
+		wl, ok := sections[secWords]
+		if !ok {
+			return nil, fmt.Errorf("approxsel: snapshot has no word layer section")
+		}
+		l, err := decodeWordLayer(wl, nrec, layers)
+		if err != nil {
+			return nil, err
+		}
+		s.Words = l
+	}
+	if layers.Has(LayerNorms) {
+		nb, ok := sections[secNorms]
+		if !ok {
+			return nil, fmt.Errorf("approxsel: snapshot has no norms section")
+		}
+		d = segment.NewDecoder(nb)
+		s.Norms = d.Strs()
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		if len(s.Norms) != nrec {
+			return nil, fmt.Errorf("approxsel: norms column has %d entries for %d records", len(s.Norms), nrec)
+		}
+	}
+	c.snap.Store(s)
+	return c, nil
+}
+
+// ReplayMutations applies a gap-free sequence of mutation batches as one
+// pass — the cold-start WAL replay path. Each batch splices the record
+// list and the raw token layers exactly like Insert/Delete/Upsert
+// (re-tokenizing only changed records), but the derived tables assemble
+// once, at the final epoch, instead of once per batch: table assembly is a
+// pure function of (records, raw layers), so the result is bit-identical
+// to applying the batches one at a time while the cost stays near a
+// single mutation's. The intermediate epochs are never observable during
+// a cold start, and a validation failure anywhere in the sequence leaves
+// the corpus unchanged. The mutation hook is not invoked — replayed
+// batches are already in the log.
+func (c *Corpus) ReplayMutations(muts []Mutation) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(muts) == 0 {
+		return nil
+	}
+	old := c.snap.Load()
+	recs := old.Records
+	cur := c.rawFromSnapshot(old)
+	byTID := old.byTID
+	epoch := old.Epoch
+	t0 := time.Now()
+	for _, m := range muts {
+		if m.Epoch != epoch+1 {
+			return fmt.Errorf("approxsel: replay gap: batch at epoch %d after epoch %d", m.Epoch, epoch)
+		}
+		epoch++
+		drop, replace, appended, err := splitBatch(byTID, m.Add, m.Del, m.Kind == MutationUpsert)
+		if err != nil {
+			return err
+		}
+		n := len(recs) - len(drop) + len(appended)
+		next := c.newRawData(n)
+		nrecs := make([]Record, 0, n)
+		for i, r := range recs {
+			if drop[r.TID] {
+				continue
+			}
+			if nr, ok := replace[r.TID]; ok {
+				nrecs = append(nrecs, nr)
+				next.appendTokenized(c, nr.Text)
+				continue
+			}
+			nrecs = append(nrecs, r)
+			next.appendFromRaw(cur, i)
+		}
+		for _, r := range appended {
+			nrecs = append(nrecs, r)
+			next.appendTokenized(c, r.Text)
+		}
+		recs, cur = nrecs, next
+		byTID = make(map[int]int, len(recs))
+		for i, r := range recs {
+			byTID[r.TID] = i
+		}
+	}
+	c.snap.Store(c.assemble(recs, cur, epoch, time.Since(t0)))
+	return nil
+}
+
+// rawFromSnapshot views a snapshot's raw token layers as rawData, the
+// splice source of the first replayed batch.
+func (c *Corpus) rawFromSnapshot(s *Snapshot) *rawData {
+	r := &rawData{layers: c.layers}
+	if c.layers.Has(LayerGrams) {
+		r.docs = s.RawGrams.Docs
+		r.counts = s.RawGrams.Counts
+	}
+	if c.layers.Has(LayerWords) {
+		r.words = s.Words.Words
+		r.wcounts = s.Words.Counts
+		if c.layers.Has(LayerWordGrams) {
+			r.vocab = s.Words.Vocab
+			r.vgrams = s.Words.VocabGrams
+			if c.layers.Has(LayerSigs) {
+				r.sigs = s.Words.Sigs
+			}
+		}
+	}
+	if c.layers.Has(LayerNorms) {
+		r.norms = s.Norms
+	}
+	return r
+}
+
+// appendFromRaw reuses the cached tokenization of one retained record from
+// a prior splice round.
+func (r *rawData) appendFromRaw(src *rawData, i int) {
+	if r.layers.Has(LayerGrams) {
+		r.docs = append(r.docs, src.docs[i])
+		r.counts = append(r.counts, src.counts[i])
+	}
+	if r.layers.Has(LayerWords) {
+		r.words = append(r.words, src.words[i])
+		r.wcounts = append(r.wcounts, src.wcounts[i])
+		if r.layers.Has(LayerWordGrams) {
+			r.vocab = append(r.vocab, src.vocab[i])
+			r.vgrams = append(r.vgrams, src.vgrams[i])
+			if r.layers.Has(LayerSigs) {
+				r.sigs = append(r.sigs, src.sigs[i])
+			}
+		}
+	}
+	if r.layers.Has(LayerNorms) {
+		r.norms = append(r.norms, src.norms[i])
+	}
+}
+
+// ---- config ----
+
+// encodeConfig serializes every Config field in declaration order; the
+// format version bumps if the struct grows.
+func encodeConfig(e *segment.Encoder, cfg Config) {
+	e.Int(cfg.Q)
+	e.Int(cfg.WordQ)
+	e.F64(cfg.BM25K1)
+	e.F64(cfg.BM25K3)
+	e.F64(cfg.BM25B)
+	e.F64(cfg.HMMA0)
+	e.F64(cfg.GESCins)
+	e.F64(cfg.GESThreshold)
+	e.F64(cfg.SoftTFIDFTheta)
+	e.F64(cfg.EditTheta)
+	e.Bool(cfg.EditPositional)
+	e.Int(cfg.MinHashK)
+	e.I64(cfg.MinHashSeed)
+	e.F64(cfg.PruneRate)
+}
+
+func decodeConfig(d *segment.Decoder) Config {
+	return Config{
+		Q:              d.Int(),
+		WordQ:          d.Int(),
+		BM25K1:         d.F64(),
+		BM25K3:         d.F64(),
+		BM25B:          d.F64(),
+		HMMA0:          d.F64(),
+		GESCins:        d.F64(),
+		GESThreshold:   d.F64(),
+		SoftTFIDFTheta: d.F64(),
+		EditTheta:      d.F64(),
+		EditPositional: d.Bool(),
+		MinHashK:       d.Int(),
+		MinHashSeed:    d.I64(),
+		PruneRate:      d.F64(),
+	}
+}
+
+// ---- collection statistics ----
+
+func encodeStats(e *segment.Encoder, l *GramLayer) {
+	encodeStatsData(e, l.Stats.Export(l.TokenByRank))
+}
+
+func encodeStatsData(e *segment.Encoder, d weights.StatsData) {
+	e.Int(d.N)
+	e.Int(d.CS)
+	e.F64(d.AvgDL)
+	e.F64(d.AvgIDF)
+	e.U32(uint32(len(d.DF)))
+	for i := range d.DF {
+		e.I64(d.DF[i])
+		e.I64(d.CF[i])
+		e.F64(d.SumPML[i])
+	}
+}
+
+// decodeStatsInto reads the flat statistics written by encodeStats (and the
+// word-layer encoder) and rebuilds the weights.Corpus over the given token
+// order: scalars and float aggregates restored bit-exactly, maps rebuilt
+// presized.
+func decodeStatsInto(d *segment.Decoder, tokens []string) (*weights.Corpus, error) {
+	sd := weights.StatsData{
+		N:     d.Int(),
+		CS:    d.Int(),
+		AvgDL: d.F64(),
+	}
+	sd.AvgIDF = d.F64()
+	n := int(d.U32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n != len(tokens) {
+		return nil, fmt.Errorf("approxsel: statistics cover %d tokens, table has %d", n, len(tokens))
+	}
+	rows := d.Raw(24*n, "statistics rows")
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	sd.DF = make([]int64, n)
+	sd.CF = make([]int64, n)
+	sd.SumPML = make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := rows[24*i:]
+		sd.DF[i] = int64(binary.LittleEndian.Uint64(row))
+		sd.CF[i] = int64(binary.LittleEndian.Uint64(row[8:]))
+		sd.SumPML[i] = math.Float64frombits(binary.LittleEndian.Uint64(row[16:]))
+	}
+	return weights.FromData(tokens, sd)
+}
+
+// ---- gram layers ----
+
+func encodeGramLayer(e *segment.Encoder, l *GramLayer, f gramFlags) {
+	e.U8(f.byte())
+	e.Strs(l.TokenByRank)
+	encodeStats(e, l)
+	// Per-record gram multisets as dense ranks, preserving order (the edit
+	// predicate's positional filter reads gram positions). The total gram
+	// count leads, so the decoder carves every record's multiset from one
+	// contiguous backing array.
+	total := 0
+	for _, doc := range l.Docs {
+		total += len(doc)
+	}
+	e.Int(total)
+	for _, doc := range l.Docs {
+		e.U32(uint32(len(doc)))
+		for _, g := range doc {
+			e.U32(uint32(l.rank[g]))
+		}
+	}
+	// Per-record distinct (rank, tf) pairs in ascending rank order: the
+	// interned pair rows when LayerTokenIDs is on, and the decode source of
+	// the frequency maps always. Total first, again for backing-array
+	// carving.
+	allPairs := make([][]RankTF, len(l.Counts))
+	total = 0
+	for i := range l.Counts {
+		allPairs[i] = l.countPairs(i)
+		total += len(allPairs[i])
+	}
+	e.Int(total)
+	for _, pairs := range allPairs {
+		e.U32(uint32(len(pairs)))
+		for _, p := range pairs {
+			e.U32(uint32(p.Rank))
+			e.U32(uint32(p.TF))
+		}
+	}
+	if f.tokenIDs {
+		e.F64s(l.IDFByRank)
+	}
+	if f.postings {
+		encodePostings(e, l.Postings)
+	}
+	if f.rs {
+		e.F64s(l.RSByRank)
+		hasLen := l.RSLen != nil
+		e.Bool(hasLen)
+		if hasLen {
+			e.F64s(l.RSLen)
+			e.F64(l.RSLenMin)
+		}
+	}
+	if f.tfidf {
+		encodeWPostTable(e, l.TFIDFPost)
+		e.F64s(l.TFIDFMax)
+		e.F64s(l.TFIDFMin)
+	}
+	if f.lm {
+		encodeWPostTable(e, l.LMPost)
+		e.F64s(l.LMMax)
+		e.F64s(l.LMMin)
+		e.F64s(l.LMSumComp)
+		e.F64(l.LMCompMax)
+	}
+	if f.tfpost {
+		encodeWPostTable(e, l.TFPost)
+	}
+}
+
+// countPairs returns record i's distinct (rank, tf) pairs in ascending rank
+// order: the precomputed interned rows when present, otherwise derived from
+// the frequency map.
+func (l *GramLayer) countPairs(i int) []RankTF {
+	if l.Pairs != nil {
+		return l.Pairs[i]
+	}
+	pairs := make([]RankTF, 0, len(l.Counts[i]))
+	for t, tf := range l.Counts[i] {
+		pairs = append(pairs, RankTF{Rank: l.rank[t], TF: int32(tf)})
+	}
+	sortRankTF(pairs)
+	return pairs
+}
+
+func decodeGramLayer(payload []byte, nrec int, f gramFlags) (*GramLayer, error) {
+	d := segment.NewDecoder(payload)
+	if got := gramFlagsFrom(d.U8()); got != f {
+		return nil, fmt.Errorf("approxsel: gram layer tables %+v do not match materialized layers %+v", got, f)
+	}
+	l := &GramLayer{TokenByRank: d.Strs()}
+	l.rank = rankOf(l.TokenByRank)
+	nTok := len(l.TokenByRank)
+
+	stats, err := decodeStatsInto(d, l.TokenByRank)
+	if err != nil {
+		return nil, err
+	}
+	l.Stats = stats
+
+	// Gram multisets: ranks back to interned strings (aliasing the token
+	// table), document lengths derived from the multiset sizes, every
+	// record's slice carved from one backing array.
+	totalGrams := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if totalGrams < 0 || totalGrams > d.Remaining()/4 {
+		return nil, fmt.Errorf("approxsel: gram multisets claim %d grams", totalGrams)
+	}
+	docBacking := make([]string, 0, totalGrams)
+	l.Docs = make([][]string, nrec)
+	l.DL = make([]int, nrec)
+	for i := 0; i < nrec; i++ {
+		n := int(d.U32())
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		rows := d.Raw(4*n, "gram multiset")
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if len(docBacking)+n > totalGrams {
+			return nil, fmt.Errorf("approxsel: gram multiset of record %d overruns its table", i)
+		}
+		start := len(docBacking)
+		for j := 0; j < n; j++ {
+			id := binary.LittleEndian.Uint32(rows[4*j:])
+			if id >= uint32(nTok) {
+				return nil, fmt.Errorf("approxsel: gram rank %d out of range (%d tokens)", id, nTok)
+			}
+			docBacking = append(docBacking, l.TokenByRank[id])
+		}
+		l.Docs[i] = docBacking[start:len(docBacking):len(docBacking)]
+		l.DL[i] = n
+	}
+
+	// Distinct (rank, tf) pairs: frequency maps always, interned pair rows
+	// when the token-id layer is materialized.
+	totalPairs := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if totalPairs < 0 || totalPairs > d.Remaining()/8 {
+		return nil, fmt.Errorf("approxsel: count pairs claim %d rows", totalPairs)
+	}
+	var pairBacking []RankTF
+	if f.tokenIDs {
+		pairBacking = make([]RankTF, 0, totalPairs)
+		l.Pairs = make([][]RankTF, nrec)
+	}
+	l.Counts = make([]map[string]int, nrec)
+	for i := 0; i < nrec; i++ {
+		n := int(d.U32())
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		rows := d.Raw(8*n, "count pairs")
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		m := make(map[string]int, n)
+		start := len(pairBacking)
+		for j := 0; j < n; j++ {
+			rank := binary.LittleEndian.Uint32(rows[8*j:])
+			tf := binary.LittleEndian.Uint32(rows[8*j+4:])
+			if rank >= uint32(nTok) {
+				return nil, fmt.Errorf("approxsel: count rank %d out of range (%d tokens)", rank, nTok)
+			}
+			m[l.TokenByRank[rank]] = int(int32(tf))
+			if f.tokenIDs {
+				if len(pairBacking) == totalPairs {
+					return nil, fmt.Errorf("approxsel: count pairs of record %d overrun their table", i)
+				}
+				pairBacking = append(pairBacking, RankTF{Rank: int32(rank), TF: int32(tf)})
+			}
+		}
+		l.Counts[i] = m
+		if f.tokenIDs {
+			l.Pairs[i] = pairBacking[start:len(pairBacking):len(pairBacking)]
+		}
+	}
+
+	if f.tokenIDs {
+		l.IDFByRank = d.F64s()
+		if len(l.IDFByRank) != nTok {
+			return nil, fmt.Errorf("approxsel: idf column has %d entries for %d tokens", len(l.IDFByRank), nTok)
+		}
+	}
+	if f.postings {
+		l.Postings, err = decodePostings(d, nTok, nrec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if f.rs {
+		l.RSByRank = d.F64s()
+		if len(l.RSByRank) != nTok {
+			return nil, fmt.Errorf("approxsel: RS column has %d entries for %d tokens", len(l.RSByRank), nTok)
+		}
+		if d.Bool() {
+			l.RSLen = d.F64s()
+			l.RSLenMin = d.F64()
+			if len(l.RSLen) != nrec {
+				return nil, fmt.Errorf("approxsel: RS length column has %d entries for %d records", len(l.RSLen), nrec)
+			}
+		}
+	}
+	if f.tfidf {
+		if l.TFIDFPost, err = decodeWPostTable(d, nTok, nrec); err != nil {
+			return nil, err
+		}
+		l.TFIDFMax = d.F64s()
+		l.TFIDFMin = d.F64s()
+		if len(l.TFIDFMax) != nTok || len(l.TFIDFMin) != nTok {
+			return nil, fmt.Errorf("approxsel: tf-idf bound columns do not match %d tokens", nTok)
+		}
+	}
+	if f.lm {
+		if l.LMPost, err = decodeWPostTable(d, nTok, nrec); err != nil {
+			return nil, err
+		}
+		l.LMMax = d.F64s()
+		l.LMMin = d.F64s()
+		l.LMSumComp = d.F64s()
+		l.LMCompMax = d.F64()
+		if len(l.LMMax) != nTok || len(l.LMMin) != nTok || len(l.LMSumComp) != nrec {
+			return nil, fmt.Errorf("approxsel: LM columns do not match %d tokens / %d records", nTok, nrec)
+		}
+	}
+	if f.tfpost {
+		if l.TFPost, err = decodeWPostTable(d, nTok, nrec); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// encodePostings writes a rank-indexed posting table with its total, so the
+// decoder can carve one contiguous backing array exactly like the builder.
+func encodePostings(e *segment.Encoder, table [][]int32) {
+	total := 0
+	for _, l := range table {
+		total += len(l)
+	}
+	e.Int(total)
+	e.U32(uint32(len(table)))
+	for _, l := range table {
+		e.U32(uint32(len(l)))
+		for _, v := range l {
+			e.U32(uint32(v))
+		}
+	}
+}
+
+func decodePostings(d *segment.Decoder, nTok, nrec int) ([][]int32, error) {
+	total := d.Int()
+	n := int(d.U32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n != nTok {
+		return nil, fmt.Errorf("approxsel: posting table has %d lists for %d tokens", n, nTok)
+	}
+	if total < 0 || total > d.Remaining()/4 {
+		return nil, fmt.Errorf("approxsel: posting table claims %d postings", total)
+	}
+	backing := make([]int32, total)
+	used := 0
+	table := make([][]int32, n)
+	for r := 0; r < n; r++ {
+		cnt := int(d.U32())
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		rows := d.Raw(4*cnt, "posting list")
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if used+cnt > total {
+			return nil, fmt.Errorf("approxsel: posting list %d overruns its table", r)
+		}
+		list := backing[used : used+cnt : used+cnt]
+		for j := 0; j < cnt; j++ {
+			rec := binary.LittleEndian.Uint32(rows[4*j:])
+			if rec >= uint32(nrec) {
+				return nil, fmt.Errorf("approxsel: posting record %d out of range (%d records)", rec, nrec)
+			}
+			list[j] = int32(rec)
+		}
+		used += cnt
+		table[r] = list
+	}
+	return table, d.Err()
+}
+
+// encodeWPostTable writes a rank-indexed weighted posting table: record
+// positions as 32-bit ints, weights as raw float64 bits.
+func encodeWPostTable(e *segment.Encoder, table [][]WPost) {
+	total := 0
+	for _, l := range table {
+		total += len(l)
+	}
+	e.Int(total)
+	e.U32(uint32(len(table)))
+	for _, l := range table {
+		e.U32(uint32(len(l)))
+		for _, p := range l {
+			e.U32(uint32(p.Rec))
+			e.F64(p.W)
+		}
+	}
+}
+
+func decodeWPostTable(d *segment.Decoder, nTok, nrec int) ([][]WPost, error) {
+	total := d.Int()
+	n := int(d.U32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n != nTok {
+		return nil, fmt.Errorf("approxsel: weighted posting table has %d lists for %d tokens", n, nTok)
+	}
+	if total < 0 || total > d.Remaining()/12 {
+		return nil, fmt.Errorf("approxsel: weighted posting table claims %d postings", total)
+	}
+	backing := make([]WPost, total)
+	used := 0
+	table := make([][]WPost, n)
+	for r := 0; r < n; r++ {
+		cnt := int(d.U32())
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		rows := d.Raw(12*cnt, "weighted posting list")
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if used+cnt > total {
+			return nil, fmt.Errorf("approxsel: weighted posting list %d overruns its table", r)
+		}
+		list := backing[used : used+cnt : used+cnt]
+		for j := 0; j < cnt; j++ {
+			rec := binary.LittleEndian.Uint32(rows[12*j:])
+			if rec >= uint32(nrec) {
+				return nil, fmt.Errorf("approxsel: weighted posting record %d out of range (%d records)", rec, nrec)
+			}
+			list[j] = WPost{Rec: int(rec), W: math.Float64frombits(binary.LittleEndian.Uint64(rows[12*j+4:]))}
+		}
+		used += cnt
+		table[r] = list
+	}
+	return table, d.Err()
+}
+
+// ---- word layer ----
+
+func encodeWordLayer(e *segment.Encoder, l *WordLayer, layers CorpusLayers) {
+	// Invert the rank map into the sorted word order (rank r holds the word
+	// with rank r), the string table everything else references.
+	sorted := make([]string, len(l.rank))
+	for t, r := range l.rank {
+		sorted[r] = t
+	}
+	e.Strs(sorted)
+	encodeStatsData(e, l.Stats.Export(sorted))
+
+	// Word sequences lead with their total size, so the decoder carves the
+	// per-record slices (and the idf-weight columns, which share the same
+	// lengths) from contiguous backing arrays.
+	total := 0
+	for _, ws := range l.Words {
+		total += len(ws)
+	}
+	e.Int(total)
+	for _, ws := range l.Words {
+		e.U32(uint32(len(ws)))
+		for _, w := range ws {
+			e.U32(uint32(l.rank[w]))
+		}
+	}
+	for _, w := range l.IDFWeights {
+		e.F64s(w)
+	}
+	if layers.Has(LayerWordTFIDF) {
+		for _, m := range l.TFIDF {
+			// Deterministic (rank, weight) rows in ascending rank order.
+			pairs := make([]RankTF, 0, len(m))
+			for t := range m {
+				pairs = append(pairs, RankTF{Rank: l.rank[t]})
+			}
+			sortRankTF(pairs)
+			e.U32(uint32(len(pairs)))
+			for _, p := range pairs {
+				e.U32(uint32(p.Rank))
+				e.F64(m[sorted[p.Rank]])
+			}
+		}
+	}
+	if layers.Has(LayerWordGrams) {
+		total = 0
+		for _, vocab := range l.Vocab {
+			total += len(vocab)
+		}
+		e.Int(total)
+		for _, vocab := range l.Vocab {
+			e.U32(uint32(len(vocab)))
+			for _, w := range vocab {
+				e.U32(uint32(l.rank[w]))
+			}
+		}
+		// The word-gram string table: GramIndex keys in sorted order give
+		// every distinct gram a dense id.
+		grams := make([]string, 0, len(l.GramIndex))
+		for g := range l.GramIndex {
+			grams = append(grams, g)
+		}
+		sortStrings(grams)
+		gramID := make(map[string]int32, len(grams))
+		for i, g := range grams {
+			gramID[g] = int32(i)
+		}
+		e.Strs(grams)
+		total = 0
+		for _, vgrams := range l.VocabGrams {
+			for _, gs := range vgrams {
+				total += len(gs)
+			}
+		}
+		e.Int(total)
+		for _, vgrams := range l.VocabGrams {
+			e.U32(uint32(len(vgrams)))
+			for _, gs := range vgrams {
+				e.U32(uint32(len(gs)))
+				for _, g := range gs {
+					e.U32(uint32(gramID[g]))
+				}
+			}
+		}
+		total := 0
+		for _, refs := range l.GramIndex {
+			total += len(refs)
+		}
+		e.Int(total)
+		for _, g := range grams {
+			refs := l.GramIndex[g]
+			e.U32(uint32(len(refs)))
+			for _, ref := range refs {
+				e.U32(uint32(ref.Rec))
+				e.U32(uint32(ref.Word))
+			}
+		}
+	}
+	if layers.Has(LayerSigs) {
+		total = 0
+		for _, sigs := range l.Sigs {
+			for _, sig := range sigs {
+				total += len(sig)
+			}
+		}
+		e.Int(total)
+		for _, sigs := range l.Sigs {
+			e.U32(uint32(len(sigs)))
+			for _, sig := range sigs {
+				e.U64s(sig)
+			}
+		}
+		keys := make([]SigKey, 0, len(l.SigIndex))
+		for k := range l.SigIndex {
+			keys = append(keys, k)
+		}
+		sortSigKeys(keys)
+		total := 0
+		for _, refs := range l.SigIndex {
+			total += len(refs)
+		}
+		e.Int(total)
+		e.U32(uint32(len(keys)))
+		for _, k := range keys {
+			refs := l.SigIndex[k]
+			e.U32(uint32(k.Slot))
+			e.U64(k.Value)
+			e.U32(uint32(len(refs)))
+			for _, ref := range refs {
+				e.U32(uint32(ref.Rec))
+				e.U32(uint32(ref.Word))
+			}
+		}
+	}
+}
+
+func decodeWordLayer(payload []byte, nrec int, layers CorpusLayers) (*WordLayer, error) {
+	d := segment.NewDecoder(payload)
+	sorted := d.Strs()
+	l := &WordLayer{rank: rankOf(sorted)}
+	nTok := len(sorted)
+
+	stats, err := decodeStatsInto(d, sorted)
+	if err != nil {
+		return nil, err
+	}
+	l.Stats = stats
+
+	totalWords := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if totalWords < 0 || totalWords > d.Remaining()/4 {
+		return nil, fmt.Errorf("approxsel: word sequences claim %d words", totalWords)
+	}
+	wordBacking := make([]string, 0, totalWords)
+	l.Words = make([][]string, nrec)
+	l.Counts = make([]map[string]int, nrec)
+	for i := 0; i < nrec; i++ {
+		n := int(d.U32())
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		rows := d.Raw(4*n, "word sequence")
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if len(wordBacking)+n > totalWords {
+			return nil, fmt.Errorf("approxsel: word sequence of record %d overruns its table", i)
+		}
+		start := len(wordBacking)
+		for j := 0; j < n; j++ {
+			id := binary.LittleEndian.Uint32(rows[4*j:])
+			if id >= uint32(nTok) {
+				return nil, fmt.Errorf("approxsel: word rank %d out of range (%d words)", id, nTok)
+			}
+			wordBacking = append(wordBacking, sorted[id])
+		}
+		ws := wordBacking[start:len(wordBacking):len(wordBacking)]
+		l.Words[i] = ws
+		// Frequency maps rebuild with the exact integer counting of the
+		// tokenization path.
+		l.Counts[i] = tokenize.Counts(ws)
+	}
+	// The idf-weight columns share the word sequences' lengths, so they
+	// carve from one backing array of the same total size.
+	idfBacking := make([]float64, totalWords)
+	l.IDFWeights = make([][]float64, nrec)
+	off := 0
+	for i := 0; i < nrec; i++ {
+		n := len(l.Words[i])
+		col := idfBacking[off : off+n : off+n]
+		if err := d.F64sInto(col); err != nil {
+			return nil, fmt.Errorf("approxsel: idf weights of record %d do not match its words: %w", i, err)
+		}
+		l.IDFWeights[i] = col
+		off += n
+	}
+	if layers.Has(LayerWordTFIDF) {
+		l.TFIDF = make([]map[string]float64, nrec)
+		for i := 0; i < nrec; i++ {
+			n := int(d.U32())
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			rows := d.Raw(12*n, "tf-idf word map")
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			m := make(map[string]float64, n)
+			for j := 0; j < n; j++ {
+				id := binary.LittleEndian.Uint32(rows[12*j:])
+				w := math.Float64frombits(binary.LittleEndian.Uint64(rows[12*j+4:]))
+				if id >= uint32(nTok) {
+					return nil, fmt.Errorf("approxsel: tf-idf word rank %d out of range", id)
+				}
+				m[sorted[id]] = w
+			}
+			l.TFIDF[i] = m
+		}
+	}
+	if layers.Has(LayerWordGrams) {
+		totalVocab := d.Int()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if totalVocab < 0 || totalVocab > d.Remaining()/4 {
+			return nil, fmt.Errorf("approxsel: vocabs claim %d words", totalVocab)
+		}
+		vocabBacking := make([]string, 0, totalVocab)
+		l.Vocab = make([][]string, nrec)
+		for i := 0; i < nrec; i++ {
+			n := int(d.U32())
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			rows := d.Raw(4*n, "vocab")
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			if len(vocabBacking)+n > totalVocab {
+				return nil, fmt.Errorf("approxsel: vocab of record %d overruns its table", i)
+			}
+			start := len(vocabBacking)
+			for j := 0; j < n; j++ {
+				id := binary.LittleEndian.Uint32(rows[4*j:])
+				if id >= uint32(nTok) {
+					return nil, fmt.Errorf("approxsel: vocab word rank %d out of range", id)
+				}
+				vocabBacking = append(vocabBacking, sorted[id])
+			}
+			l.Vocab[i] = vocabBacking[start:len(vocabBacking):len(vocabBacking)]
+		}
+		grams := d.Strs()
+		nGram := len(grams)
+		totalWG := d.Int()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if totalWG < 0 || totalWG > d.Remaining()/4 {
+			return nil, fmt.Errorf("approxsel: word grams claim %d entries", totalWG)
+		}
+		// Three backing arrays: the gram strings (totalWG entries), the
+		// per-word gram slices (one per vocab word), and the gram sizes.
+		wgBacking := make([]string, 0, totalWG)
+		vgramsBacking := make([][]string, totalVocab)
+		sizesBacking := make([]int, totalVocab)
+		vused := 0
+		l.VocabGrams = make([][][]string, nrec)
+		l.GramSizes = make([][]int, nrec)
+		for i := 0; i < nrec; i++ {
+			nw := int(d.U32())
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			if nw != len(l.Vocab[i]) {
+				return nil, fmt.Errorf("approxsel: vocab grams of record %d do not match its vocab", i)
+			}
+			vgrams := vgramsBacking[vused : vused+nw : vused+nw]
+			sizes := sizesBacking[vused : vused+nw : vused+nw]
+			vused += nw
+			for j := 0; j < nw; j++ {
+				ng := int(d.U32())
+				if err := d.Err(); err != nil {
+					return nil, err
+				}
+				rows := d.Raw(4*ng, "word grams")
+				if err := d.Err(); err != nil {
+					return nil, err
+				}
+				if len(wgBacking)+ng > totalWG {
+					return nil, fmt.Errorf("approxsel: word grams of record %d overrun their table", i)
+				}
+				start := len(wgBacking)
+				for k := 0; k < ng; k++ {
+					id := binary.LittleEndian.Uint32(rows[4*k:])
+					if id >= uint32(nGram) {
+						return nil, fmt.Errorf("approxsel: word gram id %d out of range (%d grams)", id, nGram)
+					}
+					wgBacking = append(wgBacking, grams[id])
+				}
+				vgrams[j] = wgBacking[start:len(wgBacking):len(wgBacking)]
+				sizes[j] = ng
+			}
+			l.VocabGrams[i] = vgrams
+			l.GramSizes[i] = sizes
+		}
+		total := d.Int()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if total < 0 || total > d.Remaining()/8 {
+			return nil, fmt.Errorf("approxsel: gram index claims %d references", total)
+		}
+		backing := make([]WordRef, 0, total)
+		l.GramIndex = make(map[string][]WordRef, nGram)
+		for gi := 0; gi < nGram; gi++ {
+			cnt := int(d.U32())
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			rows := d.Raw(8*cnt, "gram index list")
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			if len(backing)+cnt > total {
+				return nil, fmt.Errorf("approxsel: gram index list %d overruns its table", gi)
+			}
+			start := len(backing)
+			for j := 0; j < cnt; j++ {
+				rec := binary.LittleEndian.Uint32(rows[8*j:])
+				word := binary.LittleEndian.Uint32(rows[8*j+4:])
+				if rec >= uint32(nrec) {
+					return nil, fmt.Errorf("approxsel: gram index record %d out of range", rec)
+				}
+				backing = append(backing, WordRef{Rec: int(rec), Word: int(int32(word))})
+			}
+			l.GramIndex[grams[gi]] = backing[start:len(backing):len(backing)]
+		}
+		// The dense word-id space rebuilds with the exact integer
+		// arithmetic of the assembly path.
+		l.WordOff = make([]int32, nrec)
+		off := 0
+		for i, vocab := range l.Vocab {
+			l.WordOff[i] = int32(off)
+			off += len(vocab)
+		}
+		l.WordTotal = off
+		l.WordRecOf = make([]int32, off)
+		l.GramSizeOf = make([]int32, off)
+		for i, sizes := range l.GramSizes {
+			base := l.WordOff[i]
+			for j, sz := range sizes {
+				l.WordRecOf[base+int32(j)] = int32(i)
+				l.GramSizeOf[base+int32(j)] = int32(sz)
+			}
+		}
+	}
+	if layers.Has(LayerSigs) {
+		totalSig := d.Int()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if totalSig < 0 || totalSig > d.Remaining()/8 {
+			return nil, fmt.Errorf("approxsel: signatures claim %d values", totalSig)
+		}
+		sigBacking := make([]uint64, 0, totalSig)
+		l.Sigs = make([][][]uint64, nrec)
+		for i := 0; i < nrec; i++ {
+			nw := int(d.U32())
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			if nw > d.Remaining()/4 {
+				return nil, fmt.Errorf("approxsel: signatures of record %d overrun payload", i)
+			}
+			sigs := make([][]uint64, nw)
+			for j := 0; j < nw; j++ {
+				k := int(d.U32())
+				if err := d.Err(); err != nil {
+					return nil, err
+				}
+				rows := d.Raw(8*k, "signature")
+				if err := d.Err(); err != nil {
+					return nil, err
+				}
+				if len(sigBacking)+k > totalSig {
+					return nil, fmt.Errorf("approxsel: signatures of record %d overrun their table", i)
+				}
+				start := len(sigBacking)
+				for v := 0; v < k; v++ {
+					sigBacking = append(sigBacking, binary.LittleEndian.Uint64(rows[8*v:]))
+				}
+				sigs[j] = sigBacking[start:len(sigBacking):len(sigBacking)]
+			}
+			l.Sigs[i] = sigs
+		}
+		total := d.Int()
+		nKeys := int(d.U32())
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if total < 0 || total > d.Remaining()/8 || nKeys < 0 || nKeys > d.Remaining()/16 {
+			return nil, fmt.Errorf("approxsel: signature index claims %d refs / %d keys", total, nKeys)
+		}
+		backing := make([]WordRef, 0, total)
+		l.SigIndex = make(map[SigKey][]WordRef, nKeys)
+		for ki := 0; ki < nKeys; ki++ {
+			slot := int(d.U32())
+			value := d.U64()
+			cnt := int(d.U32())
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			rows := d.Raw(8*cnt, "signature index list")
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			if len(backing)+cnt > total {
+				return nil, fmt.Errorf("approxsel: signature index list %d overruns its table", ki)
+			}
+			start := len(backing)
+			for j := 0; j < cnt; j++ {
+				rec := binary.LittleEndian.Uint32(rows[8*j:])
+				word := binary.LittleEndian.Uint32(rows[8*j+4:])
+				if rec >= uint32(nrec) {
+					return nil, fmt.Errorf("approxsel: signature index record %d out of range", rec)
+				}
+				backing = append(backing, WordRef{Rec: int(rec), Word: int(int32(word))})
+			}
+			l.SigIndex[SigKey{Slot: slot, Value: value}] = backing[start:len(backing):len(backing)]
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// ---- small deterministic sorts ----
+
+func sortRankTF(pairs []RankTF) {
+	slices.SortFunc(pairs, func(a, b RankTF) int { return int(a.Rank) - int(b.Rank) })
+}
+
+func sortStrings(ss []string) { slices.Sort(ss) }
+
+func sortSigKeys(ks []SigKey) {
+	slices.SortFunc(ks, func(a, b SigKey) int {
+		if a.Slot != b.Slot {
+			return a.Slot - b.Slot
+		}
+		switch {
+		case a.Value < b.Value:
+			return -1
+		case a.Value > b.Value:
+			return 1
+		}
+		return 0
+	})
+}

@@ -183,6 +183,11 @@ type BuildSettings struct {
 	Config      Config
 	Realization string
 	Corpus      *Corpus
+	// DataDir, when set by the WithDataDir option, makes OpenCorpus and
+	// OpenShardedCorpus durable: an existing approxstore in the directory is
+	// loaded instead of building from records, and every later mutation is
+	// write-ahead logged there.
+	DataDir string
 }
 
 // BuildOption configures predicate construction. The facade's functional

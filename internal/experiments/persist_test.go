@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunPersistSmall runs the persistence benchmark at a tiny scale: the
+// differential must hold, the replay load must reach the WAL tail's epoch
+// (RunPersist errors otherwise), and the artifact must round-trip.
+func TestRunPersistSmall(t *testing.T) {
+	r, err := RunPersist(PersistOptions{Records: 200, Loads: 2, WALEntries: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.DifferentialOK {
+		t.Fatal("restored corpus diverged from the built one")
+	}
+	if r.ColdBuildNS <= 0 || r.SnapshotLoadNS <= 0 || r.ReplayLoadNS <= 0 {
+		t.Fatalf("timings must be positive: %+v", r)
+	}
+	if r.SegmentBytes <= 0 {
+		t.Fatalf("segment size not measured: %+v", r)
+	}
+	if r.WALEntries != 5 {
+		t.Fatalf("wal entries: %d", r.WALEntries)
+	}
+
+	dir := t.TempDir()
+	if err := r.WriteJSON(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_persist.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PersistReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Fatalf("artifact round trip: %+v vs %+v", back, r)
+	}
+
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("snapshot load")) {
+		t.Fatalf("summary missing: %s", buf.String())
+	}
+}

@@ -128,6 +128,36 @@ type CreateCorpusRequest struct {
 	Records []RecordJSON `json:"records"`
 }
 
+// SnapshotRequest checkpoints one corpus's durable store.
+type SnapshotRequest struct {
+	Corpus string `json:"corpus,omitempty"`
+}
+
+// SnapshotResponse reports the durable state right after a checkpoint: the
+// WAL is empty and the snapshot epochs equal the corpus's current epochs.
+type SnapshotResponse struct {
+	Corpus string    `json:"corpus"`
+	Store  StoreInfo `json:"store"`
+}
+
+// StoreInfo is the wire form of one corpus's durable-state counters.
+type StoreInfo struct {
+	Corpus         string   `json:"corpus"`
+	Dir            string   `json:"dir"`
+	SnapshotEpochs []uint64 `json:"snapshot_epochs"`
+	SnapshotBytes  int64    `json:"snapshot_bytes"`
+	WALEntries     int      `json:"wal_entries"`
+	LastLoadUS     int64    `json:"last_load_us"`
+}
+
+// StoreStats is the store block of /v1/stats, present when the server runs
+// with a data directory.
+type StoreStats struct {
+	DataDir    string      `json:"data_dir"`
+	WALEntries int         `json:"wal_entries"`
+	Corpora    []StoreInfo `json:"corpora"`
+}
+
 // Stats is the /v1/stats response.
 type Stats struct {
 	UptimeSeconds float64                   `json:"uptime_seconds"`
@@ -143,6 +173,10 @@ type Stats struct {
 	// process-wide (every native selection in this server, across corpora
 	// and shards), the cost the result cache cannot hide.
 	HotPath HotPathStats `json:"hot_path"`
+	// Store reports the durable persistence state (snapshot epochs, WAL
+	// entry counts, last load duration) when the server runs with a data
+	// directory; omitted for a purely in-memory server.
+	Store *StoreStats `json:"store,omitempty"`
 }
 
 // HotPathStats is the wire form of the engine's pruning counters, plus the
@@ -187,6 +221,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/insert", s.admit(s.counted("insert", s.handleMutate(insertOp))))
 	mux.HandleFunc("POST /v1/upsert", s.admit(s.counted("upsert", s.handleMutate(upsertOp))))
 	mux.HandleFunc("POST /v1/delete", s.admit(s.counted("delete", s.handleDelete)))
+	mux.HandleFunc("POST /v1/snapshot", s.admit(s.counted("snapshot", s.handleSnapshot)))
 	mux.HandleFunc("POST /v1/corpora", s.admit(s.counted("corpora", s.handleCreateCorpus)))
 	mux.HandleFunc("GET /v1/corpora", s.counted("corpora", s.handleListCorpora))
 	mux.HandleFunc("GET /v1/stats", s.counted("stats", s.handleStats))
@@ -441,6 +476,24 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 
 // ---- mutation endpoints ----
 
+// mutationStatus distinguishes the failure classes of a mutation:
+// validation errors (duplicate TID, unknown TID) are the caller's fault
+// and stay 400; a batch that partially landed across shards is a plain
+// 500 — NOT retryable, the client must reconcile; an untouched-state
+// persistence failure (disk full, log sealed during drain) is 503, which
+// clients and load balancers retry.
+func mutationStatus(err error) int {
+	var part *approxsel.PartialMutationError
+	if errors.As(err, &part) {
+		return http.StatusInternalServerError
+	}
+	var pe *core.PersistenceError
+	if errors.As(err, &pe) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
 type mutateOp int
 
 const (
@@ -476,7 +529,7 @@ func (s *Server) handleMutate(op mutateOp) http.HandlerFunc {
 		n, epochs := h.sc.State()
 		h.mmu.Unlock()
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, err)
+			s.fail(w, mutationStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, MutateResponse{Len: n, Epochs: epochs})
@@ -503,10 +556,54 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	n, epochs := h.sc.State()
 	h.mmu.Unlock()
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, mutationStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, MutateResponse{Len: n, Epochs: epochs})
+}
+
+// handleSnapshot checkpoints one corpus's durable store: a fresh snapshot
+// segment per shard at the current epoch, the write-ahead log truncated,
+// and the manifest rewritten — the admin lever that bounds the next cold
+// start's replay work.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req SnapshotRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	h, err := s.corpus(req.Corpus)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	if !h.sc.Persistent() {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("server: corpus %q has no data directory", h.name))
+		return
+	}
+	// Checkpoints freeze mutations for the duration and are not
+	// interruptible; honor an already-expired deadline before starting.
+	if err := r.Context().Err(); err != nil {
+		s.fail(w, status(err), err)
+		return
+	}
+	if err := h.sc.Checkpoint(); err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	st, _ := h.sc.StoreStats()
+	writeJSON(w, http.StatusOK, SnapshotResponse{Corpus: h.name, Store: storeInfo(h.name, st)})
+}
+
+func storeInfo(name string, st approxsel.StoreStats) StoreInfo {
+	return StoreInfo{
+		Corpus:         name,
+		Dir:            st.Dir,
+		SnapshotEpochs: st.SnapshotEpochs,
+		SnapshotBytes:  st.SnapshotBytes,
+		WALEntries:     st.WALEntries,
+		LastLoadUS:     st.LastLoadDur.Microseconds(),
+	}
 }
 
 // ---- corpora and observability ----
@@ -568,6 +665,9 @@ func (s *Server) stats() Stats {
 	if uptime > 0 {
 		st.QPS = float64(st.Requests) / uptime
 	}
+	if s.cfg.DataDir != "" {
+		st.Store = &StoreStats{DataDir: s.cfg.DataDir}
+	}
 	for _, name := range s.corpusNames() {
 		h, err := s.corpus(name)
 		if err != nil {
@@ -580,6 +680,10 @@ func (s *Server) stats() Stats {
 			st.Cache.Misses += cs.Misses
 			st.Cache.Evictions += cs.Evictions
 			st.Cache.Entries += cs.Entries
+		}
+		if ss, ok := h.sc.StoreStats(); ok && st.Store != nil {
+			st.Store.Corpora = append(st.Store.Corpora, storeInfo(name, ss))
+			st.Store.WALEntries += ss.WALEntries
 		}
 	}
 	if total := st.Cache.Hits + st.Cache.Misses; total > 0 {

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestServePersistenceLifecycle drives the durable serving path end to end:
+// a server with a data directory builds and saves its corpus, mutations are
+// write-ahead logged, /v1/snapshot checkpoints (WAL truncates, snapshot
+// epochs advance), /v1/stats reports the store block — and a second server
+// over the same directory cold-starts to a bit-identical /v1/select
+// response at the same epoch vector without being given any records.
+func TestServePersistenceLifecycle(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := Config{Shards: 2, DataDir: dataDir}
+	s1 := New(cfg)
+	if err := s1.AddCorpus("main", testRecords(40)); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	sel := SelectRequest{Predicate: "BM25", Query: "international business", Limit: 5}
+	mut, code := post[MutateResponse](t, ts1, "/v1/insert", MutateRequest{
+		Records: []RecordJSON{{TID: 9001, Text: "International Business Machines Corporation"}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("insert: %d", code)
+	}
+
+	// The store block reports the logged mutation before any checkpoint.
+	stats, code := get[Stats](t, ts1, "/v1/stats")
+	if code != http.StatusOK || stats.Store == nil {
+		t.Fatalf("stats must carry a store block: %d %+v", code, stats.Store)
+	}
+	if stats.Store.DataDir != dataDir || stats.Store.WALEntries != 1 || len(stats.Store.Corpora) != 1 {
+		t.Fatalf("store block: %+v", stats.Store)
+	}
+	info := stats.Store.Corpora[0]
+	if info.Corpus != "main" || len(info.SnapshotEpochs) != 2 || info.SnapshotBytes <= 0 {
+		t.Fatalf("store info: %+v", info)
+	}
+
+	// Checkpoint: WAL truncates and the snapshot epochs catch up to the
+	// corpus's current epoch vector.
+	snap, code := post[SnapshotResponse](t, ts1, "/v1/snapshot", SnapshotRequest{Corpus: "main"})
+	if code != http.StatusOK {
+		t.Fatalf("snapshot: %d", code)
+	}
+	if snap.Store.WALEntries != 0 || !reflect.DeepEqual(snap.Store.SnapshotEpochs, mut.Epochs) {
+		t.Fatalf("post-checkpoint store: %+v (mutation epochs %v)", snap.Store, mut.Epochs)
+	}
+
+	// One more logged mutation after the checkpoint, so the cold start below
+	// exercises segment + WAL splicing, not just segment decode.
+	if _, code := post[MutateResponse](t, ts1, "/v1/delete", DeleteRequest{TIDs: []int{7}}); code != http.StatusOK {
+		t.Fatalf("delete: %d", code)
+	}
+	want, code := post[SelectResponse](t, ts1, "/v1/select", sel)
+	if code != http.StatusOK {
+		t.Fatalf("select: %d", code)
+	}
+	ts1.Close()
+	if err := s1.CloseStores(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold start: no records handed over — the store is the only source.
+	s2 := New(cfg)
+	if err := s2.AddCorpus("main", nil); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	got, code := post[SelectResponse](t, ts2, "/v1/select", sel)
+	if code != http.StatusOK {
+		t.Fatalf("select after cold start: %d", code)
+	}
+	if !reflect.DeepEqual(want.Matches, got.Matches) || !reflect.DeepEqual(want.Epochs, got.Epochs) {
+		t.Fatalf("cold start diverged:\nwant %+v @%v\ngot  %+v @%v", want.Matches, want.Epochs, got.Matches, got.Epochs)
+	}
+	stats2, _ := get[Stats](t, ts2, "/v1/stats")
+	if stats2.Store == nil || len(stats2.Store.Corpora) != 1 {
+		t.Fatalf("cold-start store block: %+v", stats2.Store)
+	}
+	if stats2.Store.Corpora[0].LastLoadUS <= 0 {
+		t.Fatalf("cold start must report a load duration: %+v", stats2.Store.Corpora[0])
+	}
+
+	// After CloseStores, the first server's mutation endpoints fail with
+	// 503 — the request was valid and retryable, not a caller fault —
+	// while selections keep serving (drain semantics).
+	ts1b := httptest.NewServer(s1.Handler())
+	defer ts1b.Close()
+	if _, code := post[MutateResponse](t, ts1b, "/v1/insert", MutateRequest{
+		Records: []RecordJSON{{TID: 9500, Text: "Too Late Inc"}},
+	}); code != http.StatusServiceUnavailable {
+		t.Fatalf("mutation after CloseStores must answer 503, got %d", code)
+	}
+	if _, code := post[SelectResponse](t, ts1b, "/v1/select", sel); code != http.StatusOK {
+		t.Fatalf("selection after CloseStores: %d", code)
+	}
+}
+
+// TestServeSnapshotErrors covers the admin endpoint's failure modes: no
+// data directory, unknown corpus.
+func TestServeSnapshotErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2}, 20)
+	if _, code := post[map[string]any](t, ts, "/v1/snapshot", SnapshotRequest{}); code != http.StatusBadRequest {
+		t.Fatalf("snapshot without a data dir: %d", code)
+	}
+	if _, code := post[map[string]any](t, ts, "/v1/snapshot", SnapshotRequest{Corpus: "nope"}); code != http.StatusNotFound {
+		t.Fatalf("snapshot of unknown corpus: %d", code)
+	}
+	// In-memory servers carry no store block.
+	stats, _ := get[Stats](t, ts, "/v1/stats")
+	if stats.Store != nil {
+		t.Fatalf("in-memory server must omit the store block: %+v", stats.Store)
+	}
+}
+
+// TestLoadStoredCorpora pins the restart path for runtime-created corpora:
+// every store under the data directory is restored by name — including
+// escaped names — and re-creating a stored corpus with records is refused
+// rather than silently loading the store and dropping the records.
+func TestLoadStoredCorpora(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := Config{Shards: 2, DataDir: dataDir}
+	s1 := New(cfg)
+	if err := s1.AddCorpus("main", testRecords(20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.AddCorpus("aux/v2", testRecords(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.CloseStores(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(cfg)
+	names, err := s2.LoadStoredCorpora()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || !s2.HasCorpus("main") || !s2.HasCorpus("aux/v2") {
+		t.Fatalf("restored corpora: %v", names)
+	}
+	ts := httptest.NewServer(s2.Handler())
+	defer ts.Close()
+	resp, code := post[SelectResponse](t, ts, "/v1/select", SelectRequest{
+		Corpus: "aux/v2", Predicate: "Jaccard", Query: "international", Limit: 3,
+	})
+	if code != http.StatusOK || len(resp.Epochs) != 2 {
+		t.Fatalf("select against restored runtime corpus: %d %+v", code, resp)
+	}
+
+	// Re-creating over an existing store with records must refuse, not
+	// silently drop the records.
+	s3 := New(cfg)
+	if err := s3.AddCorpus("main", testRecords(5)); err == nil {
+		t.Fatal("create-with-records over an existing store must fail")
+	}
+	if err := s3.AddCorpus("main", nil); err != nil {
+		t.Fatalf("records-free load must work: %v", err)
+	}
+	if err := s3.CloseStores(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeRejectsTraversalNames pins the DataDir containment guard: "."
+// and ".." survive url.PathEscape unchanged, so they must be rejected
+// outright or a durable corpus would be written outside its DataDir.
+func TestServeRejectsTraversalNames(t *testing.T) {
+	s := New(Config{Shards: 1, DataDir: t.TempDir()})
+	for _, name := range []string{".", ".."} {
+		if err := s.AddCorpus(name, testRecords(5)); err == nil {
+			t.Fatalf("corpus name %q must be rejected", name)
+		}
+	}
+	if err := s.AddCorpus("a/b", testRecords(5)); err != nil {
+		t.Fatalf("slashes are path-escaped and must stay legal: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(s.cfg.DataDir, "a%2Fb")); err != nil {
+		t.Fatalf("escaped corpus dir missing: %v", err)
+	}
+}

@@ -20,6 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
 	"runtime"
 	"slices"
 	"sort"
@@ -29,6 +32,7 @@ import (
 	approxsel "repro"
 	"repro/internal/core"
 	"repro/internal/server/cache"
+	"repro/internal/store"
 )
 
 // Config tunes the serving subsystem; the zero value selects sensible
@@ -54,6 +58,13 @@ type Config struct {
 	// exhaust memory regardless of admission. 0 selects 64 MiB; negative
 	// disables the cap.
 	MaxBodyBytes int64
+	// DataDir, when set, makes every corpus durable under
+	// DataDir/<escaped corpus name>: an existing store there is loaded on
+	// AddCorpus instead of rebuilding from records, mutation endpoints are
+	// write-ahead logged, POST /v1/snapshot checkpoints, and CloseStores
+	// (the daemon's graceful drain) fsyncs and seals the logs. Empty keeps
+	// the server purely in-memory.
+	DataDir string
 }
 
 const defaultCacheEntries = 4096
@@ -98,6 +109,10 @@ type Server struct {
 
 	mu      sync.RWMutex
 	corpora map[string]*corpusHandle
+	// creating holds names whose corpus build is in flight, so a racing
+	// create of the same name fails fast instead of double-touching one
+	// data directory.
+	creating map[string]bool
 
 	handler http.Handler
 }
@@ -105,9 +120,10 @@ type Server struct {
 // New returns a server with no corpora loaded.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:     cfg.withDefaults(),
-		met:     newMetrics(),
-		corpora: make(map[string]*corpusHandle),
+		cfg:      cfg.withDefaults(),
+		met:      newMetrics(),
+		corpora:  make(map[string]*corpusHandle),
+		creating: make(map[string]bool),
 	}
 	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
 	s.handler = s.routes()
@@ -125,23 +141,46 @@ func (s *Server) addCorpus(name string, records []approxsel.Record, shards int, 
 		return fmt.Errorf("server: empty corpus name")
 	}
 	// Control characters are rejected so corpus names can never spell out
-	// the cache-key field separator (cache.Key) and collide across corpora.
+	// the cache-key field separator (cache.Key) and collide across corpora;
+	// "." and ".." are rejected because url.PathEscape passes them through
+	// unchanged, which would let a durable corpus escape its DataDir.
 	for _, r := range name {
 		if r < 0x20 || r == 0x7f {
 			return fmt.Errorf("server: corpus name %q contains control characters", name)
 		}
 	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("server: corpus name %q is reserved", name)
+	}
 	if shards < 1 {
 		shards = s.cfg.Shards
 	}
-	// Fail fast on a taken name before paying for the corpus build; the
-	// insert below re-checks under the same lock for racing creators.
-	s.mu.RLock()
-	_, taken := s.corpora[name]
-	s.mu.RUnlock()
-	if taken {
+	if s.cfg.DataDir != "" {
+		dir := s.corpusDir(name)
+		// Creating with records over an existing store would silently drop
+		// the records (the store wins inside OpenShardedCorpus) — refuse
+		// instead; loading is a records-free AddCorpus or LoadStoredCorpora.
+		if len(records) > 0 && (store.HasManifest(dir) || store.Exists(dir)) {
+			return fmt.Errorf("server: corpus %q already has a store in %s; load it with no records (the store wins)", name, dir)
+		}
+		opts = append(opts, approxsel.WithDataDir(dir))
+	}
+	// Reserve the name before paying for the build: a durable create has
+	// on-disk side effects (segment writes, WAL creation), so two racing
+	// creators of one name must never both reach OpenShardedCorpus — the
+	// loser would truncate the WAL the winner is already appending to.
+	s.mu.Lock()
+	if _, ok := s.corpora[name]; ok || s.creating[name] {
+		s.mu.Unlock()
 		return fmt.Errorf("server: corpus %q: %w", name, errCorpusExists)
 	}
+	s.creating[name] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.creating, name)
+		s.mu.Unlock()
+	}()
 	sc, err := approxsel.OpenShardedCorpus(records, shards, opts...)
 	if err != nil {
 		return err
@@ -156,11 +195,77 @@ func (s *Server) addCorpus(name string, records []approxsel.Record, shards int, 
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.corpora[name]; ok {
-		return fmt.Errorf("server: corpus %q: %w", name, errCorpusExists)
-	}
 	s.corpora[name] = h
 	return nil
+}
+
+// corpusDir is the data directory of one corpus: the name is path-escaped
+// so it can never traverse outside DataDir.
+func (s *Server) corpusDir(name string) string {
+	return filepath.Join(s.cfg.DataDir, url.PathEscape(name))
+}
+
+// HasCorpus reports whether a corpus is loaded under the name.
+func (s *Server) HasCorpus(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.corpora[name]
+	return ok
+}
+
+// LoadStoredCorpora scans the data directory and loads every stored corpus
+// found there — the restart path for corpora created at runtime through
+// POST /v1/corpora, which would otherwise be unreachable until re-created.
+// It returns the loaded names in directory order. A server without a data
+// directory is a no-op.
+func (s *Server) LoadStoredCorpora() ([]string, error) {
+	if s.cfg.DataDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.cfg.DataDir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	var loaded []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		// Server corpora are always sharded, so a loadable store has a
+		// manifest; other directories are not ours to touch.
+		if !store.HasManifest(filepath.Join(s.cfg.DataDir, e.Name())) {
+			continue
+		}
+		name, err := url.PathUnescape(e.Name())
+		if err != nil || name == "" {
+			continue
+		}
+		if err := s.addCorpus(name, nil, 0); err != nil {
+			return loaded, fmt.Errorf("server: loading stored corpus %q: %w", name, err)
+		}
+		loaded = append(loaded, name)
+	}
+	return loaded, nil
+}
+
+// CloseStores fsyncs and seals every durable corpus's write-ahead log —
+// the graceful-drain step of the daemon. After it, mutation endpoints fail
+// (nothing can land unlogged) while selections keep serving; a purely
+// in-memory server is untouched. The first error is reported, but every
+// store is still closed.
+func (s *Server) CloseStores() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var first error
+	for _, h := range s.corpora {
+		if err := h.sc.CloseStore(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // corpus resolves a corpus by name; an empty name resolves when exactly one

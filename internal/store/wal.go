@@ -1,0 +1,193 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/store/segment"
+)
+
+// The write-ahead log: an append-only file of epoch-stamped mutation
+// batches. Every entry is individually CRC-framed, so a torn tail (the
+// process died mid-append) is detected and truncated on the next open —
+// every fully-written entry before it replays, nothing after it is
+// trusted. Entries carry the epoch the corpus moved to when the batch
+// applied; replay skips entries at or below the snapshot's epoch (the
+// crash-between-checkpoint-steps window) and demands a gap-free sequence
+// above it.
+
+// WALMagic identifies a write-ahead log file.
+const WALMagic = "APXWAL01"
+
+const walHeaderSize = 12 // 8-byte magic + u32 version
+
+// maxWALEntrySize bounds one entry's payload (1 GiB, the segment format's
+// section bound). The frame length is a u32: a larger payload would wrap,
+// write a frame the replay scanner mistakes for a torn tail, and silently
+// lose the acknowledged batch — so the append must fail instead.
+const maxWALEntrySize = 1 << 30
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// walEntry is one decoded mutation batch.
+type walEntry struct {
+	kind  core.MutationKind
+	epoch uint64
+	add   []core.Record
+	del   []int
+}
+
+// encodeWALEntry frames one mutation batch: [len u32][payload][crc u32].
+func encodeWALEntry(m core.Mutation) []byte {
+	e := segment.NewEncoder(64 + 32*len(m.Add) + 8*len(m.Del))
+	e.U8(uint8(m.Kind))
+	e.U64(m.Epoch)
+	e.U32(uint32(len(m.Add)))
+	for _, r := range m.Add {
+		e.I64(int64(r.TID))
+		e.Str(r.Text)
+	}
+	e.U32(uint32(len(m.Del)))
+	for _, tid := range m.Del {
+		e.I64(int64(tid))
+	}
+	payload := e.Bytes()
+	out := make([]byte, 0, len(payload)+8)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, walCRC))
+	return out
+}
+
+func decodeWALPayload(payload []byte) (walEntry, error) {
+	d := segment.NewDecoder(payload)
+	w := walEntry{kind: core.MutationKind(d.U8()), epoch: d.U64()}
+	nAdd := int(d.U32())
+	if err := d.Err(); err != nil {
+		return w, err
+	}
+	if nAdd > d.Remaining()/12 {
+		return w, fmt.Errorf("wal entry claims %d records", nAdd)
+	}
+	for i := 0; i < nAdd; i++ {
+		w.add = append(w.add, core.Record{TID: int(d.I64()), Text: d.Str()})
+	}
+	nDel := int(d.U32())
+	if err := d.Err(); err != nil {
+		return w, err
+	}
+	if nDel > d.Remaining()/8 {
+		return w, fmt.Errorf("wal entry claims %d deletes", nDel)
+	}
+	for i := 0; i < nDel; i++ {
+		w.del = append(w.del, int(d.I64()))
+	}
+	if err := d.Finish(); err != nil {
+		return w, err
+	}
+	switch w.kind {
+	case core.MutationInsert, core.MutationDelete, core.MutationUpsert:
+	default:
+		return w, fmt.Errorf("wal entry has unknown op %d", w.kind)
+	}
+	return w, nil
+}
+
+// scanWAL decodes the entries of a WAL file's contents. It stops cleanly at
+// a torn tail — a truncated frame or a CRC mismatch ends the scan — and
+// returns the byte offset just past the last fully valid entry, so the
+// opener can truncate the file there before appending. A malformed header
+// is an error: that is not a torn write but a foreign or corrupted file.
+func scanWAL(data []byte) (entries []walEntry, goodOffset int64, err error) {
+	if len(data) < walHeaderSize {
+		return nil, 0, fmt.Errorf("approxstore: wal header truncated (%d bytes)", len(data))
+	}
+	if string(data[:8]) != WALMagic {
+		return nil, 0, fmt.Errorf("approxstore: bad wal magic %q", data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != segment.Version {
+		return nil, 0, fmt.Errorf("approxstore: unsupported wal version %d", v)
+	}
+	off := int64(walHeaderSize)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return entries, off, nil
+		}
+		if len(rest) < 8 {
+			return entries, off, nil // torn frame header
+		}
+		n := int(binary.LittleEndian.Uint32(rest[:4]))
+		if n < 0 || 4+n+4 > len(rest) {
+			return entries, off, nil // torn payload
+		}
+		payload := rest[4 : 4+n]
+		crc := binary.LittleEndian.Uint32(rest[4+n : 8+n])
+		if crc32.Checksum(payload, walCRC) != crc {
+			return entries, off, nil // torn or corrupt entry: stop trusting the file here
+		}
+		entry, err := decodeWALPayload(payload)
+		if err != nil {
+			return entries, off, nil
+		}
+		entries = append(entries, entry)
+		off += int64(8 + n)
+	}
+}
+
+// createWAL writes a fresh, empty log (header only) and syncs it.
+func createWAL(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr []byte
+	hdr = append(hdr, WALMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, segment.Version)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// openWALForAppend opens an existing log (creating it when missing), scans
+// its entries, truncates any torn tail, and returns the handle together
+// with the append offset (the end of the last fully valid entry).
+func openWALForAppend(path string) (*os.File, []walEntry, int64, error) {
+	data, err := os.ReadFile(path)
+	// A file shorter than the header is a torn header: the checkpoint's
+	// O_TRUNC landed but the 12 header bytes did not all reach disk before
+	// a crash. No entry can exist in such a file, so recreate it — the
+	// same recovery the torn-entry path gets — instead of bricking the
+	// store behind a permanent open error.
+	if os.IsNotExist(err) || (err == nil && len(data) < walHeaderSize) {
+		f, cerr := createWAL(path)
+		return f, nil, walHeaderSize, cerr
+	}
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	entries, good, err := scanWAL(data)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if good < int64(len(data)) {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, 0, err
+		}
+	}
+	return f, entries, good, nil
+}

@@ -9,6 +9,7 @@
 package weights
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -193,6 +194,68 @@ func (c *Corpus) TFIDF(counts map[string]int) map[string]float64 {
 		out[t] = float64(counts[t]) * c.idfKnown(t) / norm
 	}
 	return out
+}
+
+// ---- persistence ----
+
+// StatsData is the flat, rank-indexed form of a Corpus used by the
+// persistence layer: every map keyed by position in the sorted token order
+// (the same order SortedTokens returns), so a statistics table serializes
+// as three arrays instead of string-keyed maps.
+type StatsData struct {
+	N      int
+	CS     int
+	AvgDL  float64
+	AvgIDF float64
+	DF     []int64
+	CF     []int64
+	SumPML []float64
+}
+
+// Export flattens the corpus statistics over the given token order, which
+// must be exactly SortedTokens() of this corpus.
+func (c *Corpus) Export(tokens []string) StatsData {
+	d := StatsData{
+		N:      c.n,
+		CS:     c.cs,
+		AvgDL:  c.avgdl,
+		AvgIDF: c.avgIDF,
+		DF:     make([]int64, len(tokens)),
+		CF:     make([]int64, len(tokens)),
+		SumPML: make([]float64, len(tokens)),
+	}
+	for i, t := range tokens {
+		d.DF[i] = int64(c.df[t])
+		d.CF[i] = int64(c.cf[t])
+		d.SumPML[i] = c.sumPML[t]
+	}
+	return d
+}
+
+// FromData rebuilds a Corpus from its flat form. The scalar statistics
+// (including the float averages) are restored bit-exactly from the data
+// rather than recomputed, so a restored corpus answers every weight lookup
+// with the same bits as the corpus Export flattened.
+func FromData(tokens []string, d StatsData) (*Corpus, error) {
+	if len(d.DF) != len(tokens) || len(d.CF) != len(tokens) || len(d.SumPML) != len(tokens) {
+		return nil, fmt.Errorf("weights: stats arrays (%d/%d/%d entries) do not match %d tokens",
+			len(d.DF), len(d.CF), len(d.SumPML), len(tokens))
+	}
+	c := &Corpus{
+		n:      d.N,
+		cs:     d.CS,
+		avgdl:  d.AvgDL,
+		avgIDF: d.AvgIDF,
+		df:     make(map[string]int, len(tokens)),
+		cf:     make(map[string]int, len(tokens)),
+		sumPML: make(map[string]float64, len(tokens)),
+	}
+	for i, t := range tokens {
+		c.df[t] = int(d.DF[i])
+		c.cf[t] = int(d.CF[i])
+		c.sumPML[t] = d.SumPML[i]
+	}
+	return c, nil
 }
 
 // BM25Params are the free parameters of the BM25 predicate. The paper sets

@@ -1,0 +1,384 @@
+package approxsel
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// The facade-level persistence acceptance suite: save→load and
+// save→mutate→crash→replay must yield bit-identical scores, tie order and
+// epoch versus a never-persisted corpus, for all thirteen native
+// predicates.
+
+// persistQueries exercises exact hits, near-misses and no-token-overlap
+// queries against the facade relation.
+func persistQueries(records []Record) []string {
+	return []string{
+		records[0].Text,
+		records[7].Text + " inc",
+		records[3].Text,
+		"international business machines",
+		"zzzz",
+	}
+}
+
+// matchesBitIdentical is the strict form of matchesEqual: scores must agree
+// bit for bit, not merely compare equal (== cannot tell 0.0 from -0.0).
+func matchesBitIdentical(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].TID != b[i].TID || math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+			return false
+		}
+	}
+	return true
+}
+
+// assertPredicatesBitIdentical attaches every canonical native predicate to
+// both corpora and compares full rankings on every query.
+func assertPredicatesBitIdentical(t *testing.T, want, got interface {
+	Predicate(string, ...BuildOption) (Predicate, error)
+}, queries []string) {
+	t.Helper()
+	for _, name := range core.PredicateNames {
+		wp, err := want.Predicate(name)
+		if err != nil {
+			t.Fatalf("attach %s to control: %v", name, err)
+		}
+		gp, err := got.Predicate(name)
+		if err != nil {
+			t.Fatalf("attach %s to restored: %v", name, err)
+		}
+		for _, q := range queries {
+			wms, err := wp.Select(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gms, err := gp.Select(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matchesBitIdentical(wms, gms) {
+				t.Fatalf("%s query %q: restored ranking diverged\nwant: %+v\ngot:  %+v", name, q, wms, gms)
+			}
+		}
+	}
+}
+
+func TestSaveLoadBitIdenticalAllPredicates(t *testing.T) {
+	records := facadeRecords()
+	dir := filepath.Join(t.TempDir(), "corpus")
+	c, err := OpenCorpus(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCorpus(dir, c); err != nil {
+		t.Fatal(err)
+	}
+	lc, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Epoch() != c.Epoch() || lc.Len() != c.Len() {
+		t.Fatalf("restored state: epoch %d len %d, want %d/%d", lc.Epoch(), lc.Len(), c.Epoch(), c.Len())
+	}
+	assertPredicatesBitIdentical(t, c, lc, persistQueries(records))
+	// A loaded corpus never re-tokenizes: attaching the full suite reads the
+	// decoded tables directly.
+	if got := lc.c.TokenizePasses(); got != 0 {
+		t.Fatalf("loaded corpus tokenized %d times", got)
+	}
+	// SaveCorpus leaves the source corpus un-attached: it keeps mutating.
+	if c.Persistent() {
+		t.Fatal("SaveCorpus must not attach the corpus")
+	}
+	if err := c.Insert(Record{TID: 9000, Text: "Still Mutable Inc"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableCorpusCrashReplayDifferential(t *testing.T) {
+	records := facadeRecords()
+	dir := filepath.Join(t.TempDir(), "corpus")
+	control, err := OpenCorpus(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable, err := OpenCorpus(records, WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !durable.Persistent() {
+		t.Fatal("WithDataDir must attach the store")
+	}
+	mutate := func(c *Corpus) {
+		t.Helper()
+		if err := c.Insert(Record{TID: 900, Text: "Stanley Morgan Incorporated"},
+			Record{TID: 901, Text: "Redwood Energy Holdings"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Delete(3, 11); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Upsert(Record{TID: 900, Text: "Morgan Stanley Inc"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mutate(control)
+	mutate(durable)
+	st, ok := durable.StoreStats()
+	if !ok || st.WALEntries != 3 || len(st.SnapshotEpochs) != 1 || st.SnapshotEpochs[0] != 0 {
+		t.Fatalf("store stats after three logged mutations: %+v ok=%v", st, ok)
+	}
+
+	// Crash: the durable corpus is abandoned without CloseStore. Acknowledged
+	// mutations are already in the WAL — replay must reach the exact
+	// pre-crash epoch.
+	restored, err := OpenCorpus(nil, WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.CloseStore()
+	if restored.Epoch() != control.Epoch() {
+		t.Fatalf("replayed epoch %d, control %d", restored.Epoch(), control.Epoch())
+	}
+	assertPredicatesBitIdentical(t, control, restored, persistQueries(records))
+
+	// The restored corpus keeps logging: one more mutation, one more entry.
+	if err := restored.Insert(Record{TID: 950, Text: "After The Crash LLC"}); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := restored.StoreStats(); st.WALEntries != 4 {
+		t.Fatalf("wal entries after post-replay insert: %+v", st)
+	}
+}
+
+func TestDurableCorpusCheckpoint(t *testing.T) {
+	records := facadeRecords()[:30]
+	dir := filepath.Join(t.TempDir(), "corpus")
+	c, err := OpenCorpus(records, WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(Record{TID: 900, Text: "Checkpoint Fodder Co"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.StoreStats()
+	if st.WALEntries != 0 || st.SnapshotEpochs[0] != 1 || st.SnapshotBytes <= 0 {
+		t.Fatalf("stats after checkpoint: %+v", st)
+	}
+	// Post-checkpoint mutations replay on top of the new segment.
+	if err := c.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SyncStore(); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenCorpus(nil, WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.CloseStore()
+	if restored.Epoch() != 2 || restored.Len() != c.Len() {
+		t.Fatalf("restored epoch %d len %d", restored.Epoch(), restored.Len())
+	}
+
+	// CloseStore seals the log: further mutations must fail, selections keep
+	// working.
+	if err := c.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(Record{TID: 1000, Text: "Unlogged"}); err == nil {
+		t.Fatal("mutation after CloseStore must fail")
+	}
+	p, err := c.Predicate("BM25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Select(records[0].Text); err != nil {
+		t.Fatalf("selection after CloseStore: %v", err)
+	}
+}
+
+func TestDurableShardedCorpusCrashReplay(t *testing.T) {
+	records := facadeRecords()
+	root := filepath.Join(t.TempDir(), "sharded")
+	control, err := OpenShardedCorpus(records, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable, err := OpenShardedCorpus(records, 3, WithDataDir(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !durable.Persistent() {
+		t.Fatal("WithDataDir must attach the sharded store")
+	}
+	mutate := func(s *ShardedCorpus) {
+		t.Helper()
+		if err := s.Insert(Record{TID: 900, Text: "Stanley Morgan Incorporated"},
+			Record{TID: 901, Text: "Redwood Energy Holdings"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete(3, 11); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Upsert(Record{TID: 901, Text: "Redwood Energy Holdings Ltd"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mutate(control)
+	mutate(durable)
+	// Mid-history checkpoint, then more mutations: the reopened corpus must
+	// splice segment + WAL correctly per shard.
+	if err := durable.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := control.Insert(Record{TID: 950, Text: "Post Checkpoint Co"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := durable.Insert(Record{TID: 950, Text: "Post Checkpoint Co"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash (no CloseStore), then reopen. The manifest fixes the shard
+	// count: the records and shard arguments are ignored.
+	restored, err := OpenShardedCorpus(nil, 99, WithDataDir(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.CloseStore()
+	if restored.Shards() != 3 {
+		t.Fatalf("manifest must fix the shard count, got %d", restored.Shards())
+	}
+	wantN, wantE := control.State()
+	gotN, gotE := restored.State()
+	if wantN != gotN || len(wantE) != len(gotE) {
+		t.Fatalf("restored state %d/%v, control %d/%v", gotN, gotE, wantN, wantE)
+	}
+	for i := range wantE {
+		if wantE[i] != gotE[i] {
+			t.Fatalf("shard %d epoch %d, control %d", i, gotE[i], wantE[i])
+		}
+	}
+	assertPredicatesBitIdentical(t, control, restored, persistQueries(records))
+
+	st, ok := restored.StoreStats()
+	if !ok || len(st.SnapshotEpochs) != 3 || st.SnapshotBytes <= 0 {
+		t.Fatalf("sharded store stats: %+v ok=%v", st, ok)
+	}
+}
+
+func TestPersistenceErrors(t *testing.T) {
+	if err := SaveCorpus(t.TempDir(), nil); err == nil {
+		t.Fatal("SaveCorpus(nil) must fail")
+	}
+	if _, err := LoadCorpus(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("LoadCorpus of a missing dir must fail")
+	}
+	c, err := OpenCorpus(facadeRecords()[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Persistent() {
+		t.Fatal("in-memory corpus must not report persistent")
+	}
+	if err := c.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint without a data dir must fail")
+	}
+	if err := c.SyncStore(); err != nil {
+		t.Fatalf("SyncStore without a data dir is a no-op: %v", err)
+	}
+	if err := c.CloseStore(); err != nil {
+		t.Fatalf("CloseStore without a data dir is a no-op: %v", err)
+	}
+	s, err := OpenShardedCorpus(facadeRecords()[:10], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Persistent() {
+		t.Fatal("in-memory sharded corpus must not report persistent")
+	}
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("sharded Checkpoint without a data dir must fail")
+	}
+	if _, ok := s.StoreStats(); ok {
+		t.Fatal("sharded StoreStats without a data dir must report !ok")
+	}
+}
+
+// TestNewRejectsDataDir pins the option-surface contract: WithDataDir is
+// only meaningful on OpenCorpus/OpenShardedCorpus, and New must say so
+// instead of silently dropping the durability the caller asked for.
+func TestNewRejectsDataDir(t *testing.T) {
+	_, err := New("BM25", facadeRecords()[:5], WithDataDir(t.TempDir()))
+	if err == nil {
+		t.Fatal("New with WithDataDir must error")
+	}
+}
+
+// TestShardEpochRegressionDetected pins the manifest consistency check: a
+// shard that replays below the manifest's checkpoint epoch has lost
+// acknowledged state, and the open must fail rather than serve a
+// cross-shard-inconsistent corpus.
+func TestShardEpochRegressionDetected(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "sharded")
+	s, err := OpenShardedCorpus(facadeRecords(), 2, WithDataDir(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.ReadManifest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Epochs[1] += 3 // claim a checkpoint the shard never reached
+	if err := store.WriteManifest(root, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShardedCorpus(nil, 0, WithDataDir(root)); err == nil {
+		t.Fatal("a shard below the manifest epoch must fail the open")
+	}
+}
+
+// TestDataDirFlavorMismatch pins the cross-flavor guard: a directory
+// holding one store layout must not be silently re-seeded by the other
+// opener (which would serve a corpus missing every logged mutation).
+func TestDataDirFlavorMismatch(t *testing.T) {
+	records := facadeRecords()[:15]
+
+	shardedDir := filepath.Join(t.TempDir(), "sharded")
+	s, err := OpenShardedCorpus(records, 2, WithDataDir(shardedDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCorpus(records, WithDataDir(shardedDir)); err == nil {
+		t.Fatal("OpenCorpus over a sharded store must fail, not re-seed")
+	}
+
+	plainDir := filepath.Join(t.TempDir(), "plain")
+	c, err := OpenCorpus(records, WithDataDir(plainDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShardedCorpus(records, 2, WithDataDir(plainDir)); err == nil {
+		t.Fatal("OpenShardedCorpus over a plain store must fail, not re-seed")
+	}
+}

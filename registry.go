@@ -3,6 +3,7 @@ package approxsel
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -145,6 +146,30 @@ func PredicateNames() []string {
 	return out
 }
 
+// namesLocked returns every predicate name resolvable under the
+// realization, sorted — the hint appended to unknown-name errors. Callers
+// hold the registry lock.
+func (pr *predicateRegistry) namesLocked(r Realization) []string {
+	table := pr.builtins[r]
+	out := make([]string, 0, len(table)+len(pr.custom))
+	for n := range table {
+		out = append(out, n)
+	}
+	for n := range pr.custom {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// unknownPredicate builds the unknown-name error, listing what is actually
+// registerable so the caller does not have to guess. Callers hold the
+// registry lock.
+func unknownPredicate(r Realization, name string) error {
+	return fmt.Errorf("approxsel: unknown predicate %q (realization %s); registered predicates: %s",
+		name, r, strings.Join(registry.namesLocked(r), ", "))
+}
+
 // lookupBuilder resolves a predicate name under a realization.
 func lookupBuilder(r Realization, name string) (BuilderFunc, error) {
 	registry.mu.RLock()
@@ -159,7 +184,7 @@ func lookupBuilder(r Realization, name string) (BuilderFunc, error) {
 	if b, ok := registry.custom[name]; ok {
 		return b, nil
 	}
-	return nil, fmt.Errorf("approxsel: unknown predicate %q (realization %s)", name, r)
+	return nil, unknownPredicate(r, name)
 }
 
 // lookupAttach resolves a predicate name under a realization for corpus
@@ -184,5 +209,5 @@ func lookupAttach(r Realization, name string) (CorpusBuilderFunc, BuilderFunc, e
 	if b, ok := registry.custom[name]; ok {
 		return nil, b, nil
 	}
-	return nil, nil, fmt.Errorf("approxsel: unknown predicate %q (realization %s)", name, r)
+	return nil, nil, unknownPredicate(r, name)
 }

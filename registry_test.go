@@ -122,6 +122,49 @@ func TestNewUnknown(t *testing.T) {
 	}
 }
 
+// TestUnknownPredicateListsRegistered pins the discoverability contract:
+// the unknown-name error of New and Corpus.Predicate names every
+// registerable predicate, sorted, including Register-ed customs.
+func TestUnknownPredicateListsRegistered(t *testing.T) {
+	MustRegister("AAListedCustom", func(records []Record, cfg Config) (Predicate, error) {
+		return New("Jaccard", records, cfg)
+	})
+	defer func() {
+		if err := Unregister("AAListedCustom"); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	records := facadeRecords()[:5]
+	_, err := New("NoSuchPredicate", records)
+	if err == nil {
+		t.Fatal("unknown predicate must error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "registered predicates:") {
+		t.Fatalf("error must list registered predicates: %s", msg)
+	}
+	// Sorted: the custom sorts before every built-in, BM25 before Cosine.
+	for _, probe := range []string{"AAListedCustom", "BM25", "Cosine", "EditDistance"} {
+		if !strings.Contains(msg, probe) {
+			t.Fatalf("error must name %s: %s", probe, msg)
+		}
+	}
+	if strings.Index(msg, "AAListedCustom") > strings.Index(msg, "BM25") ||
+		strings.Index(msg, "BM25") > strings.Index(msg, "Cosine") {
+		t.Fatalf("registered names must be sorted: %s", msg)
+	}
+
+	// The corpus attach path reports the same hint.
+	c, err := OpenCorpus(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Predicate("NoSuchPredicate")
+	if err == nil || !strings.Contains(err.Error(), "registered predicates:") {
+		t.Fatalf("Corpus.Predicate must list registered predicates: %v", err)
+	}
+}
+
 func TestBuildOptionsCompose(t *testing.T) {
 	records := facadeRecords()
 	// WithConfig replaces wholesale; later options still apply on top.

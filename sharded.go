@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/store"
 )
 
 // ShardedCorpus partitions the base relation across N shared Corpus shards
@@ -33,6 +34,13 @@ type ShardedCorpus struct {
 	cfg    Config
 	shards []*core.Corpus
 	mu     sync.Mutex // serializes mutations across shards
+
+	// root and logs hold the approxstore attachment when the corpus was
+	// opened with WithDataDir: one per-shard write-ahead log under one
+	// manifest keyed by the shard-epoch vector. Both are nil/empty for a
+	// purely in-memory corpus.
+	root string
+	logs []*store.Log
 }
 
 // OpenShardedCorpus tokenizes the base relation once, partitioned across
@@ -53,14 +61,39 @@ func OpenShardedCorpus(records []Record, shards int, opts ...BuildOption) (*Shar
 	if settings.Corpus != nil {
 		return nil, fmt.Errorf("approxsel: WithCorpus is not a valid OpenShardedCorpus option")
 	}
+	if root := settings.DataDir; root != "" {
+		// Durable sharded corpus: an existing manifest wins over the records
+		// and shard-count arguments — the stored layout fixes both (a record's
+		// home shard must never change across restarts).
+		if store.HasManifest(root) {
+			return openStoredShards(root)
+		}
+		if store.Exists(root) {
+			return nil, fmt.Errorf("approxsel: %s holds a plain corpus store; open it with OpenCorpus", root)
+		}
+		s, err := buildShards(records, shards, settings.Config)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.attachStore(root); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return buildShards(records, shards, settings.Config)
+}
+
+// buildShards partitions and tokenizes the relation across shards in
+// parallel — the in-memory construction path of OpenShardedCorpus.
+func buildShards(records []Record, shards int, cfg Config) (*ShardedCorpus, error) {
 	parts := make([][]Record, shards)
 	for _, r := range records {
 		i := shardOf(r.TID, shards)
 		parts[i] = append(parts[i], r)
 	}
-	s := &ShardedCorpus{cfg: settings.Config, shards: make([]*core.Corpus, shards)}
+	s := &ShardedCorpus{cfg: cfg, shards: make([]*core.Corpus, shards)}
 	_, err := core.RunJobs(context.Background(), shards, 0, func(i int) error {
-		c, err := core.NewCorpus(parts[i], settings.Config, core.AllLayers)
+		c, err := core.NewCorpus(parts[i], cfg, core.AllLayers)
 		if err != nil {
 			return err
 		}
@@ -70,6 +103,65 @@ func OpenShardedCorpus(records []Record, shards int, opts ...BuildOption) (*Shar
 	if err != nil {
 		return nil, err
 	}
+	return s, nil
+}
+
+// attachStore initializes root as the data directory of a freshly built
+// sharded corpus: one store per shard, then the manifest naming the layout
+// and the shard-epoch vector.
+func (s *ShardedCorpus) attachStore(root string) error {
+	s.root = root
+	s.logs = make([]*store.Log, len(s.shards))
+	_, err := core.RunJobs(context.Background(), len(s.shards), 0, func(i int) error {
+		l, err := store.Create(store.ShardDir(root, i), s.shards[i])
+		if err != nil {
+			return err
+		}
+		s.logs[i] = l
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return store.WriteManifest(root, store.Manifest{Version: 1, Shards: len(s.shards), Epochs: s.Epochs()})
+}
+
+// openStoredShards restores a sharded corpus from its manifest: every shard
+// loads its newest segment and replays its WAL in parallel, reaching the
+// exact pre-crash shard-epoch vector.
+func openStoredShards(root string) (*ShardedCorpus, error) {
+	m, err := store.ReadManifest(root)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedCorpus{
+		root:   root,
+		shards: make([]*core.Corpus, m.Shards),
+		logs:   make([]*store.Log, m.Shards),
+	}
+	_, err = core.RunJobs(context.Background(), m.Shards, 0, func(i int) error {
+		l, err := store.Open(store.ShardDir(root, i))
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards[i] = l.Corpus()
+		s.logs[i] = l
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The manifest's epoch vector names the global version of the last
+	// checkpoint; every shard must replay to at least it. A shard below it
+	// regressed — a corrupt newest segment fell back to an older one whose
+	// WAL a checkpoint already truncated — and serving a cross-shard-
+	// inconsistent corpus as if healthy is worse than failing the start.
+	for i, c := range s.shards {
+		if c.Epoch() < m.Epochs[i] {
+			return nil, fmt.Errorf("approxsel: shard %d replayed to epoch %d, below the manifest's checkpoint epoch %d — its store has lost acknowledged state", i, c.Epoch(), m.Epochs[i])
+		}
+	}
+	s.cfg = s.shards[0].Config()
 	return s, nil
 }
 
@@ -218,24 +310,47 @@ func (s *ShardedCorpus) mutate(add []Record, del []int, upsert bool) error {
 		}
 		addBy[sh] = append(addBy[sh], r)
 	}
+	applied := make([]bool, n)
 	_, err := core.RunJobs(context.Background(), n, 0, func(i int) error {
 		if len(addBy[i]) == 0 && len(delBy[i]) == 0 {
 			return nil
 		}
+		// A batch is adds XOR deletes, so each shard's sub-batch is one
+		// atomic core mutation: a shard either fully applied or is
+		// untouched.
 		if len(delBy[i]) > 0 {
 			if err := s.shards[i].Delete(delBy[i]...); err != nil {
 				return err
 			}
+		} else if upsert {
+			if err := s.shards[i].Upsert(addBy[i]...); err != nil {
+				return err
+			}
+		} else if err := s.shards[i].Insert(addBy[i]...); err != nil {
+			return err
 		}
-		if len(addBy[i]) == 0 {
-			return nil
-		}
-		if upsert {
-			return s.shards[i].Upsert(addBy[i]...)
-		}
-		return s.shards[i].Insert(addBy[i]...)
+		applied[i] = true
+		return nil
 	})
-	return err
+	if err != nil {
+		// Validation ran up front against every shard, so a failure here is
+		// a persistence/internal error after some shards may already have
+		// applied (and logged) their sub-batches. That partial state must
+		// not masquerade as a cleanly-retryable failure: report it
+		// explicitly so callers (and the server's status mapping) can tell
+		// "nothing happened, retry" from "the batch is half-landed".
+		var partial []int
+		for i, ok := range applied {
+			if ok {
+				partial = append(partial, i)
+			}
+		}
+		if len(partial) > 0 {
+			return &PartialMutationError{Err: err, Applied: partial}
+		}
+		return err
+	}
+	return nil
 }
 
 // ---- the fan-out predicate view ----
