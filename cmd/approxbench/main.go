@@ -8,9 +8,10 @@
 //	approxbench -scale 1         # paper scale (5000-tuple datasets, 500 queries)
 //	approxbench -exp figure5.3   # a single experiment
 //	approxbench -impl native     # measure the in-memory realization instead
-//	approxbench -exp bench -benchjson out/   # machine-readable BENCH_preprocess/select/serve/hotpath/persist .json
+//	approxbench -exp bench -benchjson out/   # machine-readable BENCH_preprocess/select/serve/hotpath/persist/watch .json
 //	approxbench -exp hotpath -benchjson out/ # only the selection hot-path benchmark (BENCH_hotpath.json)
 //	approxbench -exp persist -benchjson out/ # only the persistence benchmark (BENCH_persist.json)
+//	approxbench -exp watch -benchjson out/   # only the standing-query benchmark (BENCH_watch.json)
 package main
 
 import (
@@ -101,6 +102,28 @@ func runPersistBench(o experiments.PerfOptions, w io.Writer, benchJSON string) e
 	return nil
 }
 
+// runWatchBench runs the approxwatch standing-query benchmark — per-insert
+// incremental delta evaluation versus a from-scratch batch re-join — and
+// writes BENCH_watch.json, the sixth machine-readable artifact.
+func runWatchBench(o experiments.PerfOptions, w io.Writer, benchJSON string) error {
+	r, err := experiments.RunWatch(experiments.WatchOptions{
+		Records: o.Size,
+		Seed:    o.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	r.Print(w)
+	if benchJSON != "" {
+		if err := r.WriteJSON(benchJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s/BENCH_watch.json\n", benchJSON)
+	}
+	return nil
+}
+
 // run executes the tool with explicit arguments and streams, so tests can
 // drive it end to end.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -111,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	perfSizes := fs.String("perfsizes", "1000,2000,4000", "comma-separated sizes for Figure 5.4 (paper: 10000..100000)")
 	perfQueries := fs.Int("perfqueries", 20, "timed queries per performance point (paper: 100)")
 	impl := fs.String("impl", "declarative", "realization measured by performance experiments: declarative|native (bench also accepts: both)")
-	exp := fs.String("exp", "all", "experiment: all, bench, hotpath, persist, table5.1, table5.3, qgram, table5.5, table5.6, figure5.1, table5.7, figure5.2, figure5.3, figure5.4, figure5.5, figure5.6, ablation.minhash, ablation.impl, ablation.q")
+	exp := fs.String("exp", "all", "experiment: all, bench, hotpath, persist, watch, table5.1, table5.3, qgram, table5.5, table5.6, figure5.1, table5.7, figure5.2, figure5.3, figure5.4, figure5.5, figure5.6, ablation.minhash, ablation.impl, ablation.q")
 	seed := fs.Int64("seed", 1, "generation seed")
 	benchJSON := fs.String("benchjson", "", "directory to write the BENCH_*.json artifacts (with -exp bench, hotpath or persist)")
 	list := fs.Bool("list", false, "list the registered predicates and realizations, then exit")
@@ -182,10 +205,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err == nil {
 			err = runPersistBench(po, w, *benchJSON)
 		}
+		if err == nil {
+			err = runWatchBench(po, w, *benchJSON)
+		}
 	case "hotpath":
 		err = runHotPathBench(po, w, *benchJSON)
 	case "persist":
 		err = runPersistBench(po, w, *benchJSON)
+	case "watch":
+		err = runWatchBench(po, w, *benchJSON)
 	case "table5.1":
 		experiments.Table51(ao).Print(w)
 	case "table5.3":

@@ -1,8 +1,9 @@
 // Command approxserved serves approximate selection over HTTP/JSON: it
 // loads one relation into a sharded, cache-accelerated corpus and exposes
 // /v1/select, /v1/batch, /v1/join, the mutation endpoints /v1/insert,
-// /v1/delete and /v1/upsert, runtime corpus management (/v1/corpora) and
-// observability (/v1/stats, /healthz).
+// /v1/delete and /v1/upsert, standing queries (/v1/watch: SSE or long-poll
+// streams of incremental join events), runtime corpus management
+// (/v1/corpora) and observability (/v1/stats, /healthz).
 //
 // Usage:
 //
@@ -165,9 +166,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	case <-ctx.Done():
-		// Graceful shutdown: stop accepting, drain in-flight requests, then
+		// Graceful shutdown: close watch streams first (each client gets a
+		// final epoch frame, and Shutdown would otherwise wait on them
+		// forever), then stop accepting and drain in-flight requests, then
 		// fsync and seal the write-ahead logs — the last acknowledged
 		// mutation is on stable storage before the process exits.
+		srv.DrainWatches()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {

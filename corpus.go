@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/store"
+	"repro/internal/watch"
 )
 
 // Corpus is the shared, mutable base relation the paper's framework stores
@@ -30,6 +31,9 @@ type Corpus struct {
 	// log is the attached approxstore write-ahead log when the corpus was
 	// opened with WithDataDir; nil for a purely in-memory corpus.
 	log *store.Log
+	// hub fans the mutation stream out to registered watches (approxwatch);
+	// always set, idle until the first RegisterWatch.
+	hub *watch.Hub
 }
 
 // OpenCorpus tokenizes the base relation once, materializing every
@@ -62,7 +66,13 @@ func OpenCorpus(records []Record, opts ...BuildOption) (*Corpus, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &Corpus{c: log.Corpus(), log: log}, nil
+			// The WAL window that replayed during the open seeds the watch
+			// hub's resumable history: a client reconnecting across the
+			// restart with its last-seen epoch gets the missed events.
+			c := log.Corpus()
+			base, muts := log.TakeReplay()
+			hub := wireWatchHub(c, base, log.Stats().SnapshotEpoch, muts)
+			return &Corpus{c: c, log: log, hub: hub}, nil
 		}
 		c, err := core.NewCorpus(records, settings.Config, core.AllLayers)
 		if err != nil {
@@ -72,13 +82,13 @@ func OpenCorpus(records []Record, opts ...BuildOption) (*Corpus, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Corpus{c: c, log: log}, nil
+		return &Corpus{c: c, log: log, hub: wireWatchHub(c, c.Records(), c.Epoch(), nil)}, nil
 	}
 	c, err := core.NewCorpus(records, settings.Config, core.AllLayers)
 	if err != nil {
 		return nil, err
 	}
-	return &Corpus{c: c}, nil
+	return &Corpus{c: c, hub: wireWatchHub(c, c.Records(), c.Epoch(), nil)}, nil
 }
 
 // Predicate attaches the named predicate to the corpus, resolving the name

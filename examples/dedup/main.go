@@ -2,23 +2,42 @@
 // relation polluted with duplicates (typos, token swaps, abbreviation
 // variants) is deduplicated with approximate selections, and the quality of
 // several predicates is compared against the generator's ground truth.
+//
+// With -live the scenario runs online instead: half the relation seeds a
+// corpus, a standing watch (approxwatch) is registered on it, and the rest
+// streams in one tuple at a time — every insert that duplicates an earlier
+// tuple raises an epoch-tagged match alert the moment it lands, with no
+// batch re-join anywhere.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 
 	approxsel "repro"
 )
 
 func main() {
-	size := flag.Int("size", 2000, "number of dirty tuples to generate")
-	clean := flag.Int("clean", 200, "number of clean source companies")
-	queries := flag.Int("queries", 100, "number of evaluation queries")
-	theta := flag.Float64("theta", 0.25, "selection threshold for the dedup report")
-	flag.Parse()
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the example with explicit arguments and streams, so tests
+// can drive both modes end to end.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dedup", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	size := fs.Int("size", 2000, "number of dirty tuples to generate")
+	clean := fs.Int("clean", 200, "number of clean source companies")
+	queries := fs.Int("queries", 100, "number of evaluation queries")
+	theta := fs.Float64("theta", 0.25, "selection threshold for the dedup report")
+	live := fs.Bool("live", false, "online dedup: seed half the relation, stream the rest through a standing watch")
+	liveTheta := fs.Float64("livetheta", 0.45, "match threshold of the live watch (Jaccard)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	// 1. Build a dirty relation with known ground truth (the paper's CU5
 	//    configuration: many duplicates, light edits, swaps, abbreviations).
@@ -31,15 +50,20 @@ func main() {
 			TokenSwapPct: 0.20, AbbrPct: 0.50, Seed: 42,
 		})
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "dedup: %v\n", err)
+		return 1
 	}
-	fmt.Printf("generated %d dirty tuples from %d clean companies\n\n", len(ds.Records), *clean)
+	fmt.Fprintf(stdout, "generated %d dirty tuples from %d clean companies\n\n", len(ds.Records), *clean)
+
+	if *live {
+		return runLive(ds, *liveTheta, stdout, stderr)
+	}
 
 	// 2. Compare predicate accuracy (MAP over random queries), as §5.4 does.
 	cfg := approxsel.DefaultConfig()
 	predNames := []string{"Jaccard", "WeightedJaccard", "Cosine", "BM25", "HMM", "SoftTFIDF"}
-	fmt.Println("predicate         MAP")
-	fmt.Println("---------------  -----")
+	fmt.Fprintln(stdout, "predicate         MAP")
+	fmt.Fprintln(stdout, "---------------  -----")
 	var best approxsel.Predicate
 	bestMAP := -1.0
 	evalRecs := make([]approxsel.Record, *queries)
@@ -51,12 +75,14 @@ func main() {
 	for _, name := range predNames {
 		p, err := approxsel.New(name, ds.Records, cfg)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(stderr, "dedup: %v\n", err)
+			return 1
 		}
 		// All evaluation queries probe through the batch worker pool.
-		res, err := approxsel.SelectBatch(context.Background(), p, evalQueries)
+		res, err := approxsel.SelectBatch(ctx, p, evalQueries)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(stderr, "dedup: %v\n", err)
+			return 1
 		}
 		sum := 0.0
 		for i, ms := range res {
@@ -67,7 +93,7 @@ func main() {
 			sum += approxsel.AveragePrecision(approxsel.RankedTIDs(ms), relevant)
 		}
 		mapScore := sum / float64(*queries)
-		fmt.Printf("%-15s  %.3f\n", name, mapScore)
+		fmt.Fprintf(stdout, "%-15s  %.3f\n", name, mapScore)
 		if mapScore > bestMAP {
 			bestMAP, best = mapScore, p
 		}
@@ -75,29 +101,95 @@ func main() {
 
 	// 3. Deduplicate with the best predicate: for a few sample tuples, show
 	//    the duplicate group the thresholded selection recovers.
-	fmt.Printf("\ndedup report with %s (threshold %.2f):\n", best.Name(), *theta)
+	fmt.Fprintf(stdout, "\ndedup report with %s (threshold %.2f):\n", best.Name(), *theta)
 	for i := 0; i < 3; i++ {
 		rec := ds.Records[(i*2711)%len(ds.Records)]
 		ms, err := approxsel.SelectThreshold(best, rec.Text, *theta)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintf(stderr, "dedup: %v\n", err)
+			return 1
 		}
-		fmt.Printf("\n  query: %q (cluster %d)\n", rec.Text, ds.Cluster[rec.TID])
+		fmt.Fprintf(stdout, "\n  query: %q (cluster %d)\n", rec.Text, ds.Cluster[rec.TID])
 		shown := 0
 		for _, m := range ms {
 			if shown >= 5 {
-				fmt.Printf("    ... %d more\n", len(ms)-shown)
+				fmt.Fprintf(stdout, "    ... %d more\n", len(ms)-shown)
 				break
 			}
 			mark := " "
 			if ds.Cluster[m.TID] == ds.Cluster[rec.TID] {
 				mark = "*" // true duplicate per ground truth
 			}
-			fmt.Printf("   %s tid %-5d score %6.3f  %s\n", mark, m.TID, m.Score, textOf(ds, m.TID))
+			fmt.Fprintf(stdout, "   %s tid %-5d score %6.3f  %s\n", mark, m.TID, m.Score, textOf(ds, m.TID))
 			shown++
 		}
 	}
-	fmt.Println("\n(* marks true duplicates per the generator's ground truth)")
+	fmt.Fprintln(stdout, "\n(* marks true duplicates per the generator's ground truth)")
+	return 0
+}
+
+// runLive is the online scenario: the watch sees only each inserted delta
+// through the hot-path selection, yet its alerts are exactly the pairs a
+// batch self-join would produce at every epoch.
+func runLive(ds *approxsel.DirtyDataset, theta float64, stdout, stderr io.Writer) int {
+	recs := ds.Records
+	half := len(recs) / 2
+	c, err := approxsel.OpenCorpus(recs[:half])
+	if err != nil {
+		fmt.Fprintf(stderr, "dedup: %v\n", err)
+		return 1
+	}
+	w, err := c.RegisterWatch("Jaccard", theta, approxsel.WithWatchBuffer(1<<16))
+	if err != nil {
+		fmt.Fprintf(stderr, "dedup: %v\n", err)
+		return 1
+	}
+	defer w.Close()
+	fmt.Fprintf(stdout, "live dedup: watching Jaccard >= %.2f over %d seeded tuples, streaming %d more\n\n",
+		theta, half, len(recs)-half)
+
+	const maxShown = 12
+	alerts, trueDups, shown := 0, 0, 0
+	for i := half; i < len(recs); i++ {
+		if err := c.Insert(recs[i]); err != nil {
+			fmt.Fprintf(stderr, "dedup: insert: %v\n", err)
+			return 1
+		}
+		// Delivery is synchronous with the insert: its alerts are buffered
+		// by the time Insert returns.
+		for drained := false; !drained; {
+			select {
+			case e, ok := <-w.Events():
+				if !ok {
+					fmt.Fprintf(stderr, "dedup: watch died: %v\n", w.Err())
+					return 1
+				}
+				alerts++
+				mark := " "
+				if ds.Cluster[e.ProbeTID] == ds.Cluster[e.BaseTID] {
+					mark = "*"
+					trueDups++
+				}
+				if shown < maxShown {
+					fmt.Fprintf(stdout, "  %s epoch %-4d tid %-5d ≈ tid %-5d score %6.3f  %q\n",
+						mark, e.Epoch, e.ProbeTID, e.BaseTID, e.Score, textOf(ds, e.BaseTID))
+					shown++
+					if shown == maxShown {
+						fmt.Fprintln(stdout, "  ... (further alerts counted, not shown)")
+					}
+				}
+			default:
+				drained = true
+			}
+		}
+	}
+	st := c.WatchStats()
+	fmt.Fprintf(stdout, "\n%d duplicate alerts (%d true per ground truth) across %d streamed inserts\n",
+		alerts, trueDups, len(recs)-half)
+	fmt.Fprintf(stdout, "watch derive time: %.2fms total, %.1fus per insert\n",
+		float64(st.DeriveNS)/1e6, float64(st.DeriveNS)/1e3/float64(len(recs)-half))
+	fmt.Fprintln(stdout, "\n(* marks true duplicates per the generator's ground truth)")
+	return 0
 }
 
 func textOf(ds *approxsel.DirtyDataset, tid int) string {

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDedupSmoke drives the batch scenario end to end on a small relation.
+func TestDedupSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"-size", "300", "-clean", "40", "-queries", "20"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"generated 300 dirty tuples", "MAP", "dedup report with"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestDedupLiveSmoke drives the -live mode: streamed inserts must raise
+// duplicate alerts through the standing watch, including true duplicates
+// per the generator's ground truth.
+func TestDedupLiveSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"-live", "-size", "300", "-clean", "40"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "live dedup: watching Jaccard") {
+		t.Fatalf("output missing live banner:\n%s", s)
+	}
+	m := regexp.MustCompile(`(\d+) duplicate alerts \((\d+) true`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("output missing alert summary:\n%s", s)
+	}
+	alerts, _ := strconv.Atoi(m[1])
+	trueDups, _ := strconv.Atoi(m[2])
+	if alerts == 0 || trueDups == 0 {
+		t.Fatalf("live run raised %d alerts (%d true), want both > 0:\n%s", alerts, trueDups, s)
+	}
+}

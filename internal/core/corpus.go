@@ -342,6 +342,17 @@ type Corpus struct {
 	// hook, when set, observes every applied mutation under the mutation
 	// lock — the write-ahead attachment point of the persistence layer.
 	hook func(Mutation) error
+	// obs are the post-publish mutation observers (the watch subsystem's
+	// attachment point): called under the mutation lock after the snapshot
+	// has published, so they see exactly the state the mutation produced and
+	// cannot veto it.
+	obs []func(Mutation)
+	// seqSrc, when set, supplies the batch sequence number stamped on every
+	// mutation. A sharded corpus installs one source across its shards so
+	// that all sub-batches of one logical batch share a sequence number;
+	// without a source the sequence equals the epoch (a plain corpus's WAL
+	// is totally ordered already).
+	seqSrc func() uint64
 }
 
 // PersistenceError marks a mutation aborted because the persistence layer
@@ -377,6 +388,11 @@ type Mutation struct {
 	Del []int
 	// Epoch is the epoch the corpus moves to when this batch publishes.
 	Epoch uint64
+	// Seq is the global batch sequence number: all per-shard sub-batches of
+	// one logical mutation on a sharded corpus share it, so a cold start can
+	// re-associate and totally order them across shards. A plain corpus's
+	// Seq equals its Epoch.
+	Seq uint64
 }
 
 // SetMutationHook installs fn as the corpus's mutation observer. It is
@@ -389,6 +405,26 @@ func (c *Corpus) SetMutationHook(fn func(Mutation) error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.hook = fn
+}
+
+// AddMutationObserver registers fn as a post-publish mutation observer,
+// fanning out alongside the store hook: it is called under the mutation
+// lock after the new snapshot has published, so observers run serialized,
+// in registration order, and read exactly the state the mutation produced.
+// Unlike the write-ahead hook an observer cannot abort the mutation.
+func (c *Corpus) AddMutationObserver(fn func(Mutation)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obs = append(c.obs, fn)
+}
+
+// SetSeqSource installs the supplier of batch sequence numbers stamped on
+// every mutation (and written to the WAL). A sharded corpus sets one
+// source across its shards; a corpus without a source stamps Seq = Epoch.
+func (c *Corpus) SetSeqSource(fn func() uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seqSrc = fn
 }
 
 // Freeze runs fn on the current snapshot while holding the mutation lock,
@@ -560,19 +596,27 @@ func (c *Corpus) mutate(add []Record, del []int, upsert bool) error {
 	}
 	tokDur := time.Since(t0)
 	next := c.assemble(recs, raw, old.Epoch+1, tokDur)
+	kind := MutationInsert
+	switch {
+	case len(del) > 0:
+		kind = MutationDelete
+	case upsert:
+		kind = MutationUpsert
+	}
+	seq := next.Epoch
+	if c.seqSrc != nil {
+		seq = c.seqSrc()
+	}
+	m := Mutation{Kind: kind, Add: add, Del: del, Epoch: next.Epoch, Seq: seq}
 	if c.hook != nil {
-		kind := MutationInsert
-		switch {
-		case len(del) > 0:
-			kind = MutationDelete
-		case upsert:
-			kind = MutationUpsert
-		}
-		if err := c.hook(Mutation{Kind: kind, Add: add, Del: del, Epoch: next.Epoch}); err != nil {
+		if err := c.hook(m); err != nil {
 			return &PersistenceError{Err: err}
 		}
 	}
 	c.snap.Store(next)
+	for _, fn := range c.obs {
+		fn(m)
+	}
 	return nil
 }
 

@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/native"
+	"repro/internal/watch"
+)
+
+// This file implements the standing-query benchmark of approxwatch: the
+// per-insert cost of incremental delta evaluation (the watch hub deriving
+// match events for just the mutated record) against the naive design that
+// re-runs the batch self-join after every mutation. The machine-readable
+// result is BENCH_watch.json, the sixth committed artifact. The acceptance
+// bar: delta evaluation ≥ 10x cheaper per insert than a from-scratch
+// re-join on the 5k-record corpus, with the fold of the emitted events
+// bit-identical to that re-join.
+//
+// The wiring mirrors the facade's OpenCorpus + RegisterWatch composition
+// on the internal packages directly: the facade cannot be imported here
+// because the root package's benchmarks import this package.
+
+// WatchOptions configure one watch benchmark run; zero fields select the
+// committed-artifact scenario (5000 records, 100 streamed inserts,
+// Jaccard at 0.6).
+type WatchOptions struct {
+	// Records is the seeded relation size (default 5000).
+	Records int
+	// Inserts is how many single-record mutations stream through the watch
+	// (default 100).
+	Inserts int
+	// Theta is the watch's match threshold (default 0.6, Jaccard).
+	Theta float64
+	// Seed drives data generation and the insert draw.
+	Seed int64
+}
+
+func (o WatchOptions) withDefaults() WatchOptions {
+	if o.Records <= 0 {
+		o.Records = 5000
+	}
+	if o.Inserts <= 0 {
+		o.Inserts = 100
+	}
+	if o.Theta <= 0 {
+		o.Theta = 0.6
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// WatchReport is the full machine-readable watch benchmark result.
+type WatchReport struct {
+	Records int     `json:"records"`
+	Inserts int     `json:"inserts"`
+	Theta   float64 `json:"theta"`
+	Seed    int64   `json:"seed"`
+	// InsertNS is the average wall-clock cost of one insert on the watched
+	// corpus — tokenization, publication and delta evaluation together.
+	InsertNS int64 `json:"insert_ns"`
+	// DeltaEvalNS is the average event-derivation cost one insert paid
+	// inside the watch hub (the hot-path probe of just the delta record) —
+	// the incremental price of keeping the standing query current.
+	DeltaEvalNS int64 `json:"delta_eval_ns"`
+	// RejoinNS is one from-scratch batch self-join at the final corpus
+	// state — what the naive design pays per mutation instead.
+	RejoinNS int64 `json:"rejoin_ns"`
+	// EventsEmitted counts the match events the watch delivered.
+	EventsEmitted uint64 `json:"events_emitted"`
+	// EventsPerSec is delivery throughput against the derivation time.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is RejoinNS / DeltaEvalNS — the acceptance gate (≥ 10x).
+	Speedup float64 `json:"speedup"`
+	// DifferentialOK records that folding the watch's emissions onto the
+	// registration-time join reproduced the final batch join bit for bit.
+	DifferentialOK bool `json:"differential_ok"`
+}
+
+// RunWatch executes the watch benchmark.
+func RunWatch(o WatchOptions) (WatchReport, error) {
+	o = o.withDefaults()
+	r := WatchReport{Records: o.Records, Inserts: o.Inserts, Theta: o.Theta, Seed: o.Seed}
+	ds, err := dblpDataset(o.Records, o.Seed)
+	if err != nil {
+		return r, err
+	}
+	cfg := core.DefaultConfig()
+	c, err := core.NewCorpus(ds.Records, cfg, core.AllLayers)
+	if err != nil {
+		return r, err
+	}
+	hub := watch.NewHub(cfg, 1, ds.Records, []uint64{c.Epoch()}, nil)
+	c.AddMutationObserver(func(m core.Mutation) {
+		hub.OnBatch(watch.Batch{Seq: m.Seq, Subs: []watch.SubMutation{
+			{Shard: 0, Kind: m.Kind, Add: m.Add, Del: m.Del, Epoch: m.Epoch},
+		}})
+	})
+
+	// The fold starts from the batch join at registration time.
+	fold, err := watchSelfJoin(ds.Records, o.Theta, cfg)
+	if err != nil {
+		return r, err
+	}
+	// The probe re-attaches when the corpus moves, the way the facade's
+	// epoch-refreshing predicate view does — a pinned snapshot view would
+	// never see earlier streamed inserts. Probe calls are serialized under
+	// the hub lock, so the plain fields are safe.
+	var (
+		pred      core.Predicate
+		predEpoch uint64
+	)
+	w, err := hub.Register(
+		watch.Spec{Predicate: "Jaccard", Theta: o.Theta, Resume: hub.Epochs(), Buffer: 1 << 16},
+		func(query string, theta float64) ([]core.Match, error) {
+			if e := c.Epoch(); pred == nil || predEpoch != e {
+				p, err := native.Attach("Jaccard", c, cfg)
+				if err != nil {
+					return nil, err
+				}
+				pred, predEpoch = p, e
+			}
+			return core.SelectWithOptions(context.Background(), pred, query,
+				core.SelectOptions{Threshold: theta, HasThreshold: true})
+		})
+	if err != nil {
+		return r, err
+	}
+	defer w.Close()
+
+	// Stream single-record inserts (copies of existing titles, so events
+	// actually fire) and time the mutation side.
+	rng := rand.New(rand.NewSource(o.Seed + 23))
+	start := time.Now()
+	for i := 0; i < o.Inserts; i++ {
+		rec := core.Record{TID: 1_000_000 + i, Text: ds.Records[rng.Intn(len(ds.Records))].Text}
+		if err := c.Insert(rec); err != nil {
+			return r, err
+		}
+	}
+	insertTotal := time.Since(start).Nanoseconds()
+	st := hub.Stats()
+	r.InsertNS = insertTotal / int64(o.Inserts)
+	r.DeltaEvalNS = st.DeriveNS / int64(o.Inserts)
+	r.EventsEmitted = st.Emitted
+	if st.DeriveNS > 0 {
+		r.EventsPerSec = float64(st.Emitted) / (float64(st.DeriveNS) / 1e9)
+	}
+
+	// The naive alternative: one from-scratch self-join at the final state,
+	// per mutation. Timing it once also produces the differential truth.
+	final := c.Records()
+	start = time.Now()
+	want, err := watchSelfJoin(final, o.Theta, cfg)
+	if err != nil {
+		return r, err
+	}
+	r.RejoinNS = time.Since(start).Nanoseconds()
+	if r.DeltaEvalNS > 0 {
+		r.Speedup = float64(r.RejoinNS) / float64(r.DeltaEvalNS)
+	}
+
+	if err := watchFold(fold, drainEvents(w)); err != nil {
+		return r, err
+	}
+	r.DifferentialOK = watchFoldsEqual(fold, want)
+	return r, nil
+}
+
+// watchSelfJoin is the batch truth: a fresh one-shot Jaccard predicate
+// self-joined at theta through the parallel probe pool, keyed by unordered
+// pair with self pairs dropped — the same result the facade's SelfJoin
+// produces.
+func watchSelfJoin(recs []core.Record, theta float64, cfg core.Config) (map[[2]int]float64, error) {
+	out := make(map[[2]int]float64)
+	if len(recs) == 0 {
+		return out, nil
+	}
+	p, err := native.Build("Jaccard", recs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.SelectOptions{Threshold: theta, HasThreshold: true}
+	res := make([][]core.Match, len(recs))
+	if _, err := core.RunJobs(context.Background(), len(recs), runtime.GOMAXPROCS(0), func(i int) error {
+		ms, err := core.SelectWithOptions(context.Background(), p, recs[i].Text, opts)
+		res[i] = ms
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i, ms := range res {
+		for _, m := range ms {
+			if m.TID == recs[i].TID {
+				continue
+			}
+			k := [2]int{recs[i].TID, m.TID}
+			if k[0] > k[1] {
+				k[0], k[1] = k[1], k[0]
+			}
+			out[k] = m.Score
+		}
+	}
+	return out, nil
+}
+
+func drainEvents(w *watch.Watch) []watch.Event {
+	var out []watch.Event
+	for {
+		select {
+		case e, ok := <-w.Events():
+			if !ok {
+				return out
+			}
+			out = append(out, e)
+		default:
+			return out
+		}
+	}
+}
+
+// watchFold applies events to the incremental join result under the
+// stream's invariants (assert once, retract with the asserted score).
+func watchFold(fold map[[2]int]float64, evs []watch.Event) error {
+	for _, e := range evs {
+		k := [2]int{e.ProbeTID, e.BaseTID}
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		switch e.Kind {
+		case watch.KindMatch:
+			if _, dup := fold[k]; dup {
+				return fmt.Errorf("experiments: pair %v asserted twice", k)
+			}
+			fold[k] = e.Score
+		case watch.KindUnmatch:
+			if s, ok := fold[k]; !ok || s != e.Score {
+				return fmt.Errorf("experiments: pair %v retracted inconsistently", k)
+			}
+			delete(fold, k)
+		}
+	}
+	return nil
+}
+
+func watchFoldsEqual(a, b map[[2]int]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, s := range a {
+		if t, ok := b[k]; !ok || t != s {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteJSON writes the report as BENCH_watch.json in dir.
+func (r WatchReport) WriteJSON(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(dir, "BENCH_watch.json"), r)
+}
+
+// Print writes a human-readable summary of the watch benchmark.
+func (r WatchReport) Print(w io.Writer) {
+	t := &table{header: []string{"path", "per mutation", "vs re-join"}}
+	t.add("batch re-join", time.Duration(r.RejoinNS).Round(time.Microsecond).String(), "1.0x")
+	t.add("incremental delta eval", time.Duration(r.DeltaEvalNS).Round(time.Microsecond).String(),
+		fmt.Sprintf("%.0fx cheaper", r.Speedup))
+	t.add("full insert incl. delta eval", time.Duration(r.InsertNS).Round(time.Microsecond).String(),
+		fmt.Sprintf("%.0fx cheaper", safeRatio(r.RejoinNS, r.InsertNS)))
+	t.write(w, fmt.Sprintf("Standing queries — %d records, %d streamed inserts, Jaccard >= %.2f: %d events at %.0f events/s (differential ok=%v)",
+		r.Records, r.Inserts, r.Theta, r.EventsEmitted, r.EventsPerSec, r.DifferentialOK))
+}

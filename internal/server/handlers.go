@@ -177,6 +177,27 @@ type Stats struct {
 	// entry counts, last load duration) when the server runs with a data
 	// directory; omitted for a purely in-memory server.
 	Store *StoreStats `json:"store,omitempty"`
+	// Watch reports the standing-query subsystem, aggregated across
+	// corpora.
+	Watch WatchStats `json:"watch"`
+}
+
+// WatchStats is the watch block of /v1/stats: active standing queries and
+// the cost/volume counters of incremental delivery.
+type WatchStats struct {
+	// Active counts registered watches across all corpora.
+	Active int `json:"active"`
+	// EventsEmitted counts events delivered or preloaded for replay.
+	EventsEmitted uint64 `json:"events_emitted"`
+	// EventsReplayed counts events derived from history for resuming
+	// clients.
+	EventsReplayed uint64 `json:"events_replayed"`
+	// MaxLagEpochs is the widest consumer lag, in epochs, over active
+	// watches.
+	MaxLagEpochs uint64 `json:"max_lag_epochs"`
+	// DeriveUS is cumulative wall time spent deriving watch events — the
+	// incremental cost mutations pay for standing queries.
+	DeriveUS int64 `json:"derive_us"`
 }
 
 // HotPathStats is the wire form of the engine's pruning counters, plus the
@@ -222,6 +243,9 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/upsert", s.admit(s.counted("upsert", s.handleMutate(upsertOp))))
 	mux.HandleFunc("POST /v1/delete", s.admit(s.counted("delete", s.handleDelete)))
 	mux.HandleFunc("POST /v1/snapshot", s.admit(s.counted("snapshot", s.handleSnapshot)))
+	// Watches bypass admit: an SSE stream outlives any request deadline and
+	// is admitted against Config.MaxWatches instead of MaxInFlight.
+	mux.HandleFunc("POST /v1/watch", s.counted("watch", s.handleWatch))
 	mux.HandleFunc("POST /v1/corpora", s.admit(s.counted("corpora", s.handleCreateCorpus)))
 	mux.HandleFunc("GET /v1/corpora", s.counted("corpora", s.handleListCorpora))
 	mux.HandleFunc("GET /v1/stats", s.counted("stats", s.handleStats))
@@ -684,6 +708,14 @@ func (s *Server) stats() Stats {
 		if ss, ok := h.sc.StoreStats(); ok && st.Store != nil {
 			st.Store.Corpora = append(st.Store.Corpora, storeInfo(name, ss))
 			st.Store.WALEntries += ss.WALEntries
+		}
+		ws := h.sc.WatchStats()
+		st.Watch.Active += ws.Active
+		st.Watch.EventsEmitted += ws.Emitted
+		st.Watch.EventsReplayed += ws.Replayed
+		st.Watch.DeriveUS += ws.DeriveNS / 1000
+		if ws.MaxLagEpochs > st.Watch.MaxLagEpochs {
+			st.Watch.MaxLagEpochs = ws.MaxLagEpochs
 		}
 	}
 	if total := st.Cache.Hits + st.Cache.Misses; total > 0 {

@@ -27,6 +27,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	approxsel "repro"
@@ -58,6 +59,10 @@ type Config struct {
 	// exhaust memory regardless of admission. 0 selects 64 MiB; negative
 	// disables the cap.
 	MaxBodyBytes int64
+	// MaxWatches caps concurrently served /v1/watch registrations (SSE
+	// streams hold their handler for the stream's lifetime, so they are
+	// admitted separately from MaxInFlight). Values < 1 select 64.
+	MaxWatches int
 	// DataDir, when set, makes every corpus durable under
 	// DataDir/<escaped corpus name>: an existing store there is loaded on
 	// AddCorpus instead of rebuilding from records, mutation endpoints are
@@ -96,6 +101,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.MaxWatches < 1 {
+		c.MaxWatches = 64
+	}
 	return c
 }
 
@@ -106,6 +114,10 @@ type Server struct {
 	cfg Config
 	met *metrics
 	sem chan struct{}
+	// watchSem admits /v1/watch registrations; draining rejects new ones
+	// once graceful shutdown has begun.
+	watchSem chan struct{}
+	draining atomic.Bool
 
 	mu      sync.RWMutex
 	corpora map[string]*corpusHandle
@@ -126,6 +138,7 @@ func New(cfg Config) *Server {
 		creating: make(map[string]bool),
 	}
 	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
+	s.watchSem = make(chan struct{}, s.cfg.MaxWatches)
 	s.handler = s.routes()
 	return s
 }
@@ -249,6 +262,20 @@ func (s *Server) LoadStoredCorpora() ([]string, error) {
 		loaded = append(loaded, name)
 	}
 	return loaded, nil
+}
+
+// DrainWatches ends every live watch stream cleanly (each SSE client gets
+// a final epoch frame) and rejects new /v1/watch registrations with 503.
+// It is the first step of the daemon's graceful shutdown: SSE handlers
+// return only when their watch closes, so draining them is what unblocks
+// http.Server.Shutdown.
+func (s *Server) DrainWatches() {
+	s.draining.Store(true)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, h := range s.corpora {
+		h.sc.CloseWatches()
+	}
 }
 
 // CloseStores fsyncs and seals every durable corpus's write-ahead log —

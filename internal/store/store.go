@@ -109,6 +109,15 @@ type Log struct {
 	snapBytes int64
 	loadDur   time.Duration
 	closed    bool
+
+	// Cold-start replay window, captured by Open for the watch subsystem:
+	// the record state the loaded segment decoded to, plus the replayed
+	// mutation batches that advanced it to the current epoch. TakeReplay
+	// hands both over (once) so a watch hub can rebuild its event history
+	// across restarts; untaken windows are dropped on Close/Release.
+	baseRecs []core.Record
+	replay   []core.Mutation
+	maxSeq   uint64
 }
 
 // Create initializes dir as the data directory of c: it writes a snapshot
@@ -167,6 +176,7 @@ func (l *Log) Release() *core.Corpus {
 			l.f.Close()
 		}
 	}
+	l.baseRecs, l.replay = nil, nil
 	return l.c
 }
 
@@ -235,12 +245,17 @@ func Open(dir string) (*Log, error) {
 	// batched replay: per-entry record splices, one table assembly at the
 	// final epoch — bit-identical to sequential mutations at a fraction of
 	// the cost.
+	base := c.Records()
 	var muts []core.Mutation
+	var maxSeq uint64
 	for _, w := range entries {
 		if w.epoch <= c.Epoch() {
 			continue
 		}
-		muts = append(muts, core.Mutation{Kind: w.kind, Add: w.add, Del: w.del, Epoch: w.epoch})
+		muts = append(muts, core.Mutation{Kind: w.kind, Add: w.add, Del: w.del, Epoch: w.epoch, Seq: w.seq})
+		if w.seq > maxSeq {
+			maxSeq = w.seq
+		}
 	}
 	replayed := len(muts)
 	if err := c.ReplayMutations(muts); err != nil {
@@ -265,6 +280,9 @@ func Open(dir string) (*Log, error) {
 		snapEpoch: loaded.epoch,
 		snapBytes: size,
 		loadDur:   time.Since(start),
+		baseRecs:  base,
+		replay:    muts,
+		maxSeq:    maxSeq,
 	}
 	c.SetMutationHook(l.appendMutation)
 	return l, nil
@@ -272,6 +290,27 @@ func Open(dir string) (*Log, error) {
 
 // Corpus returns the attached corpus.
 func (l *Log) Corpus() *core.Corpus { return l.c }
+
+// TakeReplay hands over the cold-start replay window Open captured — the
+// record state at the loaded segment plus the mutation batches replayed on
+// top of it — and releases the log's reference to it. It returns nils for
+// a freshly created store or once the window has been taken.
+func (l *Log) TakeReplay() ([]core.Record, []core.Mutation) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	base, muts := l.baseRecs, l.replay
+	l.baseRecs, l.replay = nil, nil
+	return base, muts
+}
+
+// MaxSeq returns the largest batch sequence number among the WAL entries a
+// cold start replayed (zero for a fresh or fully checkpointed store) — the
+// floor a sharded corpus's sequence counter resumes above.
+func (l *Log) MaxSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.maxSeq
+}
 
 // Stats returns the durable-state counters.
 func (l *Log) Stats() Stats {

@@ -36,6 +36,7 @@ var walCRC = crc32.MakeTable(crc32.Castagnoli)
 type walEntry struct {
 	kind  core.MutationKind
 	epoch uint64
+	seq   uint64
 	add   []core.Record
 	del   []int
 }
@@ -54,6 +55,10 @@ func encodeWALEntry(m core.Mutation) []byte {
 	for _, tid := range m.Del {
 		e.I64(int64(tid))
 	}
+	// The batch sequence number trails the entry so logs written before it
+	// existed still decode (the reader treats a missing trailer as seq 0 and
+	// falls back to the epoch).
+	e.U64(m.Seq)
 	payload := e.Bytes()
 	out := make([]byte, 0, len(payload)+8)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
@@ -85,8 +90,14 @@ func decodeWALPayload(payload []byte) (walEntry, error) {
 	for i := 0; i < nDel; i++ {
 		w.del = append(w.del, int(d.I64()))
 	}
+	if d.Remaining() >= 8 {
+		w.seq = d.U64()
+	}
 	if err := d.Finish(); err != nil {
 		return w, err
+	}
+	if w.seq == 0 {
+		w.seq = w.epoch
 	}
 	switch w.kind {
 	case core.MutationInsert, core.MutationDelete, core.MutationUpsert:

@@ -1,0 +1,210 @@
+package watch
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/strutil"
+	"repro/internal/tokenize"
+)
+
+// A watch promises that its incremental emissions are bit-identical to a
+// from-scratch batch join at every epoch. That restricts the predicates it
+// can serve: any similarity that reads collection statistics (IDF weights,
+// average lengths, language models) changes the score of *existing* pairs
+// whenever *any* record mutates, so an incremental evaluation that only
+// touches the delta record can never stay exact. The watchable predicates
+// are exactly the stats-free ones — Jaccard, IntersectSize and
+// EditDistance — whose pair scores depend on the two strings alone.
+//
+// The pairwise scorer below re-derives those scores outside the posting
+// machinery, for WAL replay and for retraction scans where the indexed
+// corpus no longer holds the old text. It must mirror the hot path's
+// observable behaviour exactly — same candidate reachability (a pair with
+// no shared gram is never surfaced), same filters, same float operation
+// order — so that a replayed window and a live window agree bit for bit.
+
+// watchable lists the predicates a watch accepts, for error messages.
+var watchable = []string{"Jaccard", "IntersectSize", "EditDistance"}
+
+// prepped is one record's precomputed similarity inputs. Which fields are
+// populated depends on the scorer that built it.
+type prepped struct {
+	set    map[string]struct{} // distinct padded q-grams (Jaccard, IntersectSize)
+	norm   string              // edit-normalized text (EditDistance)
+	nlen   int                 // rune length of norm
+	counts map[string]int      // padded q-gram multiset (EditDistance)
+	ngrams int                 // total padded q-grams (EditDistance)
+}
+
+// scorer scores one pair of prepared records exactly as the hot-path
+// Select would. score returns the similarity and whether Select with
+// Threshold θ would surface the pair at all (reachable and above θ).
+type scorer interface {
+	prep(text string) *prepped
+	score(q, d *prepped) (float64, bool)
+}
+
+// newScorer validates a watch's predicate choice and builds its pairwise
+// scorer. It enforces the delta-exactness whitelist and the configuration
+// corners where even a whitelisted predicate loses exactness.
+func newScorer(pred string, cfg core.Config, theta float64) (scorer, error) {
+	if theta <= 0 {
+		return nil, fmt.Errorf("watch: threshold must be positive, got %g (an unthresholded standing query would re-rank the whole corpus on every insert)", theta)
+	}
+	if cfg.PruneRate != 0 {
+		return nil, fmt.Errorf("watch: corpus built with PruneRate=%g; watches require an unpruned index (pruning drops postings by collection frequency, which shifts with every mutation)", cfg.PruneRate)
+	}
+	switch pred {
+	case "Jaccard":
+		return &jaccardScorer{q: cfg.Q, theta: theta}, nil
+	case "IntersectSize":
+		return &intersectScorer{q: cfg.Q, theta: theta}, nil
+	case "EditDistance":
+		// The posting-driven Select only reaches candidates sharing at
+		// least one q-gram with the query. Two strings within edit
+		// distance k share a gram whenever k·q < max length, which a
+		// threshold θ ≥ 1−1/q guarantees for every pair above θ; below
+		// that, Select can miss pairs a from-scratch scan would score,
+		// and the bit-identical contract breaks.
+		min := 1 - 1/float64(cfg.Q)
+		if theta < min {
+			return nil, fmt.Errorf("watch: EditDistance watch needs threshold >= %g with q=%d (below it, pairs above the threshold can share no q-gram and the index cannot surface them)", min, cfg.Q)
+		}
+		return &editScorer{q: cfg.Q, theta: theta}, nil
+	default:
+		return nil, fmt.Errorf("watch: predicate %q is not incrementally exact (its scores read collection statistics that shift on every mutation); watchable predicates: %v", pred, watchable)
+	}
+}
+
+// ---- Jaccard ----
+
+type jaccardScorer struct {
+	q     int
+	theta float64
+}
+
+func (s *jaccardScorer) prep(text string) *prepped {
+	p := &prepped{set: make(map[string]struct{})}
+	for _, g := range tokenize.QGrams(text, s.q) {
+		p.set[g] = struct{}{}
+	}
+	return p
+}
+
+func (s *jaccardScorer) score(q, d *prepped) (float64, bool) {
+	small, large := q.set, d.set
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	inter := 0
+	for g := range small {
+		if _, ok := large[g]; ok {
+			inter++
+		}
+	}
+	if inter == 0 {
+		return 0, false // no shared gram: Select never surfaces the pair
+	}
+	// Mirror the hot path's accumulator shape: den = Den[rec] + QSide − acc,
+	// all exact small-integer floats, evaluated left to right.
+	den := float64(len(d.set)) + float64(len(q.set)) - float64(inter)
+	score := float64(inter) / den
+	return score, score >= s.theta
+}
+
+// ---- IntersectSize ----
+
+type intersectScorer struct {
+	q     int
+	theta float64
+}
+
+func (s *intersectScorer) prep(text string) *prepped {
+	p := &prepped{set: make(map[string]struct{})}
+	for _, g := range tokenize.QGrams(text, s.q) {
+		p.set[g] = struct{}{}
+	}
+	return p
+}
+
+func (s *intersectScorer) score(q, d *prepped) (float64, bool) {
+	small, large := q.set, d.set
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	inter := 0
+	for g := range small {
+		if _, ok := large[g]; ok {
+			inter++
+		}
+	}
+	if inter == 0 {
+		return 0, false
+	}
+	score := float64(inter)
+	return score, score >= s.theta
+}
+
+// ---- EditDistance ----
+
+type editScorer struct {
+	q     int
+	theta float64
+}
+
+func (s *editScorer) prep(text string) *prepped {
+	norm := tokenize.EditNormalize(text, s.q)
+	counts := tokenize.Counts(tokenize.QGrams(text, s.q))
+	total := 0
+	for _, tf := range counts {
+		total += tf
+	}
+	return &prepped{norm: norm, nlen: len([]rune(norm)), counts: counts, ngrams: total}
+}
+
+func (s *editScorer) score(q, d *prepped) (float64, bool) {
+	// Multiset shared-gram count, as the TF-weighted posting scan
+	// accumulates it: Σ min(qtf, dtf).
+	c := 0
+	for g, qtf := range q.counts {
+		if dtf, ok := d.counts[g]; ok {
+			if dtf < qtf {
+				c += dtf
+			} else {
+				c += qtf
+			}
+		}
+	}
+	if c == 0 {
+		return 0, false // unreachable through the posting lists
+	}
+	maxLen := q.nlen
+	if d.nlen > maxLen {
+		maxLen = d.nlen
+	}
+	if maxLen == 0 {
+		return 1, true
+	}
+	k := int((1 - s.theta) * float64(maxLen))
+	diff := q.nlen - d.nlen
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > k {
+		return 0, false // length filter
+	}
+	maxG := q.ngrams
+	if d.ngrams > maxG {
+		maxG = d.ngrams
+	}
+	if c < maxG-k*s.q {
+		return 0, false // count filter
+	}
+	dist, ok := strutil.LevenshteinWithin(q.norm, d.norm, k)
+	if !ok {
+		return 0, false
+	}
+	sim := 1 - float64(dist)/float64(maxLen)
+	return sim, sim >= s.theta
+}

@@ -81,7 +81,7 @@ func LoadCorpus(dir string) (*Corpus, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Corpus{c: c}, nil
+	return &Corpus{c: c, hub: wireWatchHub(c, c.Records(), c.Epoch(), nil)}, nil
 }
 
 // PartialMutationError reports a multi-shard mutation batch that failed

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/store"
+	"repro/internal/watch"
 )
 
 // ShardedCorpus partitions the base relation across N shared Corpus shards
@@ -41,6 +43,14 @@ type ShardedCorpus struct {
 	// purely in-memory corpus.
 	root string
 	logs []*store.Log
+
+	// hub fans the mutation stream out to registered watches (approxwatch);
+	// always set, idle until the first RegisterWatch. seq numbers logical
+	// mutation batches corpus-wide, so every shard's sub-batch (and WAL
+	// entry) of one mutation carries the same sequence number; it resumes
+	// past the largest logged sequence on a durable open.
+	hub *watch.Hub
+	seq atomic.Uint64
 }
 
 // OpenShardedCorpus tokenizes the base relation once, partitioned across
@@ -103,6 +113,7 @@ func buildShards(records []Record, shards int, cfg Config) (*ShardedCorpus, erro
 	if err != nil {
 		return nil, err
 	}
+	s.initWatchHub(s.Records(), s.Epochs(), nil)
 	return s, nil
 }
 
@@ -162,6 +173,25 @@ func openStoredShards(root string) (*ShardedCorpus, error) {
 		}
 	}
 	s.cfg = s.shards[0].Config()
+	// Seed the watch hub from the per-shard WAL replay windows, regrouped
+	// into logical batches by sequence number: a watch resuming across the
+	// restart replays the missed events, and the batch counter continues
+	// past the largest sequence any shard logged.
+	base := make([]core.Record, 0)
+	baseEpochs := make([]uint64, m.Shards)
+	perShard := make([][]core.Mutation, m.Shards)
+	var maxSeq uint64
+	for i, l := range s.logs {
+		b, muts := l.TakeReplay()
+		base = append(base, b...)
+		perShard[i] = muts
+		baseEpochs[i] = l.Stats().SnapshotEpoch
+		if ms := l.MaxSeq(); ms > maxSeq {
+			maxSeq = ms
+		}
+	}
+	s.seq.Store(maxSeq)
+	s.initWatchHub(base, baseEpochs, watch.GroupBatches(perShard))
 	return s, nil
 }
 
@@ -310,6 +340,7 @@ func (s *ShardedCorpus) mutate(add []Record, del []int, upsert bool) error {
 		}
 		addBy[sh] = append(addBy[sh], r)
 	}
+	seq := s.seq.Add(1)
 	applied := make([]bool, n)
 	_, err := core.RunJobs(context.Background(), n, 0, func(i int) error {
 		if len(addBy[i]) == 0 && len(delBy[i]) == 0 {
@@ -332,6 +363,27 @@ func (s *ShardedCorpus) mutate(add []Record, del []int, upsert bool) error {
 		applied[i] = true
 		return nil
 	})
+	// Tell the watch hub exactly what landed — on a partial failure, only
+	// the applied shards' sub-batches — before reporting the outcome, so
+	// its view of the relation never diverges from the corpus.
+	if s.hub != nil {
+		var subs []watch.SubMutation
+		for i := 0; i < n; i++ {
+			if !applied[i] {
+				continue
+			}
+			kind := core.MutationInsert
+			if len(delBy[i]) > 0 {
+				kind = core.MutationDelete
+			} else if upsert {
+				kind = core.MutationUpsert
+			}
+			subs = append(subs, watch.SubMutation{Shard: i, Kind: kind, Add: addBy[i], Del: delBy[i], Epoch: s.shards[i].Epoch()})
+		}
+		if len(subs) > 0 {
+			s.hub.OnBatch(watch.Batch{Seq: seq, Subs: subs})
+		}
+	}
 	if err != nil {
 		// Validation ran up front against every shard, so a failure here is
 		// a persistence/internal error after some shards may already have

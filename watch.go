@@ -1,0 +1,182 @@
+package approxsel
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/watch"
+)
+
+// This file is the public face of approxwatch, the standing-query
+// subsystem: RegisterWatch installs a predicate + threshold pair over a
+// live Corpus or ShardedCorpus and streams epoch-tagged match/unmatch
+// events as the relation mutates, instead of re-running ApproximateJoin.
+// Folding a watch's events up to epoch E reproduces the batch join at
+// epoch E bit for bit — same pair set, same scores.
+//
+//	w, err := corpus.RegisterWatch("Jaccard", 0.6)
+//	for ev := range w.Events() { ... }     // online dedup
+//
+//	w, err := corpus.RegisterWatch("Jaccard", 0.6,
+//	    approxsel.WithProbes(queries...))  // incremental join against a fixed probe set
+//
+// Delivery resumes: pass WithResume(lastSeenEpochs) and the missed window
+// replays (from the WAL's replay window after a cold start) before live
+// events continue, each missed event exactly once.
+//
+// Watches accept the stats-free predicates only — Jaccard, IntersectSize,
+// EditDistance — because any statistics-weighted score shifts on every
+// mutation, which no delta evaluation can track exactly.
+
+// WatchEvent is one incremental change to a watch's join result.
+type WatchEvent = watch.Event
+
+// Watch is a registered standing query; consume Events until closed.
+type Watch = watch.Watch
+
+// WatchStats is the per-corpus watch observability block.
+type WatchStats = watch.Stats
+
+// ErrResumeTooOld reports a WithResume vector older than the corpus's
+// replayable history window.
+var ErrResumeTooOld = watch.ErrResumeTooOld
+
+// ErrWatchLagged reports a watch consumer that fell behind its delivery
+// buffer; re-register with the last seen epoch vector to resume.
+var ErrWatchLagged = watch.ErrLagged
+
+// WatchOption adjusts a watch registration.
+type WatchOption func(*watch.Spec)
+
+// WithProbes turns the watch into an incremental join: events track the
+// approximate join of the fixed probe relation against the corpus, rather
+// than the corpus's self join.
+func WithProbes(records ...Record) WatchOption {
+	return func(s *watch.Spec) {
+		s.Probes = append([]Record(nil), records...)
+	}
+}
+
+// WithResume replays the window the client missed: epochs is the
+// per-shard epoch vector it last saw (one entry for a plain Corpus).
+func WithResume(epochs []uint64) WatchOption {
+	return func(s *watch.Spec) {
+		s.Resume = append([]uint64(nil), epochs...)
+	}
+}
+
+// WithWatchBuffer sets the delivery channel capacity (default 1024).
+func WithWatchBuffer(n int) WatchOption {
+	return func(s *watch.Spec) { s.Buffer = n }
+}
+
+// watchSpec folds options into a registration spec.
+func watchSpec(predicate string, theta float64, opts []WatchOption) watch.Spec {
+	spec := watch.Spec{Predicate: predicate, Theta: theta}
+	for _, o := range opts {
+		o(&spec)
+	}
+	return spec
+}
+
+// watchProbe adapts an attached predicate view into the hub's hot-path
+// probe: thresholded, unlimited selection against the live corpus.
+func watchProbe(pred Predicate) watch.ProbeFunc {
+	return func(query string, theta float64) ([]core.Match, error) {
+		return core.SelectWithOptions(context.Background(), pred, query,
+			core.SelectOptions{Threshold: theta, HasThreshold: true})
+	}
+}
+
+// watchPredOpts aligns the probe predicate's configuration with the
+// watch: EditDistance verifies against its configured theta, which must
+// equal the watch threshold for the candidate filter to be exact.
+func watchPredOpts(predicate string, theta float64) []BuildOption {
+	if predicate == "EditDistance" {
+		return []BuildOption{WithEditTheta(theta)}
+	}
+	return nil
+}
+
+// ---- plain Corpus ----
+
+// RegisterWatch installs a standing query on the corpus: predicate one of
+// the stats-free watchable predicates, theta the positive match
+// threshold. Without options it is a self watch (online dedup). The
+// returned Watch delivers until Close, corpus CloseWatches, or the
+// consumer lags.
+func (c *Corpus) RegisterWatch(predicate string, theta float64, opts ...WatchOption) (*Watch, error) {
+	spec := watchSpec(predicate, theta, opts)
+	var probe watch.ProbeFunc
+	if spec.Probes == nil {
+		pred, err := c.Predicate(predicate, watchPredOpts(predicate, theta)...)
+		if err != nil {
+			return nil, err
+		}
+		probe = watchProbe(pred)
+	}
+	return c.hub.Register(spec, probe)
+}
+
+// CloseWatches closes every watch on the corpus cleanly and rejects
+// further registrations (graceful drain).
+func (c *Corpus) CloseWatches() { c.hub.CloseAll() }
+
+// WatchStats reports the corpus's watch counters.
+func (c *Corpus) WatchStats() WatchStats { return c.hub.Stats() }
+
+// Epochs returns the epoch vector a watch resume token uses; a plain
+// corpus has one entry, equal to Epoch.
+func (c *Corpus) Epochs() []uint64 { return c.hub.Epochs() }
+
+// wireWatchHub builds the corpus's watch hub over the given base state
+// (plus, after a durable cold start, the WAL replay window as resumable
+// history) and subscribes it to the mutation stream.
+func wireWatchHub(c *core.Corpus, base []core.Record, baseEpoch uint64, muts []core.Mutation) *watch.Hub {
+	var hist []watch.Batch
+	if len(muts) > 0 {
+		hist = watch.GroupBatches([][]core.Mutation{muts})
+	}
+	hub := watch.NewHub(c.Config(), 1, base, []uint64{baseEpoch}, hist)
+	c.AddMutationObserver(func(m core.Mutation) {
+		hub.OnBatch(watch.Batch{Seq: m.Seq, Subs: []watch.SubMutation{
+			{Shard: 0, Kind: m.Kind, Add: m.Add, Del: m.Del, Epoch: m.Epoch},
+		}})
+	})
+	return hub
+}
+
+// ---- ShardedCorpus ----
+
+// RegisterWatch installs a standing query on the sharded corpus; see
+// Corpus.RegisterWatch. Resume vectors carry one epoch per shard, and the
+// self-watch probe fans out across all shards.
+func (s *ShardedCorpus) RegisterWatch(predicate string, theta float64, opts ...WatchOption) (*Watch, error) {
+	spec := watchSpec(predicate, theta, opts)
+	var probe watch.ProbeFunc
+	if spec.Probes == nil {
+		pred, err := s.Predicate(predicate, watchPredOpts(predicate, theta)...)
+		if err != nil {
+			return nil, err
+		}
+		probe = watchProbe(pred)
+	}
+	return s.hub.Register(spec, probe)
+}
+
+// CloseWatches closes every watch on the corpus cleanly and rejects
+// further registrations (graceful drain).
+func (s *ShardedCorpus) CloseWatches() { s.hub.CloseAll() }
+
+// WatchStats reports the corpus's watch counters.
+func (s *ShardedCorpus) WatchStats() WatchStats { return s.hub.Stats() }
+
+// initWatchHub builds the sharded corpus's hub and points every shard's
+// sequence source at the corpus-wide batch counter, so all sub-batches of
+// one logical mutation log the same sequence number.
+func (s *ShardedCorpus) initWatchHub(base []core.Record, baseEpochs []uint64, hist []watch.Batch) {
+	s.hub = watch.NewHub(s.cfg, len(s.shards), base, baseEpochs, hist)
+	for _, c := range s.shards {
+		c.SetSeqSource(func() uint64 { return s.seq.Load() })
+	}
+}
