@@ -12,6 +12,7 @@
 //	approxbench -exp hotpath -benchjson out/ # only the selection hot-path benchmark (BENCH_hotpath.json)
 //	approxbench -exp persist -benchjson out/ # only the persistence benchmark (BENCH_persist.json)
 //	approxbench -exp watch -benchjson out/   # only the standing-query benchmark (BENCH_watch.json)
+//	approxbench -exp cluster -benchjson out/ # only the replicated-serving benchmark (BENCH_cluster.json)
 package main
 
 import (
@@ -52,6 +53,38 @@ func runServeBench(o experiments.PerfOptions) (loadtest.Report, error) {
 		Distinct: distinct,
 		Seed:     o.Seed,
 	})
+}
+
+// runClusterBench runs the approxcluster read-scaling load test — one
+// approxserved node versus leader + 2 followers with query-affinity
+// routing at equal per-node cache, plus the cross-replica result-hash
+// differential — and writes BENCH_cluster.json, the seventh
+// machine-readable artifact.
+func runClusterBench(o experiments.PerfOptions, w io.Writer, benchJSON string) error {
+	requests := o.Queries * 20
+	if requests < 60 {
+		requests = 60
+	}
+	r, err := loadtest.RunCluster(loadtest.ClusterOptions{
+		Records:  o.Size,
+		Requests: requests,
+		Seed:     o.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	r.Print(w)
+	if !r.HashOK {
+		return fmt.Errorf("cluster bench: replica result hashes diverged")
+	}
+	if benchJSON != "" {
+		if err := r.WriteJSON(benchJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s/BENCH_cluster.json\n", benchJSON)
+	}
+	return nil
 }
 
 // runHotPathBench runs the selection hot-path benchmark — the naive
@@ -134,7 +167,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	perfSizes := fs.String("perfsizes", "1000,2000,4000", "comma-separated sizes for Figure 5.4 (paper: 10000..100000)")
 	perfQueries := fs.Int("perfqueries", 20, "timed queries per performance point (paper: 100)")
 	impl := fs.String("impl", "declarative", "realization measured by performance experiments: declarative|native (bench also accepts: both)")
-	exp := fs.String("exp", "all", "experiment: all, bench, hotpath, persist, watch, table5.1, table5.3, qgram, table5.5, table5.6, figure5.1, table5.7, figure5.2, figure5.3, figure5.4, figure5.5, figure5.6, ablation.minhash, ablation.impl, ablation.q")
+	exp := fs.String("exp", "all", "experiment: all, bench, hotpath, persist, watch, cluster, table5.1, table5.3, qgram, table5.5, table5.6, figure5.1, table5.7, figure5.2, figure5.3, figure5.4, figure5.5, figure5.6, ablation.minhash, ablation.impl, ablation.q")
 	seed := fs.Int64("seed", 1, "generation seed")
 	benchJSON := fs.String("benchjson", "", "directory to write the BENCH_*.json artifacts (with -exp bench, hotpath or persist)")
 	list := fs.Bool("list", false, "list the registered predicates and realizations, then exit")
@@ -208,12 +241,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err == nil {
 			err = runWatchBench(po, w, *benchJSON)
 		}
+		if err == nil {
+			err = runClusterBench(po, w, *benchJSON)
+		}
 	case "hotpath":
 		err = runHotPathBench(po, w, *benchJSON)
 	case "persist":
 		err = runPersistBench(po, w, *benchJSON)
 	case "watch":
 		err = runWatchBench(po, w, *benchJSON)
+	case "cluster":
+		err = runClusterBench(po, w, *benchJSON)
 	case "table5.1":
 		experiments.Table51(ao).Print(w)
 	case "table5.3":

@@ -13,6 +13,9 @@
 //	approxserved -data /var/lib/approxsel         # durable: load-on-start, WAL, /v1/snapshot
 //	approxserved -selftest                        # run the bundled load test
 //	approxserved -selftest -benchjson out/        # ... and write BENCH_serve.json
+//	approxserved -node-id n0 -peers n0=http://h0:8080,n1=http://h1:8080,n2=http://h2:8080
+//	                                              # replicated serving (approxcluster)
+//	approxserved -node-id n2 -peers ... -join     # join empty; corpora arrive from the leader
 package main
 
 import (
@@ -25,13 +28,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	approxsel "repro"
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/server/loadtest"
 )
@@ -58,6 +61,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
 	workers := fs.Int("workers", 0, "batch/join fan-out workers (0 = GOMAXPROCS)")
 	seed := fs.Int64("seed", 1, "synthetic dataset generation seed")
+	nodeID := fs.String("node-id", "", "cluster: this node's ID (enables replication; must appear in -peers)")
+	peersSpec := fs.String("peers", "", "cluster: comma-separated id=url pairs, including this node")
+	join := fs.Bool("join", false, "cluster: start empty and receive corpora from the leader (skips -dataset)")
 
 	selftest := fs.Bool("selftest", false, "run the bundled load test instead of serving")
 	ltRecords := fs.Int("records", 5000, "selftest: relation size")
@@ -116,6 +122,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Workers:        *workers,
 		DataDir:        *dataDir,
 	})
+	var node *cluster.Node
+	if *nodeID != "" || *peersSpec != "" {
+		peers, err := parsePeers(*peersSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "approxserved: %v\n", err)
+			return 2
+		}
+		node, err = cluster.NewNode(cluster.Config{
+			ID:      *nodeID,
+			Peers:   peers,
+			DataDir: *dataDir,
+			Backend: srv.ClusterBackend(),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stderr, "approxserved: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "approxserved: %v\n", err)
+			return 2
+		}
+		srv.AttachCluster(node)
+	}
 	// A data directory restores every stored corpus first — including ones
 	// created at runtime through POST /v1/corpora in a previous life. Only
 	// when the named corpus is not among them is the -dataset loaded and
@@ -130,7 +158,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "approxserved: restored corpus %q from %s\n", n, *dataDir)
 		}
 	}
-	if !srv.HasCorpus(*corpusName) {
+	// A joining replica starts empty: its corpora arrive from the leader
+	// through the snapshot + WAL-tail catch-up path, never from -dataset —
+	// that is the only way every replica ends up bit-identical.
+	if !*join && !srv.HasCorpus(*corpusName) {
 		records, err := loadDataset(*dataset, *seed)
 		if err != nil {
 			fmt.Fprintf(stderr, "approxserved: %v\n", err)
@@ -153,12 +184,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	fmt.Fprintf(stdout, "approxserved: serving corpus %q (%d shards) on %s\n",
-		*corpusName, srvShards(*shards), ln.Addr())
+	if names := srv.ClusterBackend().Corpora(); len(names) > 0 {
+		fmt.Fprintf(stdout, "approxserved: serving corpora %q on %s\n", names, ln.Addr())
+	} else {
+		fmt.Fprintf(stdout, "approxserved: serving on %s (no local corpora yet; awaiting the cluster leader)\n", ln.Addr())
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
+	if node != nil {
+		// The node's RPC surface rides the server's own /cluster/ mount, so
+		// elections and replication start only once the listener is up.
+		node.Start()
+		fmt.Fprintf(stdout, "approxserved: cluster node %q up, peers %s\n", *nodeID, *peersSpec)
+	}
 	select {
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -171,6 +211,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// forever), then stop accepting and drain in-flight requests, then
 		// fsync and seal the write-ahead logs — the last acknowledged
 		// mutation is on stable storage before the process exits.
+		if node != nil {
+			// Stop election and replication loops first: nothing new is
+			// pulled or applied while the store drains below.
+			node.Stop()
+		}
 		srv.DrainWatches()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -190,11 +235,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func srvShards(n int) int {
-	if n > 0 {
-		return n
+// parsePeers parses the -peers spec: comma-separated id=url pairs, e.g.
+// "n0=http://127.0.0.1:8080,n1=http://127.0.0.1:8081".
+func parsePeers(spec string) (map[string]string, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("cluster mode needs -peers (id=url,...)")
 	}
-	return runtime.GOMAXPROCS(0)
+	peers := make(map[string]string)
+	for _, part := range strings.Split(spec, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate peer ID %q in -peers", id)
+		}
+		peers[id] = url
+	}
+	return peers, nil
 }
 
 // loadDataset parses the -dataset spec: dblp:N and company:N generate the

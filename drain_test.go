@@ -1,0 +1,80 @@
+package approxsel
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCloseStoreDrainAtomic is the regression test for the graceful-drain
+// race: CloseStore used to seal shard WALs without holding the corpus
+// mutation lock, so a mutation racing the drain could append to some
+// shards' logs and fail on already-sealed ones — a durably half-applied
+// batch that a cold start would replay even though the writer was never
+// acked. With the drain serialized behind the mutation lock, every
+// mutation either lands on all its shards before the first log seals or
+// fails on all of them: the reopened epoch vector must exactly equal the
+// vector of the last acknowledged mutation.
+func TestCloseStoreDrainAtomic(t *testing.T) {
+	recs := dirtyWatchData(t)
+	for round := 0; round < 8; round++ {
+		dir := t.TempDir()
+		sc, err := OpenShardedCorpus(recs[:40], 4, WithDataDir(dir))
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+
+		var mu sync.Mutex
+		var acked []uint64 // epoch vector after the last successful mutation
+		acked = append([]uint64(nil), sc.Epochs()...)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; ; i++ {
+				// Multi-record upserts spread one batch across several
+				// shards — the shape that could half-land.
+				batch := []Record{
+					{TID: recs[i%40].TID, Text: fmt.Sprintf("corp %d alpha", i)},
+					{TID: recs[(i+7)%40].TID, Text: fmt.Sprintf("corp %d beta", i)},
+					{TID: recs[(i+13)%40].TID, Text: fmt.Sprintf("corp %d gamma", i)},
+				}
+				if err := sc.Upsert(batch...); err != nil {
+					// The store sealed under us — expected. Whatever the
+					// error shape, the invariant below is the judge: the
+					// durable state must match the last acked vector.
+					return
+				}
+				mu.Lock()
+				acked = append(acked[:0], sc.Epochs()...)
+				mu.Unlock()
+			}
+		}()
+
+		// Drain while the mutator is mid-flight. No sleep calibration: on
+		// any interleaving the invariant below must hold.
+		if err := sc.CloseStore(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		<-done
+
+		re, err := OpenShardedCorpus(nil, 0, WithDataDir(dir))
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		got := re.Epochs()
+		mu.Lock()
+		want := append([]uint64(nil), acked...)
+		mu.Unlock()
+		if len(got) != len(want) {
+			t.Fatalf("round %d: reopened %d shards, want %d", round, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: reopened at %v, last acked %v — a batch half-landed across the drain", round, got, want)
+			}
+		}
+		if err := re.CloseStore(); err != nil {
+			t.Fatalf("final close: %v", err)
+		}
+	}
+}

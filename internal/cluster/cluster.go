@@ -1,0 +1,666 @@
+// Package cluster implements approxcluster, the replicated serving layer:
+// N nodes, one elected leader accepting all mutations, followers pulling
+// epoch-stamped WAL batches over a streaming replication RPC and applying
+// them through the ordinary mutation path, so every replica is bit-identical
+// — same scores, same tie order, same shard-epoch vector — at every version
+// of the relation.
+//
+// The replication contract rides entirely on the shard-epoch vector:
+//
+//   - The unit of replication is the logical mutation batch exactly as the
+//     write-ahead log stores it (one corpus-wide sequence number, one
+//     epoch-stamped sub-mutation per touched shard).
+//   - A follower pulls from its current vector; the leader re-ships every
+//     batch not fully covered by it. Application is idempotent per shard,
+//     so re-delivery after a torn WAL tail or a reconnect re-applies only
+//     what was lost and never skips an epoch.
+//   - A follower whose vector predates the leader's retained history —
+//     or whose state diverges — discards its copy and re-joins from a
+//     full snapshot stream at an exact vector.
+//
+// Election is lease-based with term numbers (persisted through the store
+// layer so a restarted node never votes twice in one term): followers
+// time out into candidates, candidates need a majority, and a voter only
+// grants to candidates whose replication position is at-or-past its own —
+// combined with majority-acknowledged mutations, an acknowledged write
+// survives any single-node failure, including the leader's.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	approxsel "repro"
+	"repro/internal/store"
+)
+
+// ReplicationBatch is the unit of replication: one logical epoch-stamped
+// mutation batch, exactly the write-ahead log's replay grouping.
+type ReplicationBatch = approxsel.ReplicationBatch
+
+// Role names a node's current election state.
+type Role string
+
+const (
+	RoleFollower  Role = "follower"
+	RoleCandidate Role = "candidate"
+	RoleLeader    Role = "leader"
+)
+
+// Position is one corpus's replication position: the shard layout, the
+// corpus-wide batch sequence number, and the shard-epoch vector.
+type Position struct {
+	Shards int      `json:"shards"`
+	Seq    uint64   `json:"seq"`
+	Epochs []uint64 `json:"epochs"`
+}
+
+// Covers reports whether position p is at-or-past q: every shard epoch and
+// the sequence number at least as advanced.
+func (p Position) Covers(q Position) bool {
+	if len(p.Epochs) != len(q.Epochs) || p.Seq < q.Seq {
+		return false
+	}
+	return vectorGE(p.Epochs, q.Epochs)
+}
+
+// vectorGE reports a >= b element-wise (false on length mismatch).
+func vectorGE(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Backend is the node's view of the serving layer it replicates: the
+// loaded corpora, their positions, and the three replication verbs. The
+// server implements it; Apply must route through the same mutation
+// serialization as client mutations.
+type Backend interface {
+	// Corpora lists the loaded corpus names.
+	Corpora() []string
+	// Position reports one corpus's replication position; ok is false for
+	// an unknown corpus.
+	Position(name string) (Position, bool)
+	// Apply applies one replicated batch. It returns approxsel.ErrReplicaGap
+	// when the batch would skip an epoch (the follower re-pulls from its
+	// current vector) and approxsel.ErrReplicaDiverged when the replica must
+	// discard its state and re-join from a snapshot.
+	Apply(name string, b ReplicationBatch) error
+	// WriteSnapshot streams the corpus's full replica snapshot.
+	WriteSnapshot(name string, w io.Writer) error
+	// InstallSnapshot replaces (or creates) the corpus from a replica
+	// snapshot stream.
+	InstallSnapshot(name string, r io.Reader) error
+}
+
+// Config tunes one cluster node; ID, Peers and Backend are required.
+type Config struct {
+	// ID is this node's name; it must appear in Peers.
+	ID string
+	// Peers maps node ID to base URL ("http://host:port") for every cluster
+	// member, including this node. A single-entry map is a cluster of one.
+	Peers map[string]string
+	// DataDir, when set, persists the election term and vote durably (a
+	// restarted node never votes twice in one term). Empty keeps election
+	// state in memory.
+	DataDir string
+	// Backend is the serving layer this node replicates.
+	Backend Backend
+
+	// HeartbeatInterval is the leader's heartbeat period; <= 0 selects 100ms.
+	HeartbeatInterval time.Duration
+	// ElectionTimeout is the base follower timeout before standing for
+	// election (randomized to [T, 2T)); <= 0 selects 500ms.
+	ElectionTimeout time.Duration
+	// LeaseTimeout is how long a leader serves without majority contact
+	// before stepping down; <= 0 selects 2×ElectionTimeout.
+	LeaseTimeout time.Duration
+	// PullWait bounds one replication long-poll; <= 0 selects 500ms.
+	PullWait time.Duration
+	// MaxPullBatches caps batches per pull response; < 1 selects 256.
+	MaxPullBatches int
+	// HistoryEntries / HistoryBytes bound the per-corpus re-ship window;
+	// < 1 selects the History defaults.
+	HistoryEntries int
+	HistoryBytes   int64
+
+	// Client issues the node's peer RPCs; nil selects a default with
+	// sensible timeouts.
+	Client *http.Client
+	// Logf, when set, receives one line per role change and join.
+	Logf func(format string, args ...any)
+	// Seed randomizes election jitter deterministically in tests; 0 derives
+	// a seed from the node ID.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 500 * time.Millisecond
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 2 * c.ElectionTimeout
+	}
+	if c.PullWait <= 0 {
+		c.PullWait = 500 * time.Millisecond
+	}
+	if c.MaxPullBatches < 1 {
+		c.MaxPullBatches = 256
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return c
+}
+
+// Node is one cluster member. Construct with NewNode, mount Handler under
+// /cluster/ on the node's HTTP server, wire every corpus's replication
+// observer to Record, then Start.
+type Node struct {
+	cfg   Config
+	id    string
+	peers map[string]string // excludes self
+
+	mu          sync.Mutex
+	role        Role
+	term        uint64
+	votedFor    string
+	leaderID    string
+	leaderPos   map[string]Position // from the last valid heartbeat
+	stranded    bool                // current leader misses a local corpus
+	lastContact time.Time           // last valid leader/candidate contact
+	electionAt  time.Time           // when the follower stands for election
+	peerSeen    map[string]time.Time
+	hist        map[string]*History
+	acks        map[string]map[string]Position
+	ackCh       chan struct{}
+	rng         *rand.Rand
+
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewNode validates the configuration and returns an unstarted node.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("cluster: empty node ID")
+	}
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("cluster: nil backend")
+	}
+	if _, ok := cfg.Peers[cfg.ID]; !ok {
+		return nil, fmt.Errorf("cluster: node %q does not appear in its own peer map", cfg.ID)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		for _, b := range []byte(cfg.ID) {
+			seed = seed*131 + int64(b)
+		}
+		seed ^= time.Now().UnixNano()
+	}
+	n := &Node{
+		cfg:      cfg,
+		id:       cfg.ID,
+		peers:    make(map[string]string),
+		role:     RoleFollower,
+		peerSeen: make(map[string]time.Time),
+		hist:     make(map[string]*History),
+		acks:     make(map[string]map[string]Position),
+		ackCh:    make(chan struct{}),
+		rng:      rand.New(rand.NewSource(seed)),
+		stopCh:   make(chan struct{}),
+	}
+	for id, url := range cfg.Peers {
+		if id != cfg.ID {
+			n.peers[id] = url
+		}
+	}
+	if cfg.DataDir != "" {
+		st, err := store.ReadNodeState(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		n.term, n.votedFor = st.Term, st.VotedFor
+	}
+	return n, nil
+}
+
+// ID returns the node's name.
+func (n *Node) ID() string { return n.id }
+
+// ClusterSize returns the member count (peers plus self).
+func (n *Node) ClusterSize() int { return len(n.peers) + 1 }
+
+// majority returns the quorum size over all members.
+func (n *Node) majority() int { return n.ClusterSize()/2 + 1 }
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// Start launches the election and replication loops. A cluster of one
+// becomes leader on its first election tick without any RPCs.
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.lastContact = time.Now()
+	n.resetElectionLocked()
+	n.mu.Unlock()
+	// Seed histories for corpora loaded before the node started, so a
+	// follower at the same base can catch up without a snapshot join.
+	for _, name := range n.cfg.Backend.Corpora() {
+		if p, ok := n.cfg.Backend.Position(name); ok {
+			n.ensureHistory(name, p.Epochs)
+		}
+	}
+	n.wg.Add(2)
+	go n.runElections()
+	go n.runSync()
+}
+
+// Stop halts the node's loops. It does not unmount the RPC handlers.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if !n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = false
+	close(n.stopCh)
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// persistLocked durably records the current term and vote; it must precede
+// any message revealing either (a node must never vote twice in one term).
+func (n *Node) persistLocked() {
+	if n.cfg.DataDir == "" {
+		return
+	}
+	if err := store.WriteNodeState(n.cfg.DataDir, store.NodeState{Term: n.term, VotedFor: n.votedFor}); err != nil {
+		n.logf("cluster %s: persisting term %d: %v", n.id, n.term, err)
+	}
+}
+
+func (n *Node) resetElectionLocked() {
+	jitter := time.Duration(n.rng.Int63n(int64(n.cfg.ElectionTimeout)))
+	n.electionAt = time.Now().Add(n.cfg.ElectionTimeout + jitter)
+}
+
+// stepDownLocked adopts a newer term as a follower.
+func (n *Node) stepDownLocked(term uint64) {
+	if term > n.term {
+		n.term = term
+		n.votedFor = ""
+		n.persistLocked()
+	}
+	if n.role != RoleFollower {
+		n.logf("cluster %s: stepping down to follower at term %d", n.id, n.term)
+	}
+	n.role = RoleFollower
+	n.lastContact = time.Now()
+	n.resetElectionLocked()
+}
+
+// Role returns the node's current role, term and known leader.
+func (n *Node) Role() (Role, uint64, string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role, n.term, n.leaderID
+}
+
+// IsLeader reports whether this node currently leads.
+func (n *Node) IsLeader() bool {
+	r, _, _ := n.Role()
+	return r == RoleLeader
+}
+
+// LeaderURL returns the known leader's base URL ("" when leaderless or
+// when this node leads).
+func (n *Node) LeaderURL() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.leaderID == "" || n.leaderID == n.id {
+		return ""
+	}
+	return n.peers[n.leaderID]
+}
+
+// ---- replication source hooks ----
+
+// ensureHistory returns the corpus's history, creating it with the given
+// base vector on first sight.
+func (n *Node) ensureHistory(name string, base []uint64) *History {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hist[name]
+	if !ok {
+		h = NewHistory(base, n.cfg.HistoryEntries, n.cfg.HistoryBytes)
+		n.hist[name] = h
+	}
+	return h
+}
+
+func (n *Node) history(name string) *History {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hist[name]
+}
+
+// Record feeds one applied batch into the corpus's replication history —
+// the hook the server wires to every corpus's replication observer, on
+// leaders and followers alike (a follower's history makes it a re-ship
+// source the moment it wins an election). It is called under the corpus's
+// mutation lock, so batches arrive in apply order.
+func (n *Node) Record(corpus string, b ReplicationBatch) {
+	h := n.history(corpus)
+	if h == nil {
+		// First batch of a corpus created at runtime: the window's base is
+		// the vector just before this batch (untouched shards are at their
+		// current epoch; touched shards one before their stamp).
+		p, ok := n.cfg.Backend.Position(corpus)
+		if !ok {
+			return
+		}
+		base := append([]uint64(nil), p.Epochs...)
+		for _, sub := range b.Subs {
+			if sub.Shard >= 0 && sub.Shard < len(base) {
+				base[sub.Shard] = sub.Epoch - 1
+			}
+		}
+		h = n.ensureHistory(corpus, base)
+	}
+	h.Append(b)
+}
+
+// ---- quorum acknowledgement ----
+
+// recordAck notes a peer's replication position (learned from its pull
+// requests and heartbeat responses) and wakes quorum waiters.
+func (n *Node) recordAck(peer string, pos map[string]Position) {
+	if peer == "" || peer == n.id {
+		return
+	}
+	n.mu.Lock()
+	m := n.acks[peer]
+	if m == nil {
+		m = make(map[string]Position)
+		n.acks[peer] = m
+	}
+	for name, p := range pos {
+		cur, ok := m[name]
+		// Positions only advance; an out-of-order ack never regresses one.
+		if !ok || p.Covers(cur) {
+			m[name] = p
+		}
+	}
+	n.peerSeen[peer] = time.Now()
+	close(n.ackCh)
+	n.ackCh = make(chan struct{})
+	n.mu.Unlock()
+}
+
+// WaitCommitted blocks until a majority of the cluster (counting this
+// node) holds the corpus at-or-past the given epoch vector, or the context
+// expires. A mutation is acknowledged to the client only after this — so a
+// leader killed mid-stream cannot lose an acked write: some majority node
+// holds it, and the vote restriction makes exactly such a node the next
+// leader.
+func (n *Node) WaitCommitted(ctx context.Context, corpus string, epochs []uint64, seq uint64) error {
+	target := Position{Seq: seq, Epochs: epochs}
+	for {
+		n.mu.Lock()
+		count := 1 // self: the leader applied before waiting
+		for peer := range n.peers {
+			if p, ok := n.acks[peer][corpus]; ok && len(p.Epochs) == len(epochs) && vectorGE(p.Epochs, target.Epochs) {
+				count++
+			}
+		}
+		need := n.majority()
+		ch := n.ackCh
+		n.mu.Unlock()
+		if count >= need {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: quorum wait for %s at %v: %w", corpus, epochs, ctx.Err())
+		case <-ch:
+		}
+	}
+}
+
+// ReplicationLag reports, per corpus, the widest follower lag behind this
+// node's position, in epochs (summed over shards) and history bytes.
+func (n *Node) ReplicationLag() map[string]LagInfo {
+	out := make(map[string]LagInfo)
+	for _, name := range n.cfg.Backend.Corpora() {
+		p, ok := n.cfg.Backend.Position(name)
+		if !ok {
+			continue
+		}
+		info := LagInfo{}
+		n.mu.Lock()
+		for peer := range n.peers {
+			ack, ok := n.acks[peer][name]
+			lag := uint64(0)
+			if ok && len(ack.Epochs) == len(p.Epochs) {
+				for i := range p.Epochs {
+					if p.Epochs[i] > ack.Epochs[i] {
+						lag += p.Epochs[i] - ack.Epochs[i]
+					}
+				}
+			} else {
+				for _, e := range p.Epochs {
+					lag += e
+				}
+			}
+			if lag > info.MaxEpochs {
+				info.MaxEpochs = lag
+			}
+		}
+		h := n.hist[name]
+		n.mu.Unlock()
+		if h != nil && info.MaxEpochs > 0 {
+			_, _, _, bytes := h.Window()
+			info.MaxBytes = bytes
+		}
+		out[name] = info
+	}
+	return out
+}
+
+// LagInfo is one corpus's replication lag summary.
+type LagInfo struct {
+	MaxEpochs uint64 `json:"max_epochs"`
+	MaxBytes  int64  `json:"max_bytes"`
+}
+
+// PeerLiveness reports when each peer was last heard from (zero time =
+// never).
+func (n *Node) PeerLiveness() map[string]time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]time.Time, len(n.peers))
+	for id := range n.peers {
+		out[id] = n.peerSeen[id]
+	}
+	return out
+}
+
+// ---- election and heartbeat loops ----
+
+func (n *Node) runElections() {
+	defer n.wg.Done()
+	tick := n.cfg.HeartbeatInterval / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	var lastHB time.Time
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-t.C:
+		}
+		n.mu.Lock()
+		role := n.role
+		switch role {
+		case RoleLeader:
+			// Lease: a leader that cannot reach a majority stops serving as
+			// one, so a partitioned minority leader cannot acknowledge writes
+			// forever.
+			alive := 1
+			for peer := range n.peers {
+				if time.Since(n.peerSeen[peer]) < n.cfg.LeaseTimeout {
+					alive++
+				}
+			}
+			if alive < n.majority() {
+				n.logf("cluster %s: lease lost (%d/%d reachable)", n.id, alive, n.ClusterSize())
+				n.stepDownLocked(n.term)
+				n.mu.Unlock()
+				continue
+			}
+			n.mu.Unlock()
+			if time.Since(lastHB) >= n.cfg.HeartbeatInterval {
+				lastHB = time.Now()
+				n.broadcastHeartbeats()
+			}
+		default:
+			stand := time.Now().After(n.electionAt)
+			n.mu.Unlock()
+			if stand {
+				n.startElection()
+			}
+		}
+	}
+}
+
+// positions snapshots the backend's replication position per corpus.
+func (n *Node) positions() map[string]Position {
+	out := make(map[string]Position)
+	for _, name := range n.cfg.Backend.Corpora() {
+		if p, ok := n.cfg.Backend.Position(name); ok {
+			out[name] = p
+		}
+	}
+	return out
+}
+
+func (n *Node) startElection() {
+	pos := n.positions()
+	n.mu.Lock()
+	n.term++
+	n.votedFor = n.id
+	n.role = RoleCandidate
+	n.leaderID = ""
+	term := n.term
+	n.persistLocked()
+	n.resetElectionLocked()
+	n.mu.Unlock()
+	n.logf("cluster %s: standing for election at term %d", n.id, term)
+
+	votes := 1 // self
+	var vmu sync.Mutex
+	if votes >= n.majority() {
+		n.becomeLeader(term)
+		return
+	}
+	req := VoteRequest{Term: term, Candidate: n.id, Position: pos}
+	for id, url := range n.peers {
+		id, url := id, url
+		go func() {
+			var resp VoteResponse
+			if err := n.post(url, "/cluster/vote", req, &resp); err != nil {
+				return
+			}
+			n.mu.Lock()
+			if resp.Term > n.term {
+				n.stepDownLocked(resp.Term)
+				n.mu.Unlock()
+				return
+			}
+			n.peerSeen[id] = time.Now()
+			n.mu.Unlock()
+			if !resp.Granted {
+				return
+			}
+			vmu.Lock()
+			votes++
+			won := votes >= n.majority()
+			vmu.Unlock()
+			if won {
+				n.becomeLeader(term)
+			}
+		}()
+	}
+}
+
+func (n *Node) becomeLeader(term uint64) {
+	n.mu.Lock()
+	if n.term != term || n.role != RoleCandidate {
+		n.mu.Unlock()
+		return
+	}
+	n.role = RoleLeader
+	n.leaderID = n.id
+	for peer := range n.peers {
+		n.peerSeen[peer] = time.Now()
+	}
+	n.mu.Unlock()
+	n.logf("cluster %s: elected leader at term %d", n.id, term)
+	n.broadcastHeartbeats()
+}
+
+func (n *Node) broadcastHeartbeats() {
+	pos := n.positions()
+	n.mu.Lock()
+	if n.role != RoleLeader {
+		n.mu.Unlock()
+		return
+	}
+	term := n.term
+	n.mu.Unlock()
+	req := HeartbeatRequest{Term: term, Leader: n.id, Position: pos}
+	for id, url := range n.peers {
+		id, url := id, url
+		go func() {
+			var resp HeartbeatResponse
+			if err := n.post(url, "/cluster/heartbeat", req, &resp); err != nil {
+				return
+			}
+			if resp.Term > term {
+				n.mu.Lock()
+				n.stepDownLocked(resp.Term)
+				n.mu.Unlock()
+				return
+			}
+			n.recordAck(id, resp.Position)
+		}()
+	}
+}

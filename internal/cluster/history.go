@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"sync"
+
+	approxsel "repro"
+)
+
+// History is one corpus's in-memory replication log: the tail of applied
+// mutation batches a node can re-ship to followers, bounded by entry count
+// and bytes. Everything older than the retained window is only reachable
+// through a full snapshot join. The window is keyed by the shard-epoch
+// vector — Since(from) returns every retained batch not fully covered by
+// `from`, and reports tooOld when `from` predates the window's base (the
+// follower must snapshot-join; replication never skips epochs).
+type History struct {
+	mu sync.Mutex
+	// base is the epoch vector immediately before the oldest retained
+	// batch: a follower at-or-past base can catch up from history alone.
+	base []uint64
+	// cur is the epoch vector after the newest retained batch.
+	cur     []uint64
+	entries []approxsel.ReplicationBatch
+	sizes   []int
+	bytes   int64
+
+	maxEntries int
+	maxBytes   int64
+
+	// signal is closed and replaced on every append, waking long-polling
+	// pulls.
+	signal chan struct{}
+}
+
+// NewHistory returns an empty history whose window starts at the given
+// epoch vector. maxEntries/maxBytes bound the retained tail; values < 1
+// select defaults (4096 batches, 64 MiB).
+func NewHistory(base []uint64, maxEntries int, maxBytes int64) *History {
+	if maxEntries < 1 {
+		maxEntries = 4096
+	}
+	if maxBytes < 1 {
+		maxBytes = 64 << 20
+	}
+	h := &History{
+		base:       append([]uint64(nil), base...),
+		cur:        append([]uint64(nil), base...),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		signal:     make(chan struct{}),
+	}
+	return h
+}
+
+// batchBytes estimates the wire size of one batch for the byte bound.
+func batchBytes(b approxsel.ReplicationBatch) int {
+	n := 32
+	for _, sub := range b.Subs {
+		n += 48
+		for _, r := range sub.Add {
+			n += 24 + len(r.Text)
+		}
+		n += 8 * len(sub.Del)
+	}
+	return n
+}
+
+// Append records one applied batch at the window's head, trimming the tail
+// past the entry/byte bounds (the base vector advances over trimmed
+// batches).
+func (h *History) Append(b approxsel.ReplicationBatch) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, sub := range b.Subs {
+		if sub.Shard >= 0 && sub.Shard < len(h.cur) {
+			h.cur[sub.Shard] = sub.Epoch
+		}
+	}
+	sz := batchBytes(b)
+	h.entries = append(h.entries, b)
+	h.sizes = append(h.sizes, sz)
+	h.bytes += int64(sz)
+	for len(h.entries) > h.maxEntries || (h.bytes > h.maxBytes && len(h.entries) > 1) {
+		old := h.entries[0]
+		for _, sub := range old.Subs {
+			if sub.Shard >= 0 && sub.Shard < len(h.base) {
+				h.base[sub.Shard] = sub.Epoch
+			}
+		}
+		h.bytes -= int64(h.sizes[0])
+		h.entries = h.entries[1:]
+		h.sizes = h.sizes[1:]
+	}
+	close(h.signal)
+	h.signal = make(chan struct{})
+}
+
+// Since returns every retained batch not fully covered by the follower's
+// epoch vector, in apply order, capped at limit (0 = no cap). tooOld
+// reports a vector predating the window — the follower must join from a
+// full snapshot; batches the follower partially holds are re-shipped whole
+// (application is idempotent per shard, so over-delivery after a torn WAL
+// tail re-applies only what was lost and never skips).
+func (h *History) Since(from []uint64, limit int) (batches []approxsel.ReplicationBatch, tooOld bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(from) != len(h.base) {
+		return nil, true
+	}
+	for i := range from {
+		if from[i] < h.base[i] {
+			return nil, true
+		}
+	}
+	for _, b := range h.entries {
+		for _, sub := range b.Subs {
+			if sub.Shard >= 0 && sub.Shard < len(from) && sub.Epoch > from[sub.Shard] {
+				batches = append(batches, b)
+				break
+			}
+		}
+		if limit > 0 && len(batches) >= limit {
+			break
+		}
+	}
+	return batches, false
+}
+
+// Chan returns a channel closed on the next Append — the long-poll hook.
+func (h *History) Chan() <-chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.signal
+}
+
+// Window reports the history's current extent: the base and head epoch
+// vectors, the retained batch count and byte volume.
+func (h *History) Window() (base, cur []uint64, entries int, bytes int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint64(nil), h.base...), append([]uint64(nil), h.cur...), len(h.entries), h.bytes
+}

@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ---- wire types ----
+
+// VoteRequest asks for this node's vote at the candidate's term. Position
+// carries the candidate's replication position per corpus; a voter only
+// grants to candidates at-or-past its own position, so an elected leader
+// always holds every majority-acknowledged mutation.
+type VoteRequest struct {
+	Term      uint64              `json:"term"`
+	Candidate string              `json:"candidate"`
+	Position  map[string]Position `json:"position"`
+}
+
+// VoteResponse reports the voter's term and whether the vote was granted.
+type VoteResponse struct {
+	Term    uint64 `json:"term"`
+	Granted bool   `json:"granted"`
+}
+
+// HeartbeatRequest asserts leadership at a term and advertises the
+// leader's replication position (which is also how followers learn the
+// corpus list to sync).
+type HeartbeatRequest struct {
+	Term     uint64              `json:"term"`
+	Leader   string              `json:"leader"`
+	Position map[string]Position `json:"position"`
+}
+
+// HeartbeatResponse acknowledges (or rejects, by returning a higher term)
+// a heartbeat; Position reports the follower's applied position, the
+// leader's acknowledgement and lag source.
+type HeartbeatResponse struct {
+	Term     uint64              `json:"term"`
+	OK       bool                `json:"ok"`
+	Position map[string]Position `json:"position"`
+}
+
+// PullRequest asks for the replication batches past the follower's epoch
+// vector, long-polling up to WaitMS when the follower is caught up.
+type PullRequest struct {
+	Node    string   `json:"node"`
+	Corpus  string   `json:"corpus"`
+	From    []uint64 `json:"from"`
+	FromSeq uint64   `json:"from_seq"`
+	WaitMS  int      `json:"wait_ms"`
+}
+
+// PullResponse carries the batches to apply in order. TooOld reports a
+// follower behind the retained history window — it must re-join from a
+// full snapshot (replication never skips epochs).
+type PullResponse struct {
+	TooOld   bool               `json:"too_old,omitempty"`
+	Batches  []ReplicationBatch `json:"batches,omitempty"`
+	Position Position           `json:"position"`
+}
+
+// Status is the /cluster/status payload.
+type Status struct {
+	ID       string                `json:"id"`
+	Role     Role                  `json:"role"`
+	Term     uint64                `json:"term"`
+	Leader   string                `json:"leader,omitempty"`
+	Peers    map[string]PeerStatus `json:"peers,omitempty"`
+	Position map[string]Position   `json:"position"`
+}
+
+// PeerStatus is one peer's liveness entry in Status.
+type PeerStatus struct {
+	URL        string  `json:"url"`
+	LastSeenMS int64   `json:"last_seen_ms"` // ms since last contact; -1 = never
+	Alive      bool    `json:"alive"`
+	Lag        LagInfo `json:"lag"`
+}
+
+// ---- peer client ----
+
+func (n *Node) post(baseURL, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := http.NewRequest(http.MethodPost, baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	r.Header.Set("Content-Type", "application/json")
+	res, err := n.cfg.Client.Do(r)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s%s: HTTP %d", baseURL, path, res.StatusCode)
+	}
+	return json.NewDecoder(res.Body).Decode(resp)
+}
+
+// ---- RPC handlers ----
+
+// Handler returns the node's replication and election RPC surface, to be
+// mounted under /cluster/ on the node's HTTP server.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/vote", n.handleVote)
+	mux.HandleFunc("POST /cluster/heartbeat", n.handleHeartbeat)
+	mux.HandleFunc("POST /cluster/pull", n.handlePull)
+	mux.HandleFunc("GET /cluster/snapshot", n.handleSnapshot)
+	mux.HandleFunc("GET /cluster/status", n.handleStatus)
+	return mux
+}
+
+func rpcError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func rpcJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (n *Node) handleVote(w http.ResponseWriter, r *http.Request) {
+	var req VoteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rpcError(w, http.StatusBadRequest, err)
+		return
+	}
+	mine := n.positions()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if req.Term > n.term {
+		n.term = req.Term
+		n.votedFor = ""
+		if n.role != RoleFollower {
+			n.role = RoleFollower
+		}
+		n.persistLocked()
+	}
+	resp := VoteResponse{Term: n.term}
+	switch {
+	case req.Term < n.term:
+		// Stale candidate.
+	case n.votedFor != "" && n.votedFor != req.Candidate:
+		// Already voted this term.
+	case n.leaderID != "" && n.leaderID != req.Candidate && time.Since(n.lastContact) < n.cfg.ElectionTimeout &&
+		!strictlyAhead(req.Position, n.leaderPos):
+		// A live leader exists; don't let a flapping node disrupt it. The
+		// exception is a candidate that provably holds corpora (or epochs)
+		// the current leader lacks: deposing in its favour is the only way
+		// a corpus stranded on a follower can reach a leader that will
+		// replicate it.
+	case !candidateCurrent(req.Position, mine):
+		// The candidate is behind us on some corpus: electing it could lose
+		// majority-acknowledged mutations.
+		n.logf("cluster %s: refusing vote to %s at term %d: candidate position %v behind ours %v",
+			n.id, req.Candidate, req.Term, req.Position, mine)
+	default:
+		n.votedFor = req.Candidate
+		n.persistLocked()
+		n.lastContact = time.Now()
+		n.resetElectionLocked()
+		resp.Granted = true
+		n.logf("cluster %s: granting vote to %s at term %d (position %v, ours %v)",
+			n.id, req.Candidate, req.Term, req.Position, mine)
+	}
+	rpcJSON(w, resp)
+}
+
+// candidateCurrent reports whether the candidate's position covers every
+// corpus this node holds (extra candidate corpora are fine).
+func candidateCurrent(cand, mine map[string]Position) bool {
+	for name, p := range mine {
+		cp, ok := cand[name]
+		if !ok || !cp.Covers(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// strictlyAhead reports whether cand covers everything in the leader's
+// advertised position while holding at least one corpus (or epoch) the
+// leader lacks.
+func strictlyAhead(cand, leader map[string]Position) bool {
+	return candidateCurrent(cand, leader) && !candidateCurrent(leader, cand)
+}
+
+func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rpcError(w, http.StatusBadRequest, err)
+		return
+	}
+	mine := n.positions()
+	n.mu.Lock()
+	resp := HeartbeatResponse{Term: n.term, Position: mine}
+	if req.Term >= n.term {
+		if req.Term > n.term {
+			n.term = req.Term
+			n.votedFor = ""
+			n.persistLocked()
+		}
+		if n.role != RoleFollower {
+			n.logf("cluster %s: yielding to leader %s at term %d", n.id, req.Leader, req.Term)
+			n.role = RoleFollower
+		}
+		n.leaderID = req.Leader
+		n.leaderPos = req.Position
+		n.lastContact = time.Now()
+		n.peerSeen[req.Leader] = time.Now()
+		// A heartbeat defers this node's own candidacy only when the leader
+		// covers every local corpus. A leader that does not (an empty
+		// bootstrap winner while this node carries a preloaded corpus) can
+		// never replicate what it has never seen, so the election timer
+		// stays armed and this node stands to reclaim the corpus.
+		if candidateCurrent(req.Position, mine) {
+			n.stranded = false
+			n.resetElectionLocked()
+		} else if !n.stranded {
+			n.stranded = true
+			n.logf("cluster %s: leader %s does not cover local corpora (leader %v, ours %v); keeping election timer armed",
+				n.id, req.Leader, req.Position, mine)
+		}
+		resp.OK = true
+		resp.Term = n.term
+	}
+	n.mu.Unlock()
+	rpcJSON(w, resp)
+}
+
+// maxPullWait caps a pull's long-poll regardless of the request.
+const maxPullWait = 30 * time.Second
+
+func (n *Node) handlePull(w http.ResponseWriter, r *http.Request) {
+	var req PullRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		rpcError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The pull itself is the follower's acknowledgement: its From vector is
+	// exactly what it has durably applied.
+	n.recordAck(req.Node, map[string]Position{req.Corpus: {Seq: req.FromSeq, Epochs: req.From}})
+	pos, ok := n.cfg.Backend.Position(req.Corpus)
+	if !ok {
+		rpcError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown corpus %q", req.Corpus))
+		return
+	}
+	h := n.ensureHistory(req.Corpus, pos.Epochs)
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > maxPullWait {
+		wait = maxPullWait
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		ch := h.Chan()
+		batches, tooOld := h.Since(req.From, n.cfg.MaxPullBatches)
+		if tooOld || len(batches) > 0 || !time.Now().Before(deadline) {
+			cur, _ := n.cfg.Backend.Position(req.Corpus)
+			rpcJSON(w, PullResponse{TooOld: tooOld, Batches: batches, Position: cur})
+			return
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-ch:
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		case <-n.stopCh:
+		}
+		timer.Stop()
+	}
+}
+
+func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	corpus := r.URL.Query().Get("corpus")
+	if corpus == "" {
+		rpcError(w, http.StatusBadRequest, fmt.Errorf("cluster: missing corpus"))
+		return
+	}
+	if _, ok := n.cfg.Backend.Position(corpus); !ok {
+		rpcError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown corpus %q", corpus))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := n.cfg.Backend.WriteSnapshot(corpus, w); err != nil {
+		// Headers are gone; the truncated stream fails the joiner's length
+		// checks.
+		n.logf("cluster %s: snapshot of %q: %v", n.id, corpus, err)
+	}
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rpcJSON(w, n.StatusSnapshot())
+}
+
+// StatusSnapshot assembles the node's cluster status.
+func (n *Node) StatusSnapshot() Status {
+	pos := n.positions()
+	lag := n.ReplicationLag()
+	n.mu.Lock()
+	st := Status{
+		ID:       n.id,
+		Role:     n.role,
+		Term:     n.term,
+		Leader:   n.leaderID,
+		Peers:    make(map[string]PeerStatus, len(n.peers)),
+		Position: pos,
+	}
+	isLeader := n.role == RoleLeader
+	for id, url := range n.peers {
+		ps := PeerStatus{URL: url, LastSeenMS: -1}
+		if t, ok := n.peerSeen[id]; ok && !t.IsZero() {
+			ps.LastSeenMS = time.Since(t).Milliseconds()
+			ps.Alive = time.Since(t) < n.cfg.LeaseTimeout
+		}
+		st.Peers[id] = ps
+	}
+	n.mu.Unlock()
+	if isLeader {
+		// Lag is meaningful from the leader's vantage: fold the widest
+		// corpus lag into each live peer row (per-corpus detail is in the
+		// stats endpoint).
+		var worst LagInfo
+		for _, l := range lag {
+			if l.MaxEpochs > worst.MaxEpochs {
+				worst = l
+			}
+		}
+		for id, ps := range st.Peers {
+			ps.Lag = worst
+			st.Peers[id] = ps
+		}
+	}
+	return st
+}

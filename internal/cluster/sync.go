@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	approxsel "repro"
+)
+
+// The follower sync loop: pull-based streaming replication. Each follower
+// long-polls the leader per corpus from its own epoch vector; the leader
+// re-ships every retained batch not fully covered by it. Apply is
+// idempotent per shard, so redelivery is safe; a gap means the response
+// raced history trimming and the follower simply re-pulls; divergence or
+// a too-old vector sends the follower through the full-snapshot join.
+
+func (n *Node) runSync() {
+	defer n.wg.Done()
+	idle := n.cfg.HeartbeatInterval
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		default:
+		}
+		n.mu.Lock()
+		role := n.role
+		leader := n.leaderID
+		leaderURL := n.peers[leader]
+		var corpora []string
+		for name := range n.leaderPos {
+			corpora = append(corpora, name)
+		}
+		n.mu.Unlock()
+		if role != RoleFollower || leader == "" || leader == n.id || leaderURL == "" {
+			select {
+			case <-n.stopCh:
+				return
+			case <-time.After(idle):
+			}
+			continue
+		}
+		progressed := false
+		for _, corpus := range corpora {
+			ok, err := n.syncCorpus(leaderURL, corpus)
+			if err != nil {
+				n.logf("cluster %s: sync %q from %s: %v", n.id, corpus, leader, err)
+			}
+			progressed = progressed || ok
+		}
+		if !progressed {
+			// Every pull long-polled and came back empty (or failed): yield
+			// briefly so a dead leader doesn't spin this loop.
+			select {
+			case <-n.stopCh:
+				return
+			case <-time.After(idle / 2):
+			}
+		}
+	}
+}
+
+// syncCorpus advances one corpus toward the leader: a full-snapshot join
+// when the corpus is missing locally or behind the leader's history
+// window, otherwise one pull+apply round. It reports whether any state
+// changed.
+func (n *Node) syncCorpus(leaderURL, corpus string) (bool, error) {
+	local, ok := n.cfg.Backend.Position(corpus)
+	if !ok {
+		return true, n.joinCorpus(leaderURL, corpus)
+	}
+	req := PullRequest{
+		Node:    n.id,
+		Corpus:  corpus,
+		From:    local.Epochs,
+		FromSeq: local.Seq,
+		WaitMS:  int(n.cfg.PullWait / time.Millisecond),
+	}
+	var resp PullResponse
+	if err := n.post(leaderURL, "/cluster/pull", req, &resp); err != nil {
+		return false, err
+	}
+	if resp.TooOld {
+		return true, n.joinCorpus(leaderURL, corpus)
+	}
+	applied := false
+	for _, b := range resp.Batches {
+		err := n.cfg.Backend.Apply(corpus, b)
+		switch {
+		case err == nil:
+			applied = true
+		case errors.Is(err, approxsel.ErrReplicaGap):
+			// The shipped window started past our vector (history trimmed
+			// between Since and our apply, or shards raced). Re-pull from
+			// the current vector — never skip.
+			return applied, nil
+		case errors.Is(err, approxsel.ErrReplicaDiverged):
+			return true, n.joinCorpus(leaderURL, corpus)
+		default:
+			return applied, err
+		}
+	}
+	return applied || len(resp.Batches) > 0, nil
+}
+
+// joinCorpus replaces the local corpus with a full snapshot streamed from
+// the leader — the catch-up path for new nodes and followers behind the
+// retained history window.
+func (n *Node) joinCorpus(leaderURL, corpus string) error {
+	n.logf("cluster %s: joining corpus %q from %s", n.id, corpus, leaderURL)
+	resp, err := n.cfg.Client.Get(leaderURL + "/cluster/snapshot?corpus=" + url.QueryEscape(corpus))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: snapshot of %q: HTTP %d", corpus, resp.StatusCode)
+	}
+	if err := n.cfg.Backend.InstallSnapshot(corpus, resp.Body); err != nil {
+		return fmt.Errorf("cluster: installing %q: %w", corpus, err)
+	}
+	if p, ok := n.cfg.Backend.Position(corpus); ok {
+		n.mu.Lock()
+		delete(n.hist, corpus)
+		n.mu.Unlock()
+		n.ensureHistory(corpus, p.Epochs)
+	}
+	return nil
+}

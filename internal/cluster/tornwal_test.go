@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	approxsel "repro"
+)
+
+// TestTornWALTailReship covers the crash-mid-ship corner of satellite
+// replication: a durable follower loses the tail of one shard's WAL (torn
+// write), restarts at a regressed epoch vector, and must catch back up by
+// re-requesting from the vector it actually holds — never by skipping.
+// The leader's history re-ships whole batches; idempotent per-shard apply
+// re-applies exactly what was lost.
+func TestTornWALTailReship(t *testing.T) {
+	recs := clusterData(t)
+	src, err := approxsel.OpenShardedCorpus(recs[:40], 2)
+	if err != nil {
+		t.Fatalf("open source: %v", err)
+	}
+	hist := NewHistory(src.Epochs(), 0, 0)
+	src.SetReplicationObserver(func(b approxsel.ReplicationBatch) { hist.Append(b) })
+
+	// A durable follower installed from the source's snapshot.
+	dir := filepath.Join(t.TempDir(), "follower")
+	var buf bytes.Buffer
+	if err := src.WriteReplicaSnapshot(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	fol, err := approxsel.OpenReplicaSnapshot(&buf, dir)
+	if err != nil {
+		t.Fatalf("install: %v", err)
+	}
+
+	// Six upserts of one record: six consecutive epochs on a single shard,
+	// all shipped and applied (and WAL-logged) at the follower.
+	for i := 0; i < 6; i++ {
+		if err := src.Upsert(approxsel.Record{TID: recs[0].TID, Text: recs[60+i].Text}); err != nil {
+			t.Fatalf("upsert: %v", err)
+		}
+	}
+	batches, tooOld := hist.Since(fol.Epochs(), 0)
+	if tooOld || len(batches) != 6 {
+		t.Fatalf("ship: %d batches, tooOld=%v", len(batches), tooOld)
+	}
+	for _, b := range batches {
+		if err := fol.ApplyReplicated(b); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	ackedVec := fol.Epochs()
+	if err := fol.CloseStore(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Tear the tail: truncate the mutated shard's WAL to its header plus a
+	// few garbage bytes, as a crash mid-write would. The store's replay
+	// must drop the torn tail, not refuse the shard.
+	torn := false
+	for i := 0; i < 2; i++ {
+		wal := filepath.Join(dir, "shard-000"+string(rune('0'+i)), "wal.log")
+		fi, err := os.Stat(wal)
+		if err != nil {
+			t.Fatalf("stat %s: %v", wal, err)
+		}
+		if fi.Size() > 16 {
+			if err := os.Truncate(wal, 15); err != nil {
+				t.Fatalf("truncate: %v", err)
+			}
+			torn = true
+		}
+	}
+	if !torn {
+		t.Fatal("test vacuous: no WAL grew past its header")
+	}
+
+	re, err := approxsel.OpenShardedCorpus(nil, 0, approxsel.WithDataDir(dir))
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	reVec := re.Epochs()
+	if vectorGE(reVec, ackedVec) {
+		t.Fatalf("test vacuous: reopened at %v, acked was %v", reVec, ackedVec)
+	}
+
+	// Never skip: applying only the newest shipped batch would jump the
+	// regressed shard several epochs ahead — it must be refused as a gap.
+	if err := re.ApplyReplicated(batches[len(batches)-1]); !errors.Is(err, approxsel.ErrReplicaGap) {
+		t.Fatalf("skip-ahead apply: got %v, want ErrReplicaGap", err)
+	}
+
+	// Re-request from the vector the follower actually holds: the history
+	// re-ships the lost window, idempotent apply replays exactly it.
+	reship, tooOld := hist.Since(reVec, 0)
+	if tooOld || len(reship) == 0 {
+		t.Fatalf("re-request: %d batches, tooOld=%v", len(reship), tooOld)
+	}
+	for _, b := range reship {
+		if err := re.ApplyReplicated(b); err != nil {
+			t.Fatalf("re-apply: %v", err)
+		}
+	}
+	got := re.Epochs()
+	want := src.Epochs()
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("converged to %v, source at %v", got, want)
+		}
+	}
+	// Bit-identical content, not just matching vectors.
+	sp, err := src.Predicate("Jaccard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := re.Predicate("Jaccard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{recs[0].Text, recs[63].Text, recs[65].Text} {
+		ms, err := sp.Select(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := rp.Select(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != len(mr) {
+			t.Fatalf("select %q: %d vs %d", q, len(ms), len(mr))
+		}
+		for i := range ms {
+			if ms[i] != mr[i] {
+				t.Fatalf("select %q match %d: %+v vs %+v", q, i, ms[i], mr[i])
+			}
+		}
+	}
+	if err := re.CloseStore(); err != nil {
+		t.Fatalf("final close: %v", err)
+	}
+}

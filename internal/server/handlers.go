@@ -36,6 +36,10 @@ type SelectRequest struct {
 	Query       string   `json:"query"`
 	Limit       int      `json:"limit,omitempty"`
 	Threshold   *float64 `json:"threshold,omitempty"`
+	// MinEpochs is the client's last-seen epoch vector (epoch-consistent
+	// reads): the reply is computed at-or-past it, waiting up to the
+	// request deadline on a stale replica (504 → retry elsewhere).
+	MinEpochs []uint64 `json:"min_epochs,omitempty"`
 }
 
 // SelectResponse carries the ranked matches. Epochs is the shard-epoch
@@ -57,6 +61,8 @@ type BatchRequest struct {
 	Queries     []string `json:"queries"`
 	Limit       int      `json:"limit,omitempty"`
 	Threshold   *float64 `json:"threshold,omitempty"`
+	// MinEpochs: see SelectRequest.
+	MinEpochs []uint64 `json:"min_epochs,omitempty"`
 }
 
 // BatchResponse carries one ranked match slice per query, in query order.
@@ -180,6 +186,10 @@ type Stats struct {
 	// Watch reports the standing-query subsystem, aggregated across
 	// corpora.
 	Watch WatchStats `json:"watch"`
+	// Cluster reports the replication layer (role, term, applied epoch
+	// vectors, follower lag, peer liveness) when the server is part of a
+	// cluster; omitted standalone.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // WatchStats is the watch block of /v1/stats: active standing queries and
@@ -248,9 +258,21 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/watch", s.counted("watch", s.handleWatch))
 	mux.HandleFunc("POST /v1/corpora", s.admit(s.counted("corpora", s.handleCreateCorpus)))
 	mux.HandleFunc("GET /v1/corpora", s.counted("corpora", s.handleListCorpora))
+	mux.HandleFunc("POST /v1/hash", s.admit(s.counted("hash", s.handleHash)))
 	mux.HandleFunc("GET /v1/stats", s.counted("stats", s.handleStats))
+	// The replication and election RPC surface of an attached cluster node;
+	// 404 on a standalone server.
+	mux.HandleFunc("/cluster/", s.handleClusterRPC)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// Role lets a load balancer route writes to the leader without a
+		// second request.
+		resp := map[string]string{"status": "ok"}
+		if n := s.clusterNode(); n != nil {
+			role, _, leader := n.Role()
+			resp["role"] = string(role)
+			resp["leader"] = leader
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	return mux
 }
@@ -343,6 +365,10 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	if err := h.awaitEpochs(r.Context(), req.MinEpochs); err != nil {
+		s.fail(w, epochWaitStatus(err), err)
+		return
+	}
 	start := time.Now()
 	ms, epochs, cached, err := h.probe(r.Context(), ph, req.Realization, req.Predicate, req.Query, opts)
 	elapsed := time.Since(start)
@@ -374,6 +400,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	opts, err := selectOptions(req.Limit, req.Threshold)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := h.awaitEpochs(r.Context(), req.MinEpochs); err != nil {
+		s.fail(w, epochWaitStatus(err), err)
 		return
 	}
 	start := time.Now()
@@ -527,9 +557,19 @@ const (
 
 func (s *Server) handleMutate(op mutateOp) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		var req MutateRequest
-		if err := s.decode(w, r, &req); err != nil {
+		// The body is drained before decoding so a follower can relay it
+		// to the leader verbatim (writes are leader-only in a cluster).
+		body, err := s.readBody(w, r)
+		if err != nil {
 			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		if s.forwardMutation(w, r, body) {
+			return
+		}
+		var req MutateRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
 			return
 		}
 		h, err := s.corpus(req.Corpus)
@@ -556,14 +596,28 @@ func (s *Server) handleMutate(op mutateOp) http.HandlerFunc {
 			s.fail(w, mutationStatus(err), err)
 			return
 		}
+		// Acknowledge only once a majority of the cluster holds the batch;
+		// a leader killed after the 200 cannot lose this write.
+		if err := s.waitQuorum(r.Context(), h, epochs); err != nil {
+			s.fail(w, http.StatusGatewayTimeout, err)
+			return
+		}
 		writeJSON(w, http.StatusOK, MutateResponse{Len: n, Epochs: epochs})
 	}
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	var req DeleteRequest
-	if err := s.decode(w, r, &req); err != nil {
+	body, err := s.readBody(w, r)
+	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.forwardMutation(w, r, body) {
+		return
+	}
+	var req DeleteRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
 		return
 	}
 	h, err := s.corpus(req.Corpus)
@@ -581,6 +635,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	h.mmu.Unlock()
 	if err != nil {
 		s.fail(w, mutationStatus(err), err)
+		return
+	}
+	if err := s.waitQuorum(r.Context(), h, epochs); err != nil {
+		s.fail(w, http.StatusGatewayTimeout, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, MutateResponse{Len: n, Epochs: epochs})
@@ -633,9 +691,19 @@ func storeInfo(name string, st approxsel.StoreStats) StoreInfo {
 // ---- corpora and observability ----
 
 func (s *Server) handleCreateCorpus(w http.ResponseWriter, r *http.Request) {
-	var req CreateCorpusRequest
-	if err := s.decode(w, r, &req); err != nil {
+	// Corpus creation is a mutation: in a cluster it lands at the leader
+	// and reaches followers through the snapshot join path.
+	body, err := s.readBody(w, r)
+	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.forwardMutation(w, r, body) {
+		return
+	}
+	var req CreateCorpusRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
 		return
 	}
 	// Corpus builds are not interruptible; honor an already-expired
@@ -723,5 +791,6 @@ func (s *Server) stats() Stats {
 	}
 	hp := core.HotPathSnapshot()
 	st.HotPath = HotPathStats{HotPathStats: hp, PruneRate: hp.PruneRate()}
+	st.Cluster = s.clusterStats()
 	return st
 }

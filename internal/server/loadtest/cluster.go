@@ -1,0 +1,510 @@
+package loadtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	approxsel "repro"
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+// ClusterOptions configure the approxcluster read-scaling load test: a
+// single approxserved instance versus a replicated cluster (leader + N
+// followers) serving the same read mix with query-affinity routing.
+//
+// On a box with one core the cluster cannot scale CPU, so the run is set
+// up to measure the resource that does scale with followers regardless of
+// core count: aggregate effective cache capacity. Every node gets the same
+// per-node cache (CacheEntries), the distinct-query set is chosen larger
+// than one node's cache but smaller than the followers' combined caches,
+// and the client routes each query to a fixed follower (hash affinity).
+// The single node thrashes its LRU on the round-robin mix; each follower
+// holds its partition of the query space fully cached. That capacity
+// argument is exactly how read replicas scale serving in practice —
+// additional cores per replica only widen the gap.
+type ClusterOptions struct {
+	// Records is the relation size (default 3000).
+	Records int
+	// Distinct is the number of distinct queries (default 280). Must
+	// exceed CacheEntries for the single-node baseline to be
+	// capacity-bound.
+	Distinct int
+	// Requests is the number of timed read requests per path (default 2000).
+	Requests int
+	// Predicate is the probed predicate (default BM25).
+	Predicate string
+	// Limit is the per-query top-k (default 10).
+	Limit int
+	// Shards is the per-corpus shard count (default 2).
+	Shards int
+	// Followers is the number of read replicas behind the leader
+	// (default 2).
+	Followers int
+	// CacheEntries is the per-node result cache size (default
+	// Distinct/Followers + 16: one follower's partition fits, the whole
+	// mix does not fit one node).
+	CacheEntries int
+	// Concurrency is the number of client goroutines (default 8).
+	Concurrency int
+	// Seed drives data generation and query sampling.
+	Seed int64
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.Records <= 0 {
+		o.Records = 3000
+	}
+	if o.Distinct <= 0 {
+		o.Distinct = 280
+	}
+	if o.Requests <= 0 {
+		o.Requests = 2000
+	}
+	if o.Predicate == "" {
+		o.Predicate = "BM25"
+	}
+	if o.Limit <= 0 {
+		o.Limit = 10
+	}
+	if o.Shards <= 0 {
+		o.Shards = 2
+	}
+	if o.Followers <= 0 {
+		o.Followers = 2
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = o.Distinct/o.Followers + 16
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ClusterReport is the machine-readable result, written as
+// BENCH_cluster.json.
+type ClusterReport struct {
+	Records      int         `json:"records"`
+	Distinct     int         `json:"distinct_queries"`
+	Requests     int         `json:"requests"`
+	Predicate    string      `json:"predicate"`
+	Shards       int         `json:"shards"`
+	Followers    int         `json:"followers"`
+	CacheEntries int         `json:"cache_entries_per_node"`
+	Concurrency  int         `json:"concurrency"`
+	Seed         int64       `json:"seed"`
+	Entries      []PathEntry `json:"entries"` // "single" and "cluster"
+	// ReadScaling is cluster read QPS / single-node read QPS at equal
+	// per-node resources.
+	ReadScaling float64 `json:"read_scaling"`
+	// HashOK reports the differential check: every replica returned the
+	// identical result hash for every probe at the same epoch vector.
+	HashOK         bool     `json:"hash_ok"`
+	HashesVerified int      `json:"hashes_verified"`
+	Epochs         []uint64 `json:"epochs"`
+}
+
+type benchNode struct {
+	id   string
+	srv  *server.Server
+	node *cluster.Node
+	hs   *httptest.Server
+}
+
+// mutableHandler lets the httptest listener exist before the server whose
+// URL it hands out.
+type mutableHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (p *mutableHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	h := p.h
+	p.mu.Unlock()
+	if h == nil {
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// RunCluster executes the cluster read-scaling load test.
+func RunCluster(o ClusterOptions) (ClusterReport, error) {
+	o = o.withDefaults()
+	r := ClusterReport{
+		Records:      o.Records,
+		Distinct:     o.Distinct,
+		Requests:     o.Requests,
+		Predicate:    o.Predicate,
+		Shards:       o.Shards,
+		Followers:    o.Followers,
+		CacheEntries: o.CacheEntries,
+		Concurrency:  o.Concurrency,
+		Seed:         o.Seed,
+	}
+	records, err := relation(o.Records, o.Seed)
+	if err != nil {
+		return r, err
+	}
+	queries := queryMix(records, o.Distinct, o.Seed)
+	r.Distinct = len(queries)
+	// Round-robin over the distinct set: the adversarial-for-LRU mix that
+	// makes cache capacity, not skew, the bottleneck.
+	seq := make([]int, o.Requests)
+	for i := range seq {
+		seq[i] = i % len(queries)
+	}
+
+	single, err := runSingleRead(o, records, queries, seq)
+	if err != nil {
+		return r, err
+	}
+	r.Entries = append(r.Entries, single)
+
+	clusterEntry, hashes, epochs, hashOK, err := runClusterRead(o, records, queries, seq)
+	if err != nil {
+		return r, err
+	}
+	r.Entries = append(r.Entries, clusterEntry)
+	r.HashesVerified = hashes
+	r.HashOK = hashOK
+	r.Epochs = epochs
+	if single.QPS > 0 {
+		r.ReadScaling = clusterEntry.QPS / single.QPS
+	}
+	return r, nil
+}
+
+// runSingleRead measures one approxserved node serving the whole mix.
+func runSingleRead(o ClusterOptions, records []approxsel.Record, queries []string, seq []int) (PathEntry, error) {
+	srv := server.New(server.Config{
+		Shards:       o.Shards,
+		CacheEntries: o.CacheEntries,
+		MaxInFlight:  o.Concurrency * 4,
+	})
+	if err := srv.AddCorpus("main", records); err != nil {
+		return PathEntry{}, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.Concurrency}}
+	targets := func(int) string { return ts.URL }
+	if err := warmRead(client, o, queries, targets); err != nil {
+		return PathEntry{}, err
+	}
+	entry, err := timedRead(client, o, queries, seq, targets)
+	if err != nil {
+		return PathEntry{}, err
+	}
+	entry.Path = "single"
+	var stats server.Stats
+	if err := getJSON(client, ts.URL+"/v1/stats", &stats); err != nil {
+		return PathEntry{}, err
+	}
+	entry.CacheHitRate = stats.Cache.HitRate
+	return entry, nil
+}
+
+// runClusterRead stands up leader + Followers replicas, replicates the
+// corpus, differential-checks result hashes across all replicas, then
+// measures the followers serving the mix with query-affinity routing.
+func runClusterRead(o ClusterOptions, records []approxsel.Record, queries []string, seq []int) (PathEntry, int, []uint64, bool, error) {
+	n := o.Followers + 1
+	nodes := make([]*benchNode, n)
+	proxies := make([]*mutableHandler, n)
+	peers := make(map[string]string, n)
+	for i := range nodes {
+		proxies[i] = &mutableHandler{}
+		hs := httptest.NewServer(proxies[i])
+		id := fmt.Sprintf("n%d", i)
+		nodes[i] = &benchNode{id: id, hs: hs}
+		peers[id] = hs.URL
+	}
+	defer func() {
+		for _, bn := range nodes {
+			if bn.node != nil {
+				bn.node.Stop()
+			}
+			bn.hs.Close()
+		}
+	}()
+	for i, bn := range nodes {
+		srv := server.New(server.Config{
+			Shards:       o.Shards,
+			CacheEntries: o.CacheEntries,
+			MaxInFlight:  o.Concurrency * 4,
+		})
+		node, err := cluster.NewNode(cluster.Config{
+			ID:                bn.id,
+			Peers:             peers,
+			Backend:           srv.ClusterBackend(),
+			HeartbeatInterval: 25 * time.Millisecond,
+			ElectionTimeout:   150 * time.Millisecond,
+			PullWait:          100 * time.Millisecond,
+			Seed:              int64(i + 1),
+		})
+		if err != nil {
+			return PathEntry{}, 0, nil, false, err
+		}
+		srv.AttachCluster(node)
+		bn.srv, bn.node = srv, node
+		proxies[i].mu.Lock()
+		proxies[i].h = srv.Handler()
+		proxies[i].mu.Unlock()
+		node.Start()
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.Concurrency * n}}
+	if err := awaitLeader(nodes, 15*time.Second); err != nil {
+		return PathEntry{}, 0, nil, false, err
+	}
+
+	// Create the corpus through the cluster write path (forwarded to the
+	// leader, replicated to every follower through snapshot join).
+	wire := make([]server.RecordJSON, len(records))
+	for i, rec := range records {
+		wire[i] = server.RecordJSON{TID: rec.TID, Text: rec.Text}
+	}
+	body, _ := json.Marshal(server.CreateCorpusRequest{Name: "main", Shards: o.Shards, Records: wire})
+	var epochs []uint64
+	if err := postRetry(client, nodes[0].hs.URL+"/v1/corpora", body, 15*time.Second, nil); err != nil {
+		return PathEntry{}, 0, nil, false, err
+	}
+	// One mutation pins the bench epoch vector: its ack means a majority
+	// holds it, and min_epochs on every probe below makes each replica
+	// wait until it has caught up to exactly this version.
+	mb, _ := json.Marshal(server.MutateRequest{Corpus: "main", Records: []server.RecordJSON{{TID: 1 << 30, Text: "cluster bench epoch sentinel"}}})
+	var mr server.MutateResponse
+	if err := postRetry(client, nodes[0].hs.URL+"/v1/insert", mb, 15*time.Second, &mr); err != nil {
+		return PathEntry{}, 0, nil, false, err
+	}
+	epochs = mr.Epochs
+
+	// Differential: every replica answers every probe with the identical
+	// result hash at the pinned vector.
+	hashes := 0
+	hashOK := true
+	probeEvery := len(queries) / 24
+	if probeEvery == 0 {
+		probeEvery = 1
+	}
+	for qi := 0; qi < len(queries); qi += probeEvery {
+		want := ""
+		for _, bn := range nodes {
+			hb, _ := json.Marshal(server.HashRequest{
+				Corpus: "main", Predicate: o.Predicate, Query: queries[qi],
+				Limit: o.Limit, MinEpochs: epochs,
+			})
+			var hr server.HashResponse
+			if err := postRetry(client, bn.hs.URL+"/v1/hash", hb, 15*time.Second, &hr); err != nil {
+				return PathEntry{}, hashes, epochs, false, err
+			}
+			if want == "" {
+				want = hr.Hash
+			} else if hr.Hash != want {
+				hashOK = false
+			}
+			hashes++
+		}
+	}
+
+	// Query-affinity routing: a query always lands on the same follower,
+	// so each follower caches only its partition of the query space.
+	followers := nodes[1:]
+	if leaderIdx := leaderIndex(nodes); leaderIdx > 0 {
+		// Keep the leader out of the read pool whichever node won.
+		followers = make([]*benchNode, 0, n-1)
+		for i, bn := range nodes {
+			if i != leaderIdx {
+				followers = append(followers, bn)
+			}
+		}
+	}
+	targets := func(queryIdx int) string {
+		return followers[queryIdx%len(followers)].hs.URL
+	}
+	if err := warmRead(client, o, queries, targets); err != nil {
+		return PathEntry{}, hashes, epochs, hashOK, err
+	}
+	entry, err := timedRead(client, o, queries, seq, targets)
+	if err != nil {
+		return PathEntry{}, hashes, epochs, hashOK, err
+	}
+	entry.Path = "cluster"
+	// Aggregate follower hit rate, weighted by each node's lookups.
+	var hits, misses uint64
+	for _, bn := range followers {
+		var stats server.Stats
+		if err := getJSON(client, bn.hs.URL+"/v1/stats", &stats); err != nil {
+			return PathEntry{}, hashes, epochs, hashOK, err
+		}
+		hits += stats.Cache.Hits
+		misses += stats.Cache.Misses
+	}
+	if hits+misses > 0 {
+		entry.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	return entry, hashes, epochs, hashOK, nil
+}
+
+// warmRead fills each target's cache with its share of the distinct set.
+func warmRead(client *http.Client, o ClusterOptions, queries []string, target func(int) string) error {
+	for qi, q := range queries {
+		if err := readOne(client, target(qi), o, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timedRead replays the mix from Concurrency goroutines, routing each
+// request by its query index.
+func timedRead(client *http.Client, o ClusterOptions, queries []string, seq []int, target func(int) string) (PathEntry, error) {
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		nextReq int
+		runErr  error
+	)
+	start := time.Now()
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if runErr != nil || nextReq >= len(seq) {
+					mu.Unlock()
+					return
+				}
+				i := nextReq
+				nextReq++
+				mu.Unlock()
+				qi := seq[i]
+				if err := readOne(client, target(qi), o, queries[qi]); err != nil {
+					mu.Lock()
+					if runErr == nil {
+						runErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if runErr != nil {
+		return PathEntry{}, runErr
+	}
+	return PathEntry{
+		Requests: len(seq),
+		QPS:      float64(len(seq)) / elapsed.Seconds(),
+		AvgNS:    elapsed.Nanoseconds() / int64(len(seq)),
+	}, nil
+}
+
+func readOne(client *http.Client, base string, o ClusterOptions, query string) error {
+	body, err := json.Marshal(server.SelectRequest{Corpus: "main", Predicate: o.Predicate, Query: query, Limit: o.Limit})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/v1/select", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("loadtest: cluster select status %d: %s", resp.StatusCode, b)
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func awaitLeader(nodes []*benchNode, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if leaderIndex(nodes) >= 0 {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("loadtest: no leader elected within %v", timeout)
+}
+
+func leaderIndex(nodes []*benchNode) int {
+	for i, bn := range nodes {
+		if bn.node.IsLeader() {
+			return i
+		}
+	}
+	return -1
+}
+
+// postRetry POSTs body, retrying 503/504 (leaderless or catching-up
+// windows) until the deadline, decoding 200 responses into out.
+func postRetry(client *http.Client, url string, body []byte, timeout time.Duration, out any) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusCreated:
+			defer resp.Body.Close()
+			if out != nil {
+				return json.NewDecoder(resp.Body).Decode(out)
+			}
+			_, err = io.Copy(io.Discard, resp.Body)
+			return err
+		case (resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusGatewayTimeout) && time.Now().Before(deadline):
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(50 * time.Millisecond)
+		default:
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return fmt.Errorf("loadtest: POST %s: status %d: %s", url, resp.StatusCode, b)
+		}
+	}
+}
+
+// WriteJSON writes the report as BENCH_cluster.json in dir (created if
+// missing).
+func (r ClusterReport) WriteJSON(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_cluster.json"), append(data, '\n'), 0o644)
+}
+
+// Print writes a human-readable summary.
+func (r ClusterReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "Cluster read-scaling load test — %d records, %d distinct queries, predicate %s, %d shards, %d followers, %d cache entries/node\n",
+		r.Records, r.Distinct, r.Predicate, r.Shards, r.Followers, r.CacheEntries)
+	for _, e := range r.Entries {
+		fmt.Fprintf(w, "  %-8s %6d req  %9.1f qps  avg %v  hit-rate %.2f\n", e.Path, e.Requests, e.QPS,
+			time.Duration(e.AvgNS).Round(time.Microsecond), e.CacheHitRate)
+	}
+	fmt.Fprintf(w, "  read scaling %.2fx at %d followers  hash ok=%v (%d replica hashes at epochs %v)\n",
+		r.ReadScaling, r.Followers, r.HashOK, r.HashesVerified, r.Epochs)
+}

@@ -1,0 +1,74 @@
+package loadtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestClusterLoadtestSmall runs the cluster read-scaling pipeline at a
+// tiny scale: the report invariants must hold and every replica must hash
+// identically at the pinned epoch vector. The ≥1.5x scaling floor is
+// asserted only by CI against the committed full-scale BENCH_cluster.json
+// — at this scale the election and join overhead dominates.
+func TestClusterLoadtestSmall(t *testing.T) {
+	r, err := RunCluster(ClusterOptions{
+		Records:      300,
+		Distinct:     40,
+		Requests:     160,
+		Shards:       2,
+		Followers:    2,
+		CacheEntries: 24,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 2 || r.Entries[0].Path != "single" || r.Entries[1].Path != "cluster" {
+		t.Fatalf("entries: %+v", r.Entries)
+	}
+	for _, e := range r.Entries {
+		if e.QPS <= 0 || e.AvgNS <= 0 || e.Requests != 160 {
+			t.Fatalf("degenerate entry: %+v", e)
+		}
+	}
+	if !r.HashOK || r.HashesVerified == 0 {
+		t.Fatalf("hash differential: ok=%v verified=%d", r.HashOK, r.HashesVerified)
+	}
+	if len(r.Epochs) != 2 {
+		t.Fatalf("epoch vector: %v", r.Epochs)
+	}
+	if r.ReadScaling <= 0 {
+		t.Fatalf("read scaling: %v", r.ReadScaling)
+	}
+	// The per-follower partition (20 queries) fits the 24-entry cache, so
+	// the followers must be running warm.
+	if r.Entries[1].CacheHitRate <= r.Entries[0].CacheHitRate {
+		t.Fatalf("affinity routing must beat the thrashing single node: cluster %.2f vs single %.2f",
+			r.Entries[1].CacheHitRate, r.Entries[0].CacheHitRate)
+	}
+
+	dir := t.TempDir()
+	if err := r.WriteJSON(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_cluster.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ClusterReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Records != 300 || len(back.Entries) != 2 || !back.HashOK {
+		t.Fatalf("round-trip: %+v", back)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "read scaling") {
+		t.Fatalf("print: %s", buf.String())
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	approxsel "repro"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/server/cache"
 	"repro/internal/store"
@@ -121,6 +122,9 @@ type Server struct {
 
 	mu      sync.RWMutex
 	corpora map[string]*corpusHandle
+	// cluster is the attached replication node (AttachCluster); nil for a
+	// standalone server.
+	cluster *cluster.Node
 	// creating holds names whose corpus build is in flight, so a racing
 	// create of the same name fails fast instead of double-touching one
 	// data directory.
@@ -207,8 +211,9 @@ func (s *Server) addCorpus(name string, records []approxsel.Record, shards int, 
 		h.cache = cache.New[[]core.Match](s.cfg.CacheEntries)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.corpora[name] = h
+	s.mu.Unlock()
+	s.wireReplication(h)
 	return nil
 }
 

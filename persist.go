@@ -181,7 +181,7 @@ func (s *ShardedCorpus) Checkpoint() error {
 	}); err != nil {
 		return err
 	}
-	return store.WriteManifest(s.root, store.Manifest{Version: 1, Shards: len(s.shards), Epochs: s.Epochs()})
+	return store.WriteManifest(s.root, store.Manifest{Version: 1, Shards: len(s.shards), Epochs: s.Epochs(), Seq: s.seq.Load()})
 }
 
 // SyncStore flushes every shard's logged mutations to stable storage. It is
@@ -198,7 +198,16 @@ func (s *ShardedCorpus) SyncStore() error {
 // CloseStore fsyncs and closes every shard's write-ahead log. Further
 // mutations fail; selections keep working. It is a no-op on a corpus
 // without a data directory.
+//
+// The close is serialized behind the cross-shard mutation lock: without
+// it, a mutation racing the drain could land (and fsync) on the shards
+// whose logs were still open while the rest rejected its sub-batches —
+// a durably half-applied batch that was never acknowledged. Behind the
+// lock, every mutation either completes before the first log seals or
+// fails on every shard.
 func (s *ShardedCorpus) CloseStore() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var first error
 	for _, l := range s.logs {
 		if err := l.Close(); err != nil && first == nil {

@@ -1,0 +1,279 @@
+package approxsel
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/watch"
+)
+
+// This file is the corpus-level face of approxcluster, the replicated
+// serving layer: a ShardedCorpus can act as the replication *source*
+// (SetReplicationObserver hands every applied mutation batch — the exact
+// epoch-stamped grouping the write-ahead log stores — to a shipping layer)
+// or as a replication *target* (ApplyReplicated applies a shipped batch
+// through the ordinary mutation path, so the replica's snapshots, WAL,
+// watch hub and epoch vector advance bit-identically to the source's).
+//
+// The unit of replication is watch.Batch: one logical mutation with one
+// corpus-wide sequence number and one epoch-stamped sub-mutation per
+// touched shard — precisely what store.Log persists per shard and what
+// watch.GroupBatches reassembles from a cold start's WAL replay. Shipping
+// that shape means a replica's WAL is interchangeable with the source's,
+// and a watch registered on a replica resumes from the replicated history
+// exactly as it would on the source.
+
+// ReplicationBatch is one logical, epoch-stamped mutation batch in the
+// shape the replication layer ships: per-shard sub-mutations sharing one
+// corpus-wide sequence number — the WAL's replay grouping.
+type ReplicationBatch = watch.Batch
+
+// ReplicationSub is one shard's slice of a ReplicationBatch.
+type ReplicationSub = watch.SubMutation
+
+// ErrReplicaGap reports a replicated batch that does not follow the
+// replica's current state: some shard would have to skip an epoch to apply
+// it. The replica must re-request the stream from its last applied epoch
+// vector (never skip ahead).
+var ErrReplicaGap = fmt.Errorf("approxsel: replicated batch leaves an epoch gap")
+
+// ErrReplicaDiverged reports a replica whose state no longer matches the
+// replication source: a shipped batch applied but produced a different
+// epoch, or failed validation that the source passed. The replica must
+// discard its copy and re-join from a full snapshot.
+var ErrReplicaDiverged = fmt.Errorf("approxsel: replica state diverged from the replication source")
+
+// Seq returns the corpus-wide sequence number of the last applied logical
+// mutation batch (zero for a freshly built corpus).
+func (s *ShardedCorpus) Seq() uint64 { return s.seq.Load() }
+
+// ResumeSeq fast-forwards the corpus-wide batch sequence counter to at
+// least seq. The replication layer calls it after installing a snapshot,
+// so sequence numbers keep increasing across the ownership change.
+func (s *ShardedCorpus) ResumeSeq(seq uint64) {
+	for {
+		cur := s.seq.Load()
+		if cur >= seq || s.seq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// SetReplicationObserver installs fn as the corpus's replication source
+// hook: it is called under the mutation lock with every logical batch that
+// applied (on a partial multi-shard failure, with exactly the sub-batches
+// that landed), after the batch is durable in the WAL and visible to
+// selections. fn must not mutate the corpus. Passing nil removes the hook.
+func (s *ShardedCorpus) SetReplicationObserver(fn func(ReplicationBatch)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replObs = fn
+}
+
+// ApplyReplicated applies one shipped batch to this replica through the
+// ordinary mutation path: every sub-mutation lands on its shard, is
+// write-ahead logged (for a durable replica) and fans out to watches, and
+// the shard must arrive at exactly the epoch the batch was stamped with at
+// the source. Application is idempotent per shard — sub-mutations the
+// replica already holds (shard epoch at or past the stamp) are skipped, so
+// re-shipping a window after a torn WAL tail re-applies only what was
+// lost. A batch that would skip an epoch fails with ErrReplicaGap; one
+// that applies to a different state fails with ErrReplicaDiverged.
+func (s *ShardedCorpus) ApplyReplicated(b ReplicationBatch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sub := range b.Subs {
+		if sub.Shard < 0 || sub.Shard >= len(s.shards) {
+			return fmt.Errorf("%w: batch %d names shard %d of %d", ErrReplicaDiverged, b.Seq, sub.Shard, len(s.shards))
+		}
+		if cur := s.shards[sub.Shard].Epoch(); cur < sub.Epoch-1 {
+			return fmt.Errorf("%w: shard %d at epoch %d cannot apply batch %d at epoch %d", ErrReplicaGap, sub.Shard, cur, b.Seq, sub.Epoch)
+		}
+	}
+	// Stamp the source's sequence number before applying, so each shard's
+	// WAL entry logs it and a cold start regroups the batch correctly.
+	s.ResumeSeq(b.Seq)
+	var applied []ReplicationSub
+	for _, sub := range b.Subs {
+		c := s.shards[sub.Shard]
+		if c.Epoch() >= sub.Epoch {
+			continue // already holds this sub-batch
+		}
+		var err error
+		switch sub.Kind {
+		case core.MutationDelete:
+			err = c.Delete(sub.Del...)
+		case core.MutationUpsert:
+			err = c.Upsert(sub.Add...)
+		case core.MutationInsert:
+			err = c.Insert(sub.Add...)
+		default:
+			err = fmt.Errorf("unknown mutation kind %d", sub.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("%w: shard %d rejected batch %d: %v", ErrReplicaDiverged, sub.Shard, b.Seq, err)
+		}
+		if got := c.Epoch(); got != sub.Epoch {
+			return fmt.Errorf("%w: shard %d reached epoch %d, batch %d stamped %d", ErrReplicaDiverged, sub.Shard, got, b.Seq, sub.Epoch)
+		}
+		applied = append(applied, sub)
+	}
+	if len(applied) > 0 {
+		if s.hub != nil {
+			s.hub.OnBatch(watch.Batch{Seq: b.Seq, Subs: applied})
+		}
+		// The replica re-announces what it applied: its own replication
+		// history stays populated, so it can serve as a re-ship source the
+		// moment it is elected leader.
+		if s.replObs != nil {
+			s.replObs(watch.Batch{Seq: b.Seq, Subs: applied})
+		}
+	}
+	return nil
+}
+
+// ---- full-snapshot transfer (the join/catch-up path) ----
+
+// replicaSnapshotHeader is the JSON header line of a replica snapshot
+// stream: the shard layout, the batch sequence number and the shard-epoch
+// vector the segments encode.
+type replicaSnapshotHeader struct {
+	Version int      `json:"version"`
+	Shards  int      `json:"shards"`
+	Seq     uint64   `json:"seq"`
+	Epochs  []uint64 `json:"epochs"`
+}
+
+// WriteReplicaSnapshot streams a consistent full snapshot of the corpus —
+// a JSON header line, then one length-prefixed snapshot segment per shard —
+// the payload a joining or lagging replica installs with
+// OpenReplicaSnapshot. Mutations are frozen for the duration (the header's
+// epoch vector must name one global version); selections proceed
+// unaffected.
+func (s *ShardedCorpus) WriteReplicaSnapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hdr := replicaSnapshotHeader{Version: 1, Shards: len(s.shards), Seq: s.seq.Load(), Epochs: s.Epochs()}
+	data, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, c := range s.shards {
+		bw := &sliceWriter{b: buf[:0]}
+		if err := c.WriteSnapshot(bw); err != nil {
+			return err
+		}
+		buf = bw.b
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(buf)))
+		if _, err := w.Write(n[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// maxReplicaSegment bounds one shard's segment in a replica snapshot
+// stream (the segment format's own section bound).
+const maxReplicaSegment = 1 << 30
+
+// OpenReplicaSnapshot installs a replica snapshot stream written by
+// WriteReplicaSnapshot. With an empty dataDir the corpus is built in
+// memory; otherwise dataDir is (re)initialized as the corpus's store —
+// segments at the shipped epochs, empty WALs, a manifest naming the
+// shipped version — and opened durably, replacing whatever store was
+// there (the join path runs exactly when the local copy is missing or has
+// diverged). Either way the result is bit-identical to the source corpus
+// at the shipped epoch vector, including the vector itself.
+func OpenReplicaSnapshot(r io.Reader, dataDir string) (*ShardedCorpus, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("approxsel: replica snapshot header: %w", err)
+	}
+	var hdr replicaSnapshotHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return nil, fmt.Errorf("approxsel: replica snapshot header: %w", err)
+	}
+	if hdr.Version != 1 {
+		return nil, fmt.Errorf("approxsel: unsupported replica snapshot version %d", hdr.Version)
+	}
+	if hdr.Shards < 1 || len(hdr.Epochs) != hdr.Shards {
+		return nil, fmt.Errorf("approxsel: replica snapshot names %d shards with %d epochs", hdr.Shards, len(hdr.Epochs))
+	}
+	segs := make([][]byte, hdr.Shards)
+	for i := range segs {
+		var n [8]byte
+		if _, err := io.ReadFull(br, n[:]); err != nil {
+			return nil, fmt.Errorf("approxsel: replica snapshot shard %d: %w", i, err)
+		}
+		size := binary.LittleEndian.Uint64(n[:])
+		if size > maxReplicaSegment {
+			return nil, fmt.Errorf("approxsel: replica snapshot shard %d claims %d bytes", i, size)
+		}
+		segs[i] = make([]byte, size)
+		if _, err := io.ReadFull(br, segs[i]); err != nil {
+			return nil, fmt.Errorf("approxsel: replica snapshot shard %d: %w", i, err)
+		}
+	}
+
+	if dataDir == "" {
+		s := &ShardedCorpus{shards: make([]*core.Corpus, hdr.Shards)}
+		var base []core.Record
+		for i, seg := range segs {
+			c, err := core.LoadSnapshot(seg)
+			if err != nil {
+				return nil, fmt.Errorf("approxsel: replica snapshot shard %d: %w", i, err)
+			}
+			if c.Epoch() != hdr.Epochs[i] {
+				return nil, fmt.Errorf("approxsel: replica snapshot shard %d decodes to epoch %d, header says %d", i, c.Epoch(), hdr.Epochs[i])
+			}
+			s.shards[i] = c
+			base = append(base, c.Records()...)
+		}
+		s.cfg = s.shards[0].Config()
+		s.seq.Store(hdr.Seq)
+		s.initWatchHub(base, hdr.Epochs, nil)
+		return s, nil
+	}
+
+	// Durable install: materialize a store directory holding exactly the
+	// shipped version, then open it through the ordinary durable path.
+	if err := os.RemoveAll(dataDir); err != nil {
+		return nil, fmt.Errorf("approxsel: replica install: %w", err)
+	}
+	for i, seg := range segs {
+		if err := store.MaterializeShard(store.ShardDir(dataDir, i), seg, hdr.Epochs[i]); err != nil {
+			return nil, fmt.Errorf("approxsel: replica install shard %d: %w", i, err)
+		}
+	}
+	if err := store.WriteManifest(dataDir, store.Manifest{Version: 1, Shards: hdr.Shards, Epochs: hdr.Epochs, Seq: hdr.Seq}); err != nil {
+		return nil, err
+	}
+	s, err := OpenShardedCorpus(nil, hdr.Shards, WithDataDir(dataDir))
+	if err != nil {
+		return nil, err
+	}
+	s.ResumeSeq(hdr.Seq)
+	return s, nil
+}

@@ -1,0 +1,291 @@
+package approxsel
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// The replication facade suite: SetReplicationObserver → ApplyReplicated
+// must keep a replica bit-identical to the source (epoch vector, scores,
+// tie order), apply idempotently after a re-ship, refuse epoch gaps, and
+// round-trip through the full-snapshot join path both in memory and into
+// a durable store directory.
+
+// replicaPair builds a source and a replica from the same base relation
+// and wires the source's replication observer straight into the replica.
+func replicaPair(t *testing.T, initial []Record, shards int) (*ShardedCorpus, *ShardedCorpus, *[]ReplicationBatch) {
+	t.Helper()
+	src, err := OpenShardedCorpus(initial, shards)
+	if err != nil {
+		t.Fatalf("open source: %v", err)
+	}
+	dst, err := OpenShardedCorpus(initial, shards)
+	if err != nil {
+		t.Fatalf("open replica: %v", err)
+	}
+	var shipped []ReplicationBatch
+	src.SetReplicationObserver(func(b ReplicationBatch) {
+		shipped = append(shipped, b)
+		if err := dst.ApplyReplicated(b); err != nil {
+			t.Errorf("apply batch %d: %v", b.Seq, err)
+		}
+	})
+	return src, dst, &shipped
+}
+
+func assertReplicaIdentical(t *testing.T, src, dst *ShardedCorpus, queries []string) {
+	t.Helper()
+	se, de := src.Epochs(), dst.Epochs()
+	if len(se) != len(de) {
+		t.Fatalf("epoch vectors differ in length: %d vs %d", len(se), len(de))
+	}
+	for i := range se {
+		if se[i] != de[i] {
+			t.Fatalf("shard %d epoch: source %d, replica %d", i, se[i], de[i])
+		}
+	}
+	if src.Seq() != dst.Seq() {
+		t.Fatalf("seq: source %d, replica %d", src.Seq(), dst.Seq())
+	}
+	for _, name := range []string{"Jaccard", "BM25"} {
+		sp, err := src.Predicate(name)
+		if err != nil {
+			t.Fatalf("source predicate %s: %v", name, err)
+		}
+		dp, err := dst.Predicate(name)
+		if err != nil {
+			t.Fatalf("replica predicate %s: %v", name, err)
+		}
+		for _, q := range queries {
+			sm, err := sp.Select(q)
+			if err != nil {
+				t.Fatalf("source select: %v", err)
+			}
+			dm, err := dp.Select(q)
+			if err != nil {
+				t.Fatalf("replica select: %v", err)
+			}
+			if len(sm) != len(dm) {
+				t.Fatalf("%s(%q): source %d matches, replica %d", name, q, len(sm), len(dm))
+			}
+			for i := range sm {
+				if sm[i].TID != dm[i].TID || sm[i].Score != dm[i].Score {
+					t.Fatalf("%s(%q) match %d: source (%d,%v), replica (%d,%v)",
+						name, q, i, sm[i].TID, sm[i].Score, dm[i].TID, dm[i].Score)
+				}
+			}
+		}
+	}
+}
+
+// mutateHistory applies a randomized Insert/Delete/Upsert history to the
+// corpus and returns a few query strings drawn from it.
+func mutateHistory(t *testing.T, c *ShardedCorpus, recs []Record, seed int64) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	live := make([]int, 0, len(recs))
+	for _, r := range recs[:60] {
+		live = append(live, r.TID)
+	}
+	next := 60
+	for step := 0; step < 25; step++ {
+		switch k := rng.Intn(3); {
+		case k == 0 && next+2 <= len(recs):
+			if err := c.Insert(recs[next : next+2]...); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+			live = append(live, recs[next].TID, recs[next+1].TID)
+			next += 2
+		case k == 1 && len(live) > 4:
+			i := rng.Intn(len(live))
+			if err := c.Delete(live[i]); err != nil {
+				t.Fatalf("delete: %v", err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		default:
+			i := rng.Intn(len(live))
+			if err := c.Upsert(Record{TID: live[i], Text: recs[rng.Intn(len(recs))].Text}); err != nil {
+				t.Fatalf("upsert: %v", err)
+			}
+		}
+	}
+	queries := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		queries = append(queries, recs[rng.Intn(len(recs))].Text)
+	}
+	return queries
+}
+
+func TestReplicationBitIdentical(t *testing.T) {
+	recs := dirtyWatchData(t)
+	src, dst, shipped := replicaPair(t, recs[:60], 4)
+	queries := mutateHistory(t, src, recs, 7)
+	if len(*shipped) == 0 {
+		t.Fatal("test vacuous: no batches shipped")
+	}
+	assertReplicaIdentical(t, src, dst, queries)
+
+	// Idempotence: re-applying the entire shipped history is a no-op —
+	// this is exactly the re-ship after a torn WAL tail or a reconnect
+	// from an older epoch vector.
+	epochs := dst.Epochs()
+	for _, b := range *shipped {
+		if err := dst.ApplyReplicated(b); err != nil {
+			t.Fatalf("re-apply batch %d: %v", b.Seq, err)
+		}
+	}
+	got := dst.Epochs()
+	for i := range got {
+		if got[i] != epochs[i] {
+			t.Fatalf("re-apply moved shard %d from %d to %d", i, epochs[i], got[i])
+		}
+	}
+	assertReplicaIdentical(t, src, dst, queries)
+}
+
+func TestReplicationGapDetection(t *testing.T) {
+	recs := dirtyWatchData(t)
+	src, err := OpenShardedCorpus(recs[:40], 2)
+	if err != nil {
+		t.Fatalf("open source: %v", err)
+	}
+	var shipped []ReplicationBatch
+	src.SetReplicationObserver(func(b ReplicationBatch) { shipped = append(shipped, b) })
+	// Three upserts of the same record: three consecutive epochs on one shard.
+	for i := 0; i < 3; i++ {
+		if err := src.Upsert(Record{TID: recs[0].TID, Text: recs[60+i].Text}); err != nil {
+			t.Fatalf("upsert: %v", err)
+		}
+	}
+	if len(shipped) != 3 {
+		t.Fatalf("shipped %d batches, want 3", len(shipped))
+	}
+	dst, err := OpenShardedCorpus(recs[:40], 2)
+	if err != nil {
+		t.Fatalf("open replica: %v", err)
+	}
+	// Skipping the first two batches must be refused, not applied.
+	if err := dst.ApplyReplicated(shipped[2]); !errors.Is(err, ErrReplicaGap) {
+		t.Fatalf("gap apply: got %v, want ErrReplicaGap", err)
+	}
+	// In order, all three land.
+	for _, b := range shipped {
+		if err := dst.ApplyReplicated(b); err != nil {
+			t.Fatalf("ordered apply %d: %v", b.Seq, err)
+		}
+	}
+	// A batch naming a shard outside the layout is divergence.
+	bad := shipped[0]
+	bad.Subs = []ReplicationSub{{Shard: 99, Kind: bad.Subs[0].Kind, Epoch: 1}}
+	if err := dst.ApplyReplicated(bad); !errors.Is(err, ErrReplicaDiverged) {
+		t.Fatalf("bad shard apply: got %v, want ErrReplicaDiverged", err)
+	}
+}
+
+func TestReplicaSnapshotRoundTrip(t *testing.T) {
+	recs := dirtyWatchData(t)
+	src, err := OpenShardedCorpus(recs[:60], 3)
+	if err != nil {
+		t.Fatalf("open source: %v", err)
+	}
+	queries := mutateHistory(t, src, recs, 13)
+
+	var buf bytes.Buffer
+	if err := src.WriteReplicaSnapshot(&buf); err != nil {
+		t.Fatalf("write snapshot: %v", err)
+	}
+	stream := buf.Bytes()
+
+	t.Run("InMemory", func(t *testing.T) {
+		dst, err := OpenReplicaSnapshot(bytes.NewReader(stream), "")
+		if err != nil {
+			t.Fatalf("open snapshot: %v", err)
+		}
+		assertReplicaIdentical(t, src, dst, queries)
+	})
+
+	t.Run("Durable", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "replica")
+		dst, err := OpenReplicaSnapshot(bytes.NewReader(stream), dir)
+		if err != nil {
+			t.Fatalf("open snapshot: %v", err)
+		}
+		assertReplicaIdentical(t, src, dst, queries)
+		// The install is a real store: mutations keep logging, and a cold
+		// start comes back at the mutated vector with the same seq line.
+		if err := dst.Insert(recs[200]); err != nil {
+			t.Fatalf("insert on installed replica: %v", err)
+		}
+		vec, seq := dst.Epochs(), dst.Seq()
+		if err := dst.CloseStore(); err != nil {
+			t.Fatalf("close store: %v", err)
+		}
+		re, err := OpenShardedCorpus(nil, 0, WithDataDir(dir))
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if re.Seq() != seq {
+			t.Fatalf("reopened seq %d, want %d", re.Seq(), seq)
+		}
+		got := re.Epochs()
+		for i := range got {
+			if got[i] != vec[i] {
+				t.Fatalf("reopened epochs %v, want %v", got, vec)
+			}
+		}
+	})
+}
+
+// TestReplicatedWatchResume: a WithResume watch registered on a replica
+// must deliver the replicated history exactly once — the events the
+// client missed arrive from the replica's replay window even though the
+// mutations originated at the source.
+func TestReplicatedWatchResume(t *testing.T) {
+	recs := dirtyWatchData(t)
+	src, dst, _ := replicaPair(t, recs[:60], 3)
+
+	// Window A lands on both; a client records the vector after it.
+	for i := 60; i < 70; i += 2 {
+		if err := src.Insert(recs[i : i+2]...); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	vec1 := dst.Epochs()
+
+	// Window B: the missed events.
+	for i := 70; i < 80; i += 2 {
+		if err := src.Insert(recs[i : i+2]...); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if err := src.Delete(recs[60].TID); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+
+	srcW, err := src.RegisterWatch("Jaccard", 0.45, WithResume(vec1), WithWatchBuffer(1<<15))
+	if err != nil {
+		t.Fatalf("register on source: %v", err)
+	}
+	dstW, err := dst.RegisterWatch("Jaccard", 0.45, WithResume(vec1), WithWatchBuffer(1<<15))
+	if err != nil {
+		t.Fatalf("register on replica: %v", err)
+	}
+	want := drainWatch(srcW)
+	got := drainWatch(dstW)
+	if len(want) == 0 {
+		t.Fatal("test vacuous: no resumed events on the source")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replica resumed %d events, source %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resumed event %d: replica %+v, source %+v", i, got[i], want[i])
+		}
+	}
+	srcW.Close()
+	dstW.Close()
+}

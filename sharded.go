@@ -51,6 +51,10 @@ type ShardedCorpus struct {
 	// past the largest logged sequence on a durable open.
 	hub *watch.Hub
 	seq atomic.Uint64
+
+	// replObs, when set, receives every applied logical batch — the
+	// replication source hook of approxcluster (SetReplicationObserver).
+	replObs func(watch.Batch)
 }
 
 // OpenShardedCorpus tokenizes the base relation once, partitioned across
@@ -134,7 +138,7 @@ func (s *ShardedCorpus) attachStore(root string) error {
 	if err != nil {
 		return err
 	}
-	return store.WriteManifest(root, store.Manifest{Version: 1, Shards: len(s.shards), Epochs: s.Epochs()})
+	return store.WriteManifest(root, store.Manifest{Version: 1, Shards: len(s.shards), Epochs: s.Epochs(), Seq: s.seq.Load()})
 }
 
 // openStoredShards restores a sharded corpus from its manifest: every shard
@@ -189,6 +193,12 @@ func openStoredShards(root string) (*ShardedCorpus, error) {
 		if ms := l.MaxSeq(); ms > maxSeq {
 			maxSeq = ms
 		}
+	}
+	// The batch counter resumes past the largest sequence any shard logged
+	// or the manifest checkpointed (the WAL truncates at a checkpoint, so
+	// the manifest carries the floor across it).
+	if m.Seq > maxSeq {
+		maxSeq = m.Seq
 	}
 	s.seq.Store(maxSeq)
 	s.initWatchHub(base, baseEpochs, watch.GroupBatches(perShard))
@@ -382,6 +392,12 @@ func (s *ShardedCorpus) mutate(add []Record, del []int, upsert bool) error {
 		}
 		if len(subs) > 0 {
 			s.hub.OnBatch(watch.Batch{Seq: seq, Subs: subs})
+			// The replication source hook ships exactly what the hub saw:
+			// the sub-batches that actually landed, stamped with their
+			// post-apply epochs and the shared sequence number.
+			if s.replObs != nil {
+				s.replObs(watch.Batch{Seq: seq, Subs: subs})
+			}
 		}
 	}
 	if err != nil {
