@@ -14,6 +14,13 @@
 //     batch not fully covered by it. Application is idempotent per shard,
 //     so re-delivery after a torn WAL tail or a reconnect re-applies only
 //     what was lost and never skips an epoch.
+//   - Batches are tagged with the election term of the leader that
+//     created them, and a pull opens with a (seq, term) lineage handshake:
+//     epoch vectors name positions only numerically, so a deposed leader's
+//     unacknowledged suffix can collide with the new leader's batches at
+//     the same epochs — the term tag detects exactly that fork and routes
+//     the replica through the snapshot re-join instead of letting
+//     idempotent apply silently skip the conflicting batches.
 //   - A follower whose vector predates the leader's retained history —
 //     or whose state diverges — discards its copy and re-joins from a
 //     full snapshot stream at an exact vector.
@@ -21,9 +28,12 @@
 // Election is lease-based with term numbers (persisted through the store
 // layer so a restarted node never votes twice in one term): followers
 // time out into candidates, candidates need a majority, and a voter only
-// grants to candidates whose replication position is at-or-past its own —
-// combined with majority-acknowledged mutations, an acknowledged write
-// survives any single-node failure, including the leader's.
+// grants to candidates whose replication position is at-or-past its own,
+// with the lineage term dominating the numeric vector (Raft's last-log
+// ordering) — combined with majority-acknowledged mutations, an
+// acknowledged write survives any single-node failure, including the
+// leader's, and a deposed leader's fork can never win an election over
+// the acknowledged lineage.
 package cluster
 
 import (
@@ -53,16 +63,28 @@ const (
 )
 
 // Position is one corpus's replication position: the shard layout, the
-// corpus-wide batch sequence number, and the shard-epoch vector.
+// corpus-wide batch sequence number, the shard-epoch vector, and the
+// election term under which the last batch was applied (zero = unknown,
+// e.g. state recovered from a WAL, which carries no terms).
 type Position struct {
 	Shards int      `json:"shards"`
 	Seq    uint64   `json:"seq"`
 	Epochs []uint64 `json:"epochs"`
+	Term   uint64   `json:"term,omitempty"`
 }
 
-// Covers reports whether position p is at-or-past q: every shard epoch and
-// the sequence number at least as advanced.
+// Covers reports whether position p is at-or-past q. When both sides know
+// their lineage term, the newer term dominates outright (Raft's last-log
+// ordering): two diverged replicas can sit at the same numeric epochs with
+// different content, and only the position on the newer leader's lineage
+// may hold majority-acknowledged batches — a deposed leader's
+// unacknowledged fork must never out-vote it. With a term unknown on
+// either side the comparison falls back to the numeric vector: every shard
+// epoch and the sequence number at least as advanced.
 func (p Position) Covers(q Position) bool {
+	if p.Term != 0 && q.Term != 0 && p.Term != q.Term {
+		return p.Term > q.Term
+	}
 	if len(p.Epochs) != len(q.Epochs) || p.Seq < q.Seq {
 		return false
 	}
@@ -189,6 +211,13 @@ type Node struct {
 	acks        map[string]map[string]Position
 	ackCh       chan struct{}
 	rng         *rand.Rand
+	// corpusTerm is the election term under which each corpus's last batch
+	// was applied — the lineage tag echoed in pull requests and vote
+	// positions (Raft's last-log term). applyTerm is set by the sync loop
+	// around Backend.Apply so Record stamps shipped batches with the term
+	// their leader created them under, not this node's current term.
+	corpusTerm map[string]uint64
+	applyTerm  map[string]uint64
 
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
@@ -215,16 +244,18 @@ func NewNode(cfg Config) (*Node, error) {
 		seed ^= time.Now().UnixNano()
 	}
 	n := &Node{
-		cfg:      cfg,
-		id:       cfg.ID,
-		peers:    make(map[string]string),
-		role:     RoleFollower,
-		peerSeen: make(map[string]time.Time),
-		hist:     make(map[string]*History),
-		acks:     make(map[string]map[string]Position),
-		ackCh:    make(chan struct{}),
-		rng:      rand.New(rand.NewSource(seed)),
-		stopCh:   make(chan struct{}),
+		cfg:        cfg,
+		id:         cfg.ID,
+		peers:      make(map[string]string),
+		role:       RoleFollower,
+		peerSeen:   make(map[string]time.Time),
+		hist:       make(map[string]*History),
+		acks:       make(map[string]map[string]Position),
+		ackCh:      make(chan struct{}),
+		corpusTerm: make(map[string]uint64),
+		applyTerm:  make(map[string]uint64),
+		rng:        rand.New(rand.NewSource(seed)),
+		stopCh:     make(chan struct{}),
 	}
 	for id, url := range cfg.Peers {
 		if id != cfg.ID {
@@ -246,6 +277,10 @@ func (n *Node) ID() string { return n.id }
 
 // ClusterSize returns the member count (peers plus self).
 func (n *Node) ClusterSize() int { return len(n.peers) + 1 }
+
+// Client returns the HTTP client the node issues peer RPCs with — shared
+// by the server's write forwarding so both obey one timeout policy.
+func (n *Node) Client() *http.Client { return n.cfg.Client }
 
 // majority returns the quorum size over all members.
 func (n *Node) majority() int { return n.ClusterSize()/2 + 1 }
@@ -271,8 +306,8 @@ func (n *Node) Start() {
 	// Seed histories for corpora loaded before the node started, so a
 	// follower at the same base can catch up without a snapshot join.
 	for _, name := range n.cfg.Backend.Corpora() {
-		if p, ok := n.cfg.Backend.Position(name); ok {
-			n.ensureHistory(name, p.Epochs)
+		if p, ok := n.position(name); ok {
+			n.ensureHistory(name, p)
 		}
 	}
 	n.wg.Add(2)
@@ -350,9 +385,9 @@ func (n *Node) LeaderURL() string {
 
 // ---- replication source hooks ----
 
-// ensureHistory returns the corpus's history, creating it with the given
-// base vector on first sight.
-func (n *Node) ensureHistory(name string, base []uint64) *History {
+// ensureHistory returns the corpus's history, creating it at the given
+// base position on first sight.
+func (n *Node) ensureHistory(name string, base Position) *History {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	h, ok := n.hist[name]
@@ -373,13 +408,24 @@ func (n *Node) history(name string) *History {
 // the hook the server wires to every corpus's replication observer, on
 // leaders and followers alike (a follower's history makes it a re-ship
 // source the moment it wins an election). It is called under the corpus's
-// mutation lock, so batches arrive in apply order.
+// mutation lock, so batches arrive in apply order. The batch is stamped
+// with the term it was created under: the shipped term when the sync loop
+// is applying replicated batches, this node's current term when the batch
+// originated locally (the server only accepts mutations while leading, so
+// a locally-originated batch's term is the leadership term).
 func (n *Node) Record(corpus string, b ReplicationBatch) {
-	h := n.history(corpus)
+	n.mu.Lock()
+	term, shipped := n.applyTerm[corpus]
+	if !shipped {
+		term = n.term
+	}
+	n.corpusTerm[corpus] = term
+	h := n.hist[corpus]
+	n.mu.Unlock()
 	if h == nil {
 		// First batch of a corpus created at runtime: the window's base is
-		// the vector just before this batch (untouched shards are at their
-		// current epoch; touched shards one before their stamp).
+		// the position just before this batch (untouched shards are at
+		// their current epoch; touched shards one before their stamp).
 		p, ok := n.cfg.Backend.Position(corpus)
 		if !ok {
 			return
@@ -390,9 +436,13 @@ func (n *Node) Record(corpus string, b ReplicationBatch) {
 				base[sub.Shard] = sub.Epoch - 1
 			}
 		}
-		h = n.ensureHistory(corpus, base)
+		seq := b.Seq
+		if seq > 0 {
+			seq--
+		}
+		h = n.ensureHistory(corpus, Position{Seq: seq, Epochs: base})
 	}
-	h.Append(b)
+	h.Append(b, term)
 }
 
 // ---- quorum acknowledgement ----
@@ -420,6 +470,23 @@ func (n *Node) recordAck(peer string, pos map[string]Position) {
 	close(n.ackCh)
 	n.ackCh = make(chan struct{})
 	n.mu.Unlock()
+}
+
+// verifiedAck filters a peer's reported positions through the local
+// replication histories before recording them as acknowledgements: a
+// position whose (seq, term) does not lie on this node's lineage belongs
+// to a conflicting fork, and counting it toward quorum would acknowledge a
+// write the peer does not actually hold. Liveness still updates even when
+// every position is filtered.
+func (n *Node) verifiedAck(peer string, pos map[string]Position) {
+	ok := make(map[string]Position, len(pos))
+	for name, p := range pos {
+		if h := n.history(name); h != nil && !h.LineageOK(p.Seq, p.Term) {
+			continue
+		}
+		ok[name] = p
+	}
+	n.recordAck(peer, ok)
 }
 
 // WaitCommitted blocks until a majority of the cluster (counting this
@@ -561,11 +628,25 @@ func (n *Node) runElections() {
 	}
 }
 
-// positions snapshots the backend's replication position per corpus.
+// position reports one corpus's backend position decorated with the
+// lineage term of its last applied batch.
+func (n *Node) position(name string) (Position, bool) {
+	p, ok := n.cfg.Backend.Position(name)
+	if !ok {
+		return Position{}, false
+	}
+	n.mu.Lock()
+	p.Term = n.corpusTerm[name]
+	n.mu.Unlock()
+	return p, true
+}
+
+// positions snapshots the backend's replication position per corpus,
+// decorated with lineage terms.
 func (n *Node) positions() map[string]Position {
 	out := make(map[string]Position)
 	for _, name := range n.cfg.Backend.Corpora() {
-		if p, ok := n.cfg.Backend.Position(name); ok {
+		if p, ok := n.position(name); ok {
 			out[name] = p
 		}
 	}
@@ -660,7 +741,7 @@ func (n *Node) broadcastHeartbeats() {
 				n.mu.Unlock()
 				return
 			}
-			n.recordAck(id, resp.Position)
+			n.verifiedAck(id, resp.Position)
 		}()
 	}
 }

@@ -13,15 +13,30 @@ import (
 // vector — Since(from) returns every retained batch not fully covered by
 // `from`, and reports tooOld when `from` predates the window's base (the
 // follower must snapshot-join; replication never skips epochs).
+//
+// Each entry additionally carries the election term of the leader that
+// created the batch — the lineage tag. Epoch vectors name positions
+// numerically, but two diverged replicas can sit at the same numeric
+// position with different content (a deposed leader's unacknowledged
+// suffix vs the new leader's batches at the same epochs). The (seq, term)
+// pair disambiguates: a leader creates at most one batch per sequence
+// number per term, so matching (seq, term) implies matching content, and
+// LineageOK turns a mismatch into a detected fork instead of a silent
+// divergence.
 type History struct {
 	mu sync.Mutex
 	// base is the epoch vector immediately before the oldest retained
 	// batch: a follower at-or-past base can catch up from history alone.
 	base []uint64
+	// baseSeq/baseTerm name the batch that produced the base state. A zero
+	// baseTerm means the lineage there is unknown (e.g. state recovered
+	// from a WAL, which carries no terms) and claims against it are
+	// trusted.
+	baseSeq  uint64
+	baseTerm uint64
 	// cur is the epoch vector after the newest retained batch.
 	cur     []uint64
-	entries []approxsel.ReplicationBatch
-	sizes   []int
+	entries []histEntry
 	bytes   int64
 
 	maxEntries int
@@ -32,10 +47,18 @@ type History struct {
 	signal chan struct{}
 }
 
+// histEntry is one retained batch with its lineage term and size estimate.
+type histEntry struct {
+	batch approxsel.ReplicationBatch
+	term  uint64
+	size  int
+}
+
 // NewHistory returns an empty history whose window starts at the given
-// epoch vector. maxEntries/maxBytes bound the retained tail; values < 1
-// select defaults (4096 batches, 64 MiB).
-func NewHistory(base []uint64, maxEntries int, maxBytes int64) *History {
+// position (epoch vector, sequence number and lineage term; a zero term
+// marks the base lineage unknown). maxEntries/maxBytes bound the retained
+// tail; values < 1 select defaults (4096 batches, 64 MiB).
+func NewHistory(base Position, maxEntries int, maxBytes int64) *History {
 	if maxEntries < 1 {
 		maxEntries = 4096
 	}
@@ -43,8 +66,10 @@ func NewHistory(base []uint64, maxEntries int, maxBytes int64) *History {
 		maxBytes = 64 << 20
 	}
 	h := &History{
-		base:       append([]uint64(nil), base...),
-		cur:        append([]uint64(nil), base...),
+		base:       append([]uint64(nil), base.Epochs...),
+		cur:        append([]uint64(nil), base.Epochs...),
+		baseSeq:    base.Seq,
+		baseTerm:   base.Term,
 		maxEntries: maxEntries,
 		maxBytes:   maxBytes,
 		signal:     make(chan struct{}),
@@ -65,10 +90,10 @@ func batchBytes(b approxsel.ReplicationBatch) int {
 	return n
 }
 
-// Append records one applied batch at the window's head, trimming the tail
-// past the entry/byte bounds (the base vector advances over trimmed
-// batches).
-func (h *History) Append(b approxsel.ReplicationBatch) {
+// Append records one applied batch — created under the given leader term —
+// at the window's head, trimming the tail past the entry/byte bounds (the
+// base position advances over trimmed batches).
+func (h *History) Append(b approxsel.ReplicationBatch, term uint64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for _, sub := range b.Subs {
@@ -77,45 +102,46 @@ func (h *History) Append(b approxsel.ReplicationBatch) {
 		}
 	}
 	sz := batchBytes(b)
-	h.entries = append(h.entries, b)
-	h.sizes = append(h.sizes, sz)
+	h.entries = append(h.entries, histEntry{batch: b, term: term, size: sz})
 	h.bytes += int64(sz)
 	for len(h.entries) > h.maxEntries || (h.bytes > h.maxBytes && len(h.entries) > 1) {
 		old := h.entries[0]
-		for _, sub := range old.Subs {
+		for _, sub := range old.batch.Subs {
 			if sub.Shard >= 0 && sub.Shard < len(h.base) {
 				h.base[sub.Shard] = sub.Epoch
 			}
 		}
-		h.bytes -= int64(h.sizes[0])
+		h.baseSeq, h.baseTerm = old.batch.Seq, old.term
+		h.bytes -= int64(old.size)
 		h.entries = h.entries[1:]
-		h.sizes = h.sizes[1:]
 	}
 	close(h.signal)
 	h.signal = make(chan struct{})
 }
 
 // Since returns every retained batch not fully covered by the follower's
-// epoch vector, in apply order, capped at limit (0 = no cap). tooOld
-// reports a vector predating the window — the follower must join from a
-// full snapshot; batches the follower partially holds are re-shipped whole
-// (application is idempotent per shard, so over-delivery after a torn WAL
-// tail re-applies only what was lost and never skips).
-func (h *History) Since(from []uint64, limit int) (batches []approxsel.ReplicationBatch, tooOld bool) {
+// epoch vector, in apply order with the terms they were created under,
+// capped at limit (0 = no cap). tooOld reports a vector predating the
+// window — the follower must join from a full snapshot; batches the
+// follower partially holds are re-shipped whole (application is idempotent
+// per shard, so over-delivery after a torn WAL tail re-applies only what
+// was lost and never skips).
+func (h *History) Since(from []uint64, limit int) (batches []approxsel.ReplicationBatch, terms []uint64, tooOld bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(from) != len(h.base) {
-		return nil, true
+		return nil, nil, true
 	}
 	for i := range from {
 		if from[i] < h.base[i] {
-			return nil, true
+			return nil, nil, true
 		}
 	}
-	for _, b := range h.entries {
-		for _, sub := range b.Subs {
+	for _, e := range h.entries {
+		for _, sub := range e.batch.Subs {
 			if sub.Shard >= 0 && sub.Shard < len(from) && sub.Epoch > from[sub.Shard] {
-				batches = append(batches, b)
+				batches = append(batches, e.batch)
+				terms = append(terms, e.term)
 				break
 			}
 		}
@@ -123,7 +149,59 @@ func (h *History) Since(from []uint64, limit int) (batches []approxsel.Replicati
 			break
 		}
 	}
-	return batches, false
+	return batches, terms, false
+}
+
+// Head reports the newest lineage point this history has produced: the
+// sequence number and term of the last retained batch, or the base
+// position of an empty window.
+func (h *History) Head() (seq, term uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if n := len(h.entries); n > 0 {
+		return h.entries[n-1].batch.Seq, h.entries[n-1].term
+	}
+	return h.baseSeq, h.baseTerm
+}
+
+// LineageOK reports whether a follower claiming to have last applied the
+// batch (seq, term) is on this history's lineage. False means the claim
+// names a batch this stream never produced — the follower holds a
+// conflicting fork (typically a deposed leader's unacknowledged suffix at
+// the same numeric position) and must discard its copy and snapshot-join;
+// the epoch-blind idempotent apply downstream would otherwise silently
+// skip the conflicting batches. A zero term is an unknown lineage (state
+// recovered from a WAL, or a pre-term peer) and is trusted as long as the
+// claimed sequence number does not exceed this history's head.
+func (h *History) LineageOK(seq, term uint64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	head := h.baseSeq
+	if n := len(h.entries); n > 0 {
+		head = h.entries[n-1].batch.Seq
+	}
+	if seq > head {
+		// The follower claims batches this node never produced: even with
+		// an unknown term that is a fork (an unacknowledged suffix).
+		return false
+	}
+	if term == 0 {
+		return true
+	}
+	if seq == h.baseSeq {
+		return h.baseTerm == 0 || h.baseTerm == term
+	}
+	for i := len(h.entries) - 1; i >= 0; i-- {
+		switch e := h.entries[i]; {
+		case e.batch.Seq == seq:
+			return e.term == 0 || e.term == term
+		case e.batch.Seq < seq:
+			return true // sequence gap in the window: nothing to refute
+		}
+	}
+	// Pre-window claim: the epoch-vector check decides tooOld; lineage is
+	// unverifiable that far back.
+	return true
 }
 
 // Chan returns a channel closed on the next Append — the long-poll hook.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -46,20 +47,29 @@ type HeartbeatResponse struct {
 
 // PullRequest asks for the replication batches past the follower's epoch
 // vector, long-polling up to WaitMS when the follower is caught up.
+// FromSeq/FromTerm name the last batch the follower applied — the lineage
+// handshake (a zero term is an unknown lineage, trusted as far as the
+// numeric position allows).
 type PullRequest struct {
-	Node    string   `json:"node"`
-	Corpus  string   `json:"corpus"`
-	From    []uint64 `json:"from"`
-	FromSeq uint64   `json:"from_seq"`
-	WaitMS  int      `json:"wait_ms"`
+	Node     string   `json:"node"`
+	Corpus   string   `json:"corpus"`
+	From     []uint64 `json:"from"`
+	FromSeq  uint64   `json:"from_seq"`
+	FromTerm uint64   `json:"from_term,omitempty"`
+	WaitMS   int      `json:"wait_ms"`
 }
 
-// PullResponse carries the batches to apply in order. TooOld reports a
-// follower behind the retained history window — it must re-join from a
-// full snapshot (replication never skips epochs).
+// PullResponse carries the batches to apply in order, with Terms[i] the
+// election term batch i was created under. TooOld reports a follower
+// behind the retained history window; Diverged reports a follower whose
+// (seq, term) claim is not on this node's lineage — a conflicting fork.
+// Either way it must re-join from a full snapshot (replication never
+// skips epochs, and never silently absorbs a fork).
 type PullResponse struct {
 	TooOld   bool               `json:"too_old,omitempty"`
+	Diverged bool               `json:"diverged,omitempty"`
 	Batches  []ReplicationBatch `json:"batches,omitempty"`
+	Terms    []uint64           `json:"terms,omitempty"`
 	Position Position           `json:"position"`
 }
 
@@ -247,15 +257,34 @@ func (n *Node) handlePull(w http.ResponseWriter, r *http.Request) {
 		rpcError(w, http.StatusBadRequest, err)
 		return
 	}
-	// The pull itself is the follower's acknowledgement: its From vector is
-	// exactly what it has durably applied.
-	n.recordAck(req.Node, map[string]Position{req.Corpus: {Seq: req.FromSeq, Epochs: req.From}})
-	pos, ok := n.cfg.Backend.Position(req.Corpus)
+	pos, ok := n.position(req.Corpus)
 	if !ok {
 		rpcError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown corpus %q", req.Corpus))
 		return
 	}
-	h := n.ensureHistory(req.Corpus, pos.Epochs)
+	// A From vector of the wrong length is a different shard layout: the
+	// follower must snapshot-join, and its claim is no acknowledgement.
+	if len(req.From) != len(pos.Epochs) {
+		rpcJSON(w, PullResponse{TooOld: true, Position: pos})
+		return
+	}
+	h := n.ensureHistory(req.Corpus, pos)
+	// Lineage handshake: the follower's (seq, term) must name a batch this
+	// node's stream produced. A mismatch — or a follower claiming batches
+	// past this node's head — is a conflicting fork (typically a deposed
+	// leader's unacknowledged suffix at the same numeric position); it
+	// must discard its copy and re-join from a snapshot. Without this
+	// check the epoch-blind idempotent apply downstream would silently
+	// skip the conflicting batches and the replica would diverge forever.
+	if !h.LineageOK(req.FromSeq, req.FromTerm) {
+		rpcJSON(w, PullResponse{Diverged: true, Position: pos})
+		return
+	}
+	// The pull is the follower's acknowledgement: its From vector is
+	// exactly what it has durably applied — recorded only now that the
+	// corpus resolved, the shard layout matched and the lineage checked
+	// out.
+	n.recordAck(req.Node, map[string]Position{req.Corpus: {Seq: req.FromSeq, Epochs: req.From, Term: req.FromTerm}})
 	wait := time.Duration(req.WaitMS) * time.Millisecond
 	if wait < 0 {
 		wait = 0
@@ -266,10 +295,10 @@ func (n *Node) handlePull(w http.ResponseWriter, r *http.Request) {
 	deadline := time.Now().Add(wait)
 	for {
 		ch := h.Chan()
-		batches, tooOld := h.Since(req.From, n.cfg.MaxPullBatches)
+		batches, terms, tooOld := h.Since(req.From, n.cfg.MaxPullBatches)
 		if tooOld || len(batches) > 0 || !time.Now().Before(deadline) {
-			cur, _ := n.cfg.Backend.Position(req.Corpus)
-			rpcJSON(w, PullResponse{TooOld: tooOld, Batches: batches, Position: cur})
+			cur, _ := n.position(req.Corpus)
+			rpcJSON(w, PullResponse{TooOld: tooOld, Batches: batches, Terms: terms, Position: cur})
 			return
 		}
 		timer := time.NewTimer(time.Until(deadline))
@@ -280,10 +309,26 @@ func (n *Node) handlePull(w http.ResponseWriter, r *http.Request) {
 			timer.Stop()
 			return
 		case <-n.stopCh:
+			// Stopping: answer with the current position instead of
+			// spinning on the closed channel until the deadline.
+			timer.Stop()
+			cur, _ := n.position(req.Corpus)
+			rpcJSON(w, PullResponse{Position: cur})
+			return
 		}
 		timer.Stop()
 	}
 }
+
+// Snapshot lineage headers: the (seq, term) of the serving node's history
+// head when the response started. The joiner adopts the term as its
+// lineage only if the installed snapshot lands at exactly that sequence
+// number (a mutation racing the transfer makes the pair stale — the
+// joiner then records an unknown lineage, which is safe).
+const (
+	snapshotSeqHeader  = "X-Approxcluster-Seq"
+	snapshotTermHeader = "X-Approxcluster-Term"
+)
 
 func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	corpus := r.URL.Query().Get("corpus")
@@ -295,6 +340,12 @@ func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		rpcError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown corpus %q", corpus))
 		return
 	}
+	var headSeq, headTerm uint64
+	if h := n.history(corpus); h != nil {
+		headSeq, headTerm = h.Head()
+	}
+	w.Header().Set(snapshotSeqHeader, strconv.FormatUint(headSeq, 10))
+	w.Header().Set(snapshotTermHeader, strconv.FormatUint(headTerm, 10))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := n.cfg.Backend.WriteSnapshot(corpus, w); err != nil {
 		// Headers are gone; the truncated stream fails the joiner's length

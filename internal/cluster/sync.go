@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	approxsel "repro"
@@ -68,27 +69,47 @@ func (n *Node) runSync() {
 // window, otherwise one pull+apply round. It reports whether any state
 // changed.
 func (n *Node) syncCorpus(leaderURL, corpus string) (bool, error) {
-	local, ok := n.cfg.Backend.Position(corpus)
+	local, ok := n.position(corpus)
 	if !ok {
 		return true, n.joinCorpus(leaderURL, corpus)
 	}
 	req := PullRequest{
-		Node:    n.id,
-		Corpus:  corpus,
-		From:    local.Epochs,
-		FromSeq: local.Seq,
-		WaitMS:  int(n.cfg.PullWait / time.Millisecond),
+		Node:     n.id,
+		Corpus:   corpus,
+		From:     local.Epochs,
+		FromSeq:  local.Seq,
+		FromTerm: local.Term,
+		WaitMS:   int(n.cfg.PullWait / time.Millisecond),
 	}
 	var resp PullResponse
 	if err := n.post(leaderURL, "/cluster/pull", req, &resp); err != nil {
 		return false, err
 	}
-	if resp.TooOld {
+	if resp.TooOld || resp.Diverged {
+		// Behind the retained window, or the leader refuted our lineage
+		// claim (we hold a fork — e.g. this node led, applied a mutation it
+		// never got acknowledged, and was deposed): discard and re-join.
+		if resp.Diverged {
+			n.logf("cluster %s: %q diverged from leader lineage (local seq %d term %d); re-joining",
+				n.id, corpus, local.Seq, local.Term)
+		}
 		return true, n.joinCorpus(leaderURL, corpus)
 	}
 	applied := false
-	for _, b := range resp.Batches {
+	for i, b := range resp.Batches {
+		// Stamp the apply with the term the leader created the batch under,
+		// so this node's history and lineage claims reproduce the leader's.
+		var term uint64
+		if i < len(resp.Terms) {
+			term = resp.Terms[i]
+		}
+		n.mu.Lock()
+		n.applyTerm[corpus] = term
+		n.mu.Unlock()
 		err := n.cfg.Backend.Apply(corpus, b)
+		n.mu.Lock()
+		delete(n.applyTerm, corpus)
+		n.mu.Unlock()
 		switch {
 		case err == nil:
 			applied = true
@@ -119,14 +140,25 @@ func (n *Node) joinCorpus(leaderURL, corpus string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("cluster: snapshot of %q: HTTP %d", corpus, resp.StatusCode)
 	}
+	hdrSeq, _ := strconv.ParseUint(resp.Header.Get(snapshotSeqHeader), 10, 64)
+	hdrTerm, _ := strconv.ParseUint(resp.Header.Get(snapshotTermHeader), 10, 64)
 	if err := n.cfg.Backend.InstallSnapshot(corpus, resp.Body); err != nil {
 		return fmt.Errorf("cluster: installing %q: %w", corpus, err)
 	}
 	if p, ok := n.cfg.Backend.Position(corpus); ok {
+		// Adopt the source's lineage term only when the installed state is
+		// exactly the head the headers described; a mutation racing the
+		// transfer leaves the lineage unknown, which is safe.
+		term := uint64(0)
+		if hdrTerm != 0 && hdrSeq == p.Seq {
+			term = hdrTerm
+		}
 		n.mu.Lock()
+		n.corpusTerm[corpus] = term
 		delete(n.hist, corpus)
 		n.mu.Unlock()
-		n.ensureHistory(corpus, p.Epochs)
+		p.Term = term
+		n.ensureHistory(corpus, p)
 	}
 	return nil
 }

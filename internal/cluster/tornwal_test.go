@@ -22,8 +22,8 @@ func TestTornWALTailReship(t *testing.T) {
 	if err != nil {
 		t.Fatalf("open source: %v", err)
 	}
-	hist := NewHistory(src.Epochs(), 0, 0)
-	src.SetReplicationObserver(func(b approxsel.ReplicationBatch) { hist.Append(b) })
+	hist := NewHistory(Position{Seq: src.Seq(), Epochs: src.Epochs()}, 0, 0)
+	src.SetReplicationObserver(func(b approxsel.ReplicationBatch) { hist.Append(b, 1) })
 
 	// A durable follower installed from the source's snapshot.
 	dir := filepath.Join(t.TempDir(), "follower")
@@ -43,7 +43,7 @@ func TestTornWALTailReship(t *testing.T) {
 			t.Fatalf("upsert: %v", err)
 		}
 	}
-	batches, tooOld := hist.Since(fol.Epochs(), 0)
+	batches, _, tooOld := hist.Since(fol.Epochs(), 0)
 	if tooOld || len(batches) != 6 {
 		t.Fatalf("ship: %d batches, tooOld=%v", len(batches), tooOld)
 	}
@@ -95,7 +95,7 @@ func TestTornWALTailReship(t *testing.T) {
 
 	// Re-request from the vector the follower actually holds: the history
 	// re-ships the lost window, idempotent apply replays exactly it.
-	reship, tooOld := hist.Since(reVec, 0)
+	reship, _, tooOld := hist.Since(reVec, 0)
 	if tooOld || len(reship) == 0 {
 		t.Fatalf("re-request: %d batches, tooOld=%v", len(reship), tooOld)
 	}

@@ -316,14 +316,21 @@ func (s *Server) forwardMutation(w http.ResponseWriter, r *http.Request, body []
 		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("server: no leader elected; retry"))
 		return true
 	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, leaderURL+r.URL.Path, bytes.NewReader(body))
+	target := leaderURL + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, target, bytes.NewReader(body))
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return true
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(forwardHeader, "1")
-	resp, err := http.DefaultClient.Do(req)
+	// The cluster's own RPC client: bounded timeouts, one policy for all
+	// intra-cluster traffic (http.DefaultClient would hang forever on a
+	// wedged leader).
+	resp, err := n.Client().Do(req)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("server: forwarding to leader: %w", err))

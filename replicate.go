@@ -85,6 +85,14 @@ func (s *ShardedCorpus) SetReplicationObserver(fn func(ReplicationBatch)) {
 // re-shipping a window after a torn WAL tail re-applies only what was
 // lost. A batch that would skip an epoch fails with ErrReplicaGap; one
 // that applies to a different state fails with ErrReplicaDiverged.
+//
+// The idempotency skip is content-blind — it trusts that a sub-mutation
+// already at-or-past its stamped epoch is the same sub-mutation, which
+// only holds when everything applied here came from a single replication
+// lineage. The cluster layer enforces that upstream: pulls open with a
+// (seq, term) lineage handshake, and a replica holding a conflicting fork
+// at the same numeric position (a deposed leader's unacknowledged suffix)
+// is refused and re-joins from a snapshot instead of reaching this path.
 func (s *ShardedCorpus) ApplyReplicated(b ReplicationBatch) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -153,37 +161,53 @@ type replicaSnapshotHeader struct {
 // WriteReplicaSnapshot streams a consistent full snapshot of the corpus —
 // a JSON header line, then one length-prefixed snapshot segment per shard —
 // the payload a joining or lagging replica installs with
-// OpenReplicaSnapshot. Mutations are frozen for the duration (the header's
-// epoch vector must name one global version); selections proceed
-// unaffected.
+// OpenReplicaSnapshot. Mutations are frozen only while the segments are
+// serialized into memory (the header's epoch vector must name one global
+// version); the write to w happens after the mutation lock is released, so
+// a slow or stalled receiver — a joining follower on a thin link — cannot
+// block the source's mutations or, on a leader, quorum acknowledgement.
+// Selections proceed unaffected throughout.
 func (s *ShardedCorpus) WriteReplicaSnapshot(w io.Writer) error {
+	header, segs, err := s.replicaSnapshotBuffers()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(seg)))
+		if _, err := w.Write(n[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replicaSnapshotBuffers serializes the snapshot under the mutation lock:
+// the header line and one encoded segment per shard, all at one epoch
+// vector.
+func (s *ShardedCorpus) replicaSnapshotBuffers() (header []byte, segs [][]byte, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	hdr := replicaSnapshotHeader{Version: 1, Shards: len(s.shards), Seq: s.seq.Load(), Epochs: s.Epochs()}
 	data, err := json.Marshal(hdr)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	if _, err := w.Write(append(data, '\n')); err != nil {
-		return err
-	}
-	var buf []byte
-	for _, c := range s.shards {
-		bw := &sliceWriter{b: buf[:0]}
+	segs = make([][]byte, len(s.shards))
+	for i, c := range s.shards {
+		bw := &sliceWriter{}
 		if err := c.WriteSnapshot(bw); err != nil {
-			return err
+			return nil, nil, err
 		}
-		buf = bw.b
-		var n [8]byte
-		binary.LittleEndian.PutUint64(n[:], uint64(len(buf)))
-		if _, err := w.Write(n[:]); err != nil {
-			return err
-		}
-		if _, err := w.Write(buf); err != nil {
-			return err
-		}
+		segs[i] = bw.b
 	}
-	return nil
+	return append(data, '\n'), segs, nil
 }
 
 type sliceWriter struct{ b []byte }
