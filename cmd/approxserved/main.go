@@ -26,6 +26,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -61,6 +62,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
 	workers := fs.Int("workers", 0, "batch/join fan-out workers (0 = GOMAXPROCS)")
 	seed := fs.Int64("seed", 1, "synthetic dataset generation seed")
+	debugAddr := fs.String("debug-addr", "", "listen address for the debug server (net/http/pprof + /metrics); empty disables")
+	debugPortfile := fs.String("debug-portfile", "", "write the debug server's resolved listen address to this file")
+	traceSample := fs.Int("trace-sample", 16, "trace one in every N requests (1 = all, negative disables tracing)")
+	slowlogEntries := fs.Int("slowlog", 32, "slow-query log capacity (top-N slowest traced requests, GET /v1/slowlog)")
+	accessLog := fs.String("access-log", "", "access log destination: a file path, \"-\" for stdout, empty disables")
 	nodeID := fs.String("node-id", "", "cluster: this node's ID (enables replication; must appear in -peers)")
 	peersSpec := fs.String("peers", "", "cluster: comma-separated id=url pairs, including this node")
 	join := fs.Bool("join", false, "cluster: start empty and receive corpora from the leader (skips -dataset)")
@@ -114,6 +120,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	var alog io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		alog = stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(stderr, "approxserved: %v\n", err)
+			return 1
+		}
+		alog = f
+		defer f.Close()
+	}
+
 	srv := server.New(server.Config{
 		Shards:         *shards,
 		CacheEntries:   *cacheEntries,
@@ -121,6 +142,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		RequestTimeout: *timeout,
 		Workers:        *workers,
 		DataDir:        *dataDir,
+		TraceSample:    *traceSample,
+		SlowLogEntries: *slowlogEntries,
+		AccessLog:      alog,
 	})
 	var node *cluster.Node
 	if *nodeID != "" || *peersSpec != "" {
@@ -190,6 +214,35 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "approxserved: serving on %s (no local corpora yet; awaiting the cluster leader)\n", ln.Addr())
 	}
 
+	// The debug server mounts the profiling endpoints (and a second /metrics
+	// for scrapers that cannot reach the serving port) on its own listener,
+	// so profiling traffic is never admitted against MaxInFlight and can be
+	// firewalled separately from the data plane.
+	var dbg *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("GET /metrics", srv.Handler())
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "approxserved: %v\n", err)
+			return 1
+		}
+		if *debugPortfile != "" {
+			if err := os.WriteFile(*debugPortfile, []byte(dln.Addr().String()), 0o644); err != nil {
+				fmt.Fprintf(stderr, "approxserved: %v\n", err)
+				return 1
+			}
+		}
+		dbg = &http.Server{Handler: dmux}
+		go func() { _ = dbg.Serve(dln) }()
+		fmt.Fprintf(stdout, "approxserved: debug server (pprof, /metrics) on %s\n", dln.Addr())
+	}
+
 	hs := &http.Server{Handler: srv.Handler()}
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
@@ -226,6 +279,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if err := srv.CloseStores(); err != nil {
 			fmt.Fprintf(stderr, "approxserved: store close: %v\n", err)
 			return 1
+		}
+		if dbg != nil {
+			_ = dbg.Shutdown(shutdownCtx)
 		}
 		if *dataDir != "" {
 			fmt.Fprintln(stdout, "approxserved: store synced")

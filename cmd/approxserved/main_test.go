@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -295,5 +296,125 @@ func TestBadFlags(t *testing.T) {
 	}
 	if code := run(context.Background(), []string{"-dataset", "dblp:x"}, &out, &out); code != 1 {
 		t.Fatalf("bad dataset spec: exit %d", code)
+	}
+}
+
+// TestDebugServer boots the daemon with a debug listener and full trace
+// sampling, exercises a select, and checks the observability surface end
+// to end: pprof and /metrics on the debug port, the access log, and a
+// slow-query trace with the fan-out span tree on the serving port.
+func TestDebugServer(t *testing.T) {
+	dir := t.TempDir()
+	portfile := filepath.Join(dir, "addr.txt")
+	debugPortfile := filepath.Join(dir, "debug.txt")
+	accessLog := filepath.Join(dir, "access.log")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-portfile", portfile,
+			"-debug-addr", "127.0.0.1:0",
+			"-debug-portfile", debugPortfile,
+			"-trace-sample", "1",
+			"-access-log", accessLog,
+			"-dataset", "company:60",
+			"-shards", "2",
+		}, &stdout, &stderr)
+	}()
+	var addr, debugAddr string
+	for i := 0; i < 100; i++ {
+		a, _ := os.ReadFile(portfile)
+		d, _ := os.ReadFile(debugPortfile)
+		if len(a) > 0 && len(d) > 0 {
+			addr, debugAddr = string(a), string(d)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" || debugAddr == "" {
+		t.Fatalf("portfiles never appeared; stderr: %s", stderr.String())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/select", "application/json",
+		strings.NewReader(`{"corpus":"main","predicate":"BM25","query":"general electric","limit":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("select response carries no X-Request-Id")
+	}
+
+	fetch := func(url string) string {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", url, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	// /metrics on both the serving and the debug listener.
+	for _, u := range []string{base + "/metrics", "http://" + debugAddr + "/metrics"} {
+		if !strings.Contains(fetch(u), "approx_select_total 1") {
+			t.Fatalf("%s missing approx_select_total", u)
+		}
+	}
+	if len(fetch("http://"+debugAddr+"/debug/pprof/cmdline")) == 0 {
+		t.Fatal("pprof cmdline endpoint returned nothing")
+	}
+
+	// The traced select is in the slow log with its span tree.
+	var slow struct {
+		Entries []struct {
+			Name  string `json:"name"`
+			Spans struct {
+				Children []struct {
+					Name string `json:"name"`
+				} `json:"children"`
+			} `json:"spans"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(fetch(base+"/v1/slowlog")), &slow); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range slow.Entries {
+		if e.Name == "select" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no select trace in slowlog: %s", fetch(base+"/v1/slowlog"))
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	logData, err := os.ReadFile(accessLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(logData), "route=select") || !strings.Contains(string(logData), "status=200") {
+		t.Fatalf("access log missing the select line: %s", logData)
 	}
 }

@@ -453,6 +453,7 @@ func (n *Node) recordAck(peer string, pos map[string]Position) {
 	if peer == "" || peer == n.id {
 		return
 	}
+	MetricAcksRecorded.Inc()
 	n.mu.Lock()
 	m := n.acks[peer]
 	if m == nil {
@@ -654,6 +655,7 @@ func (n *Node) positions() map[string]Position {
 }
 
 func (n *Node) startElection() {
+	MetricElections.Inc()
 	pos := n.positions()
 	n.mu.Lock()
 	n.term++
@@ -714,6 +716,7 @@ func (n *Node) becomeLeader(term uint64) {
 		n.peerSeen[peer] = time.Now()
 	}
 	n.mu.Unlock()
+	MetricLeaderWins.Inc()
 	n.logf("cluster %s: elected leader at term %d", n.id, term)
 	n.broadcastHeartbeats()
 }
@@ -730,6 +733,7 @@ func (n *Node) broadcastHeartbeats() {
 	req := HeartbeatRequest{Term: term, Leader: n.id, Position: pos}
 	for id, url := range n.peers {
 		id, url := id, url
+		MetricHeartbeatsSent.Inc()
 		go func() {
 			var resp HeartbeatResponse
 			if err := n.post(url, "/cluster/heartbeat", req, &resp); err != nil {

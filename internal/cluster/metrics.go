@@ -1,0 +1,22 @@
+package cluster
+
+import "repro/internal/obs"
+
+// Process-wide replication/election counters, exposed by the server's
+// /metrics registry when a cluster node is attached. Owned here so the
+// cluster layer stays free of any registry wiring; the server bridges
+// them (plus per-node gauges like role, term and replication lag) at
+// AttachCluster time.
+var (
+	// MetricElections counts elections this node has started.
+	MetricElections = obs.NewCounter()
+	// MetricLeaderWins counts elections this node has won.
+	MetricLeaderWins = obs.NewCounter()
+	// MetricPullsServed counts replication pull RPCs served to followers.
+	MetricPullsServed = obs.NewCounter()
+	// MetricAcksRecorded counts follower position acknowledgements
+	// recorded (from pulls and heartbeat responses).
+	MetricAcksRecorded = obs.NewCounter()
+	// MetricHeartbeatsSent counts heartbeat RPCs sent as leader.
+	MetricHeartbeatsSent = obs.NewCounter()
+)

@@ -252,6 +252,7 @@ func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 const maxPullWait = 30 * time.Second
 
 func (n *Node) handlePull(w http.ResponseWriter, r *http.Request) {
+	MetricPullsServed.Inc()
 	var req PullRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		rpcError(w, http.StatusBadRequest, err)

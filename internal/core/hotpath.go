@@ -5,6 +5,9 @@ import (
 	"math/bits"
 	"slices"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // This file implements the score-at-a-time selection hot path shared by the
@@ -184,6 +187,15 @@ func (sh *Shape) ratioBound(x float64) float64 {
 // OrderTermsByImpact order) and returns the ranked matches under opts.
 // The scratch must have been Reset for len(recs) records (GetScratch does).
 func MaxScoreSelect(s *Scratch, recs []Record, terms []Term, sh Shape, opts SelectOptions) []Match {
+	// Stage attribution (accumulator merge vs. materialize) feeds the
+	// tracer's per-stage aggregates. The guard is one atomic load; with
+	// tracing disabled (the default) the engine pays nothing else — the
+	// allocation test asserts this path stays map- and alloc-free.
+	traced := obs.TracingEnabled()
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
 	nt := len(terms)
 	pos, neg := s.suffixBounds(terms)
 
@@ -253,7 +265,16 @@ func MaxScoreSelect(s *Scratch, recs []Record, terms []Term, sh Shape, opts Sele
 		}
 	}
 
+	var t1 time.Time
+	if traced {
+		t1 = time.Now()
+	}
 	out := s.materialize(recs, &sh, opts)
+	if traced {
+		t2 := time.Now()
+		obs.RecordStage("engine.accumulate", t1.Sub(t0))
+		obs.RecordStage("engine.materialize", t2.Sub(t1))
+	}
 
 	hotPath.queries.Add(1)
 	hotPath.lists.Add(uint64(nt))

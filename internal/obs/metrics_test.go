@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramZeroObservations: an unobserved histogram reports all-zero
+// stats and quantiles, and exposes a bare +Inf bucket.
+func TestHistogramZeroObservations(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.SumUS != 0 || s.AvgUS != 0 || s.P50US != 0 || s.P99US != 0 {
+		t.Fatalf("zero-observation snapshot not all-zero: %+v", s)
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("zero-observation quantile = %d, want 0", q)
+	}
+	r := NewRegistry()
+	r.RegisterHistogram("h_us", "help", h)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`h_us_bucket{le="+Inf"} 0`, "h_us_sum 0", "h_us_count 0"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestBucketSemantics pins the floor(log2)+1 bucketing and its boundary
+// consistency: every value in bucket i is strictly below BucketBound(i).
+func TestBucketSemantics(t *testing.T) {
+	cases := []struct {
+		us     uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.us); got != c.bucket {
+			t.Errorf("BucketOf(%d) = %d, want %d", c.us, got, c.bucket)
+		}
+		if c.us >= BucketBound(c.bucket) && c.us != 0 {
+			t.Errorf("value %d not below its bucket bound %d", c.us, BucketBound(c.bucket))
+		}
+	}
+}
+
+// TestQuantileMonotonicity: quantile estimates never decrease in q, and
+// every estimate is an upper bound for its bucket.
+func TestQuantileMonotonicity(t *testing.T) {
+	h := NewHistogram()
+	for us := uint64(1); us < 10000; us = us*3 + 1 {
+		for i := 0; i < int(us%7)+1; i++ {
+			h.ObserveUS(us)
+		}
+	}
+	prev := uint64(0)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile(%.2f) = %d < quantile at lower q = %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines (run under -race) and checks conservation: the bucket sum
+// equals the observation count.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveUS(seed*131 + uint64(i)%977)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var inBuckets uint64
+	for i := range h.buckets {
+		inBuckets += h.buckets[i].Load()
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket sum %d != count %d", inBuckets, s.Count)
+	}
+	if s.P50US > s.P90US || s.P90US > s.P99US {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+}
+
+// TestPrometheusExpositionGolden pins the exact exposition output,
+// including HELP/label escaping, family ordering, and the histogram
+// triplet.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("approx_select_total", "selections served")
+	c.Add(3)
+	r.Counter("approx_requests_total", `escaped "help" with \slash`+"\nand newline",
+		Label{Key: "endpoint", Value: `se"lect\x` + "\n"}).Add(7)
+	g := r.Gauge("approx_cache_entries", "entries")
+	g.Set(12.5)
+	h := r.Histogram("approx_wal_fsync_us", "fsync latency")
+	h.ObserveUS(0)
+	h.ObserveUS(3)
+	h.ObserveUS(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP approx_select_total selections served
+# TYPE approx_select_total counter
+approx_select_total 3
+# HELP approx_requests_total escaped "help" with \\slash\nand newline
+# TYPE approx_requests_total counter
+approx_requests_total{endpoint="se\"lect\\x\n"} 7
+# HELP approx_cache_entries entries
+# TYPE approx_cache_entries gauge
+approx_cache_entries 12.5
+# HELP approx_wal_fsync_us fsync latency
+# TYPE approx_wal_fsync_us histogram
+approx_wal_fsync_us_bucket{le="1"} 1
+approx_wal_fsync_us_bucket{le="2"} 1
+approx_wal_fsync_us_bucket{le="4"} 2
+approx_wal_fsync_us_bucket{le="8"} 3
+approx_wal_fsync_us_bucket{le="+Inf"} 3
+approx_wal_fsync_us_sum 8
+approx_wal_fsync_us_count 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryCreateOrGet: same (name, labels) returns the same instance;
+// kind conflicts panic.
+func TestRegistryCreateOrGet(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "h", Label{Key: "k", Value: "v"})
+	b := r.Counter("c_total", "h", Label{Key: "k", Value: "v"})
+	if a != b {
+		t.Fatal("same series returned distinct counters")
+	}
+	other := r.Counter("c_total", "h", Label{Key: "k", Value: "w"})
+	if a == other {
+		t.Fatal("distinct label sets shared one counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("c_total", "h")
+}
+
+// TestRegistryConcurrent registers and writes concurrently under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("shared_total", "h", Label{Key: "w", Value: string(rune('a' + w%3))}).Inc()
+				r.Histogram("lat_us", "h").Observe(time.Duration(i) * time.Microsecond)
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sum := uint64(0)
+	for _, v := range []string{"a", "b", "c"} {
+		sum += r.Counter("shared_total", "h", Label{Key: "w", Value: v}).Value()
+	}
+	if sum != 1200 {
+		t.Fatalf("counter sum %d, want 1200", sum)
+	}
+}

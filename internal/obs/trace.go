@@ -1,0 +1,369 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the span tracer: per-request trace contexts
+// threaded through context.Context, sampled 1-in-N at the request root,
+// with a top-N-by-latency slow-query log holding full span trees and
+// process-wide per-stage duration aggregates folded in as spans end.
+//
+// The disabled path is the contract that lets spans sit on the selection
+// hot path: when sampling is off (SetTraceSampling(0), the process
+// default) — or the enclosing request was not sampled — StartSpan is one
+// atomic load (plus, for non-root spans, one allocation-free context
+// lookup) and returns a nil *Span whose every method is a no-op.
+
+// sampleEvery is the global sampling knob: 0 disables tracing entirely;
+// N >= 1 traces one in every N root requests.
+var sampleEvery atomic.Int64
+
+// rootSeq counts StartTrace calls for the sampling decision; sampledCount
+// counts traces actually begun.
+var (
+	rootSeq      atomic.Uint64
+	sampledCount atomic.Uint64
+)
+
+// SetTraceSampling sets the global sampling rate: 0 disables tracing,
+// n >= 1 samples one in every n requests (1 = trace everything). The knob
+// is process-wide, like the engine's pruning counters.
+func SetTraceSampling(n int) {
+	if n < 0 {
+		n = 0
+	}
+	sampleEvery.Store(int64(n))
+}
+
+// TraceSampling returns the current sampling rate.
+func TraceSampling() int { return int(sampleEvery.Load()) }
+
+// TracingEnabled reports whether any sampling is active — the one-atomic-
+// load guard for instrumentation that must cost nothing when off.
+func TracingEnabled() bool { return sampleEvery.Load() != 0 }
+
+// TracesSampled returns the number of traces begun since process start.
+func TracesSampled() uint64 { return sampledCount.Load() }
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Trace is one sampled request's span tree. It is created by StartTrace
+// and finished by Finish; child spans attach through StartSpan.
+type Trace struct {
+	id    string
+	name  string
+	begin time.Time
+
+	mu   sync.Mutex
+	root *Span
+	dur  time.Duration // set by Finish
+}
+
+// Span is one timed stage of a trace. A nil *Span is the untraced case:
+// every method is a nil-safe no-op, so call sites never branch.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Duration // offset from trace begin
+	dur      time.Duration
+	attrs    []Attr
+	children []*Span
+	ended    bool
+}
+
+type ctxKey struct{}
+
+// idSeq and idBase build process-unique request/trace IDs without any
+// dependency: the process epoch disambiguates across restarts, the
+// sequence within one.
+var (
+	idSeq  atomic.Uint64
+	idBase = uint64(time.Now().UnixNano())
+)
+
+// NewRequestID returns a process-unique request identifier, used for both
+// trace IDs and the access log's request IDs (every request gets one,
+// sampled or not).
+func NewRequestID() string {
+	return fmt.Sprintf("%08x-%06x", uint32(idBase), idSeq.Add(1))
+}
+
+// StartTrace begins a trace for a request root if it is sampled, returning
+// the derived context and the root span. When tracing is disabled or the
+// request is not sampled it returns (ctx, nil) after one atomic load.
+// id may be empty, in which case a fresh request ID is assigned.
+func StartTrace(ctx context.Context, name, id string) (context.Context, *Span) {
+	n := sampleEvery.Load()
+	if n == 0 {
+		return ctx, nil
+	}
+	if n > 1 && rootSeq.Add(1)%uint64(n) != 0 {
+		return ctx, nil
+	}
+	sampledCount.Add(1)
+	if id == "" {
+		id = NewRequestID()
+	}
+	tr := &Trace{id: id, name: name, begin: time.Now()}
+	sp := &Span{tr: tr, name: name}
+	tr.root = sp
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// StartSpan begins a child of the context's current span. Untraced
+// contexts (tracing disabled, request not sampled, or no enclosing trace)
+// return (ctx, nil).
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if sampleEvery.Load() == 0 {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(ctxKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	tr := parent.tr
+	sp := &Span{tr: tr, name: name, start: time.Since(tr.begin)}
+	tr.mu.Lock()
+	parent.children = append(parent.children, sp)
+	tr.mu.Unlock()
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// FromContext returns the context's current span (nil when untraced).
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// SetAttr annotates the span; nil-safe.
+func (sp *Span) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.attrs = append(sp.attrs, Attr{Key: key, Value: value})
+	sp.tr.mu.Unlock()
+}
+
+// End closes the span, recording its duration and folding it into the
+// process-wide stage aggregates; nil-safe and idempotent.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	tr := sp.tr
+	tr.mu.Lock()
+	if sp.ended {
+		tr.mu.Unlock()
+		return
+	}
+	sp.ended = true
+	sp.dur = time.Since(tr.begin) - sp.start
+	tr.mu.Unlock()
+	RecordStage(sp.name, sp.dur)
+}
+
+// Trace returns the owning trace (nil for a nil span).
+func (sp *Span) Trace() *Trace {
+	if sp == nil {
+		return nil
+	}
+	return sp.tr
+}
+
+// ID returns the trace's identifier.
+func (tr *Trace) ID() string { return tr.id }
+
+// Finish ends the root span and returns the trace's total duration.
+func (tr *Trace) Finish() time.Duration {
+	tr.root.End()
+	tr.mu.Lock()
+	tr.dur = tr.root.dur
+	d := tr.dur
+	tr.mu.Unlock()
+	return d
+}
+
+// SpanSnapshot is the JSON form of one span in a slow-query entry.
+type SpanSnapshot struct {
+	Name     string         `json:"name"`
+	StartUS  int64          `json:"start_us"`
+	DurUS    int64          `json:"dur_us"`
+	Attrs    []Attr         `json:"attrs,omitempty"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// TraceSnapshot is the JSON form of one retained trace: identity, total
+// latency, and the full span tree.
+type TraceSnapshot struct {
+	ID    string       `json:"id"`
+	Name  string       `json:"name"`
+	Time  time.Time    `json:"time"`
+	DurUS int64        `json:"dur_us"`
+	Spans SpanSnapshot `json:"spans"`
+}
+
+// Snapshot renders the trace's span tree. Unended spans report the
+// duration observed so far.
+func (tr *Trace) Snapshot() TraceSnapshot {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return TraceSnapshot{
+		ID:    tr.id,
+		Name:  tr.name,
+		Time:  tr.begin,
+		DurUS: tr.dur.Microseconds(),
+		Spans: snapshotSpan(tr.root, tr.begin),
+	}
+}
+
+func snapshotSpan(sp *Span, begin time.Time) SpanSnapshot {
+	d := sp.dur
+	if !sp.ended {
+		d = time.Since(begin) - sp.start
+	}
+	out := SpanSnapshot{
+		Name:    sp.name,
+		StartUS: sp.start.Microseconds(),
+		DurUS:   d.Microseconds(),
+		Attrs:   sp.attrs,
+	}
+	for _, c := range sp.children {
+		out.Children = append(out.Children, snapshotSpan(c, begin))
+	}
+	return out
+}
+
+// ---- per-stage aggregates ----
+
+// stageAgg accumulates per-stage totals process-wide; folded from every
+// ended span and from explicitly recorded engine stages. Cardinality is
+// bounded by the set of literal stage names in the code.
+var stageAgg struct {
+	mu sync.Mutex
+	m  map[string]*stageCell
+}
+
+type stageCell struct {
+	count atomic.Uint64
+	ns    atomic.Int64
+}
+
+// RecordStage folds one stage duration into the process-wide aggregates —
+// the hook for call sites that time a stage without materializing a span
+// (the engine's merge/materialize phases). Call only when TracingEnabled.
+func RecordStage(name string, d time.Duration) {
+	stageAgg.mu.Lock()
+	if stageAgg.m == nil {
+		stageAgg.m = make(map[string]*stageCell)
+	}
+	c, ok := stageAgg.m[name]
+	if !ok {
+		c = &stageCell{}
+		stageAgg.m[name] = c
+	}
+	stageAgg.mu.Unlock()
+	c.count.Add(1)
+	c.ns.Add(int64(d))
+}
+
+// StageAgg is one stage's aggregate: how often it ran and the total and
+// mean wall time spent in it.
+type StageAgg struct {
+	Count   uint64 `json:"count"`
+	TotalUS int64  `json:"total_us"`
+	AvgUS   int64  `json:"avg_us"`
+}
+
+// StageAggregates snapshots the per-stage aggregates.
+func StageAggregates() map[string]StageAgg {
+	stageAgg.mu.Lock()
+	defer stageAgg.mu.Unlock()
+	out := make(map[string]StageAgg, len(stageAgg.m))
+	for name, c := range stageAgg.m {
+		n := c.count.Load()
+		ns := c.ns.Load()
+		a := StageAgg{Count: n, TotalUS: ns / 1000}
+		if n > 0 {
+			a.AvgUS = ns / int64(n) / 1000
+		}
+		out[name] = a
+	}
+	return out
+}
+
+// ResetStageAggregates zeroes the aggregates (benchmark harness hook).
+func ResetStageAggregates() {
+	stageAgg.mu.Lock()
+	stageAgg.m = nil
+	stageAgg.mu.Unlock()
+}
+
+// ---- slow-query log ----
+
+// SlowLog retains the top-N slowest finished traces by total latency — a
+// bounded ring the server exposes at /v1/slowlog. Offer is O(N) on the
+// slow path only (a trace slower than the current minimum).
+type SlowLog struct {
+	mu      sync.Mutex
+	cap     int
+	entries []TraceSnapshot
+}
+
+// NewSlowLog returns a slow log retaining up to capacity traces
+// (minimum 1).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{cap: capacity}
+}
+
+// Offer retains the trace if it ranks among the slowest seen.
+func (sl *SlowLog) Offer(ts TraceSnapshot) {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if len(sl.entries) < sl.cap {
+		sl.entries = append(sl.entries, ts)
+		return
+	}
+	min := 0
+	for i := 1; i < len(sl.entries); i++ {
+		if sl.entries[i].DurUS < sl.entries[min].DurUS {
+			min = i
+		}
+	}
+	if ts.DurUS > sl.entries[min].DurUS {
+		sl.entries[min] = ts
+	}
+}
+
+// Len reports the number of retained traces.
+func (sl *SlowLog) Len() int {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return len(sl.entries)
+}
+
+// Snapshot returns the retained traces, slowest first.
+func (sl *SlowLog) Snapshot() []TraceSnapshot {
+	sl.mu.Lock()
+	out := make([]TraceSnapshot, len(sl.entries))
+	copy(out, sl.entries)
+	sl.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].DurUS > out[j-1].DurUS; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

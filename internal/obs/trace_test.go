@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withSampling runs f with the global sampling rate set, restoring the
+// previous rate after.
+func withSampling(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := TraceSampling()
+	SetTraceSampling(n)
+	defer SetTraceSampling(prev)
+	f()
+}
+
+// TestDisabledPathNoAllocs proves the cost contract: with tracing
+// disabled, StartTrace and StartSpan allocate nothing and return nil
+// spans, and nil-span methods are no-ops.
+func TestDisabledPathNoAllocs(t *testing.T) {
+	withSampling(t, 0, func() {
+		ctx := context.Background()
+		allocs := testing.AllocsPerRun(100, func() {
+			c, sp := StartTrace(ctx, "select", "")
+			if sp != nil || c != ctx {
+				t.Fatal("disabled StartTrace must return (ctx, nil)")
+			}
+			c2, sp2 := StartSpan(ctx, "stage")
+			if sp2 != nil || c2 != ctx {
+				t.Fatal("disabled StartSpan must return (ctx, nil)")
+			}
+			sp2.SetAttr("k", "v")
+			sp2.End()
+		})
+		if allocs != 0 {
+			t.Fatalf("disabled tracing path allocates %v objects/op, want 0", allocs)
+		}
+	})
+}
+
+// TestSpanTree builds a nested trace across goroutines and checks the
+// snapshot's structure, durations and attributes.
+func TestSpanTree(t *testing.T) {
+	withSampling(t, 1, func() {
+		ctx, root := StartTrace(context.Background(), "select", "req-1")
+		if root == nil {
+			t.Fatal("sampling=1 must trace every request")
+		}
+		ctx2, admit := StartSpan(ctx, "admit")
+		admit.End()
+		_ = ctx2
+		fanCtx, fan := StartSpan(ctx, "fanout")
+		var wg sync.WaitGroup
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, sp := StartSpan(fanCtx, "shard.select")
+				sp.SetAttr("shard", string(rune('0'+i)))
+				time.Sleep(time.Millisecond)
+				sp.End()
+			}(i)
+		}
+		wg.Wait()
+		fan.End()
+		d := root.Trace().Finish()
+		if d <= 0 {
+			t.Fatalf("trace duration %v", d)
+		}
+		ts := root.Trace().Snapshot()
+		if ts.ID != "req-1" || ts.Name != "select" {
+			t.Fatalf("trace identity: %+v", ts)
+		}
+		if len(ts.Spans.Children) != 2 {
+			t.Fatalf("root has %d children, want 2", len(ts.Spans.Children))
+		}
+		fanSnap := ts.Spans.Children[1]
+		if fanSnap.Name != "fanout" || len(fanSnap.Children) != 3 {
+			t.Fatalf("fanout snapshot: %+v", fanSnap)
+		}
+		for _, c := range fanSnap.Children {
+			if c.Name != "shard.select" || c.DurUS < 500 {
+				t.Fatalf("shard span: %+v", c)
+			}
+			if len(c.Attrs) != 1 || c.Attrs[0].Key != "shard" {
+				t.Fatalf("shard attrs: %+v", c.Attrs)
+			}
+		}
+	})
+}
+
+// TestSampling1InN: with rate N, roughly 1/N of roots are traced —
+// exactly floor(k/N) over k sequential calls given the modulo counter.
+func TestSampling1InN(t *testing.T) {
+	withSampling(t, 4, func() {
+		traced := 0
+		for i := 0; i < 40; i++ {
+			_, sp := StartTrace(context.Background(), "r", "")
+			if sp != nil {
+				traced++
+				sp.Trace().Finish()
+			}
+		}
+		if traced != 10 {
+			t.Fatalf("traced %d of 40 at 1-in-4, want 10", traced)
+		}
+	})
+}
+
+// TestStageAggregates: ended spans and explicit RecordStage calls fold
+// into the process-wide per-stage totals.
+func TestStageAggregates(t *testing.T) {
+	withSampling(t, 1, func() {
+		ResetStageAggregates()
+		ctx, root := StartTrace(context.Background(), "req", "")
+		_, sp := StartSpan(ctx, "stage.x")
+		time.Sleep(2 * time.Millisecond)
+		sp.End()
+		root.Trace().Finish()
+		RecordStage("engine.merge", 3*time.Millisecond)
+		RecordStage("engine.merge", 5*time.Millisecond)
+		agg := StageAggregates()
+		if a := agg["stage.x"]; a.Count != 1 || a.TotalUS < 1000 {
+			t.Fatalf("stage.x aggregate: %+v", a)
+		}
+		if a := agg["engine.merge"]; a.Count != 2 || a.TotalUS < 7000 || a.AvgUS < 3000 {
+			t.Fatalf("engine.merge aggregate: %+v", a)
+		}
+		ResetStageAggregates()
+		if len(StageAggregates()) != 0 {
+			t.Fatal("reset left aggregates behind")
+		}
+	})
+}
+
+// TestSlowLogTopN: the log retains exactly the top-N by duration and
+// snapshots slowest-first.
+func TestSlowLogTopN(t *testing.T) {
+	sl := NewSlowLog(3)
+	for _, d := range []int64{50, 10, 90, 30, 70, 20} {
+		sl.Offer(TraceSnapshot{ID: "t", DurUS: d})
+	}
+	if sl.Len() != 3 {
+		t.Fatalf("len %d, want 3", sl.Len())
+	}
+	snap := sl.Snapshot()
+	want := []int64{90, 70, 50}
+	for i, d := range want {
+		if snap[i].DurUS != d {
+			t.Fatalf("slowlog order: got %v at %d, want %v", snap[i].DurUS, i, d)
+		}
+	}
+}
+
+// TestSlowLogConcurrent offers from many goroutines under -race.
+func TestSlowLogConcurrent(t *testing.T) {
+	sl := NewSlowLog(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sl.Offer(TraceSnapshot{DurUS: int64(w*1000 + i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := sl.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("len %d, want 8", len(snap))
+	}
+	if snap[0].DurUS != 7499 {
+		t.Fatalf("slowest retained %d, want 7499", snap[0].DurUS)
+	}
+}

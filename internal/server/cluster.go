@@ -16,6 +16,7 @@ import (
 	approxsel "repro"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server/cache"
 )
 
@@ -43,6 +44,53 @@ func (s *Server) AttachCluster(n *cluster.Node) {
 	for _, h := range handles {
 		s.wireReplication(h)
 	}
+	s.registerClusterMetrics()
+}
+
+// registerClusterMetrics adds the replication layer to the registry:
+// the process-wide election/replication counters owned by the cluster
+// package, plus live role/term/lag gauges read from the attached node.
+func (s *Server) registerClusterMetrics() {
+	reg := s.met.reg
+	reg.RegisterCounter("approx_cluster_elections_total", "elections started by this node", cluster.MetricElections)
+	reg.RegisterCounter("approx_cluster_leader_wins_total", "elections this node won", cluster.MetricLeaderWins)
+	reg.RegisterCounter("approx_cluster_pulls_served_total", "replication pull RPCs served", cluster.MetricPullsServed)
+	reg.RegisterCounter("approx_cluster_acks_recorded_total", "follower acknowledgements recorded", cluster.MetricAcksRecorded)
+	reg.RegisterCounter("approx_cluster_heartbeats_sent_total", "leader heartbeats sent", cluster.MetricHeartbeatsSent)
+	reg.GaugeFunc("approx_cluster_is_leader", "1 when this node is the leader", func() float64 {
+		n := s.clusterNode()
+		if n == nil {
+			return 0
+		}
+		if role, _, _ := n.Role(); role == cluster.RoleLeader {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("approx_cluster_term", "current election term", func() float64 {
+		n := s.clusterNode()
+		if n == nil {
+			return 0
+		}
+		_, term, _ := n.Role()
+		return float64(term)
+	})
+	reg.GaugeFunc("approx_replication_lag_epochs", "widest follower lag in epochs, from the leader's vantage", func() float64 {
+		n := s.clusterNode()
+		if n == nil {
+			return 0
+		}
+		if role, _, _ := n.Role(); role != cluster.RoleLeader {
+			return 0
+		}
+		var max uint64
+		for _, lag := range n.ReplicationLag() {
+			if lag.MaxEpochs > max {
+				max = lag.MaxEpochs
+			}
+		}
+		return float64(max)
+	})
 }
 
 // ClusterBackend returns the server's replication backend, the Backend a
@@ -367,7 +415,10 @@ func (s *Server) waitQuorum(ctx context.Context, h *corpusHandle, epochs []uint6
 	if n == nil {
 		return nil
 	}
-	return n.WaitCommitted(ctx, h.name, epochs, h.sc.Seq())
+	_, sp := obs.StartSpan(ctx, "quorum.wait")
+	err := n.WaitCommitted(ctx, h.name, epochs, h.sc.Seq())
+	sp.End()
+	return err
 }
 
 // ---- cluster RPC mount and observability ----

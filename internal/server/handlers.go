@@ -9,6 +9,7 @@ import (
 
 	approxsel "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ---- wire types ----
@@ -190,6 +191,9 @@ type Stats struct {
 	// vectors, follower lag, peer liveness) when the server is part of a
 	// cluster; omitted standalone.
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+	// Trace reports the span tracer: sampling configuration, traces
+	// retained, and the process-wide per-stage latency aggregates.
+	Trace TraceStats `json:"trace"`
 }
 
 // WatchStats is the watch block of /v1/stats: active standing queries and
@@ -246,20 +250,24 @@ func toRecords(rs []RecordJSON) []approxsel.Record {
 
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/select", s.admit(s.counted("select", s.handleSelect)))
-	mux.HandleFunc("POST /v1/batch", s.admit(s.counted("batch", s.handleBatch)))
-	mux.HandleFunc("POST /v1/join", s.admit(s.counted("join", s.handleJoin)))
-	mux.HandleFunc("POST /v1/insert", s.admit(s.counted("insert", s.handleMutate(insertOp))))
-	mux.HandleFunc("POST /v1/upsert", s.admit(s.counted("upsert", s.handleMutate(upsertOp))))
-	mux.HandleFunc("POST /v1/delete", s.admit(s.counted("delete", s.handleDelete)))
-	mux.HandleFunc("POST /v1/snapshot", s.admit(s.counted("snapshot", s.handleSnapshot)))
+	mux.HandleFunc("POST /v1/select", s.instrument("select", s.admit(s.handleSelect)))
+	mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.admit(s.handleBatch)))
+	mux.HandleFunc("POST /v1/join", s.instrument("join", s.admit(s.handleJoin)))
+	mux.HandleFunc("POST /v1/insert", s.instrument("insert", s.admit(s.handleMutate(insertOp))))
+	mux.HandleFunc("POST /v1/upsert", s.instrument("upsert", s.admit(s.handleMutate(upsertOp))))
+	mux.HandleFunc("POST /v1/delete", s.instrument("delete", s.admit(s.handleDelete)))
+	mux.HandleFunc("POST /v1/snapshot", s.instrument("snapshot", s.admit(s.handleSnapshot)))
 	// Watches bypass admit: an SSE stream outlives any request deadline and
 	// is admitted against Config.MaxWatches instead of MaxInFlight.
-	mux.HandleFunc("POST /v1/watch", s.counted("watch", s.handleWatch))
-	mux.HandleFunc("POST /v1/corpora", s.admit(s.counted("corpora", s.handleCreateCorpus)))
-	mux.HandleFunc("GET /v1/corpora", s.counted("corpora", s.handleListCorpora))
-	mux.HandleFunc("POST /v1/hash", s.admit(s.counted("hash", s.handleHash)))
-	mux.HandleFunc("GET /v1/stats", s.counted("stats", s.handleStats))
+	mux.HandleFunc("POST /v1/watch", s.instrument("watch", s.handleWatch))
+	mux.HandleFunc("POST /v1/corpora", s.instrument("corpora", s.admit(s.handleCreateCorpus)))
+	mux.HandleFunc("GET /v1/corpora", s.instrument("corpora", s.handleListCorpora))
+	mux.HandleFunc("POST /v1/hash", s.instrument("hash", s.admit(s.handleHash)))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	// The observability surface itself is served bare: scrapes should not
+	// perturb the very counters, sampler and slow log they report.
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/slowlog", s.handleSlowlog)
 	// The replication and election RPC surface of an attached cluster node;
 	// 404 on a standalone server.
 	mux.HandleFunc("/cluster/", s.handleClusterRPC)
@@ -275,15 +283,6 @@ func (s *Server) routes() http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 	return mux
-}
-
-// counted increments the per-endpoint request counter.
-func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
-	c := s.met.endpoint(name)
-	return func(w http.ResponseWriter, r *http.Request) {
-		c.Add(1)
-		h(w, r)
-	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -369,6 +368,8 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, epochWaitStatus(err), err)
 		return
 	}
+	ri := requestInfo(r.Context())
+	ri.corpus, ri.predicate, ri.shards = h.name, req.Predicate, h.sc.Shards()
 	start := time.Now()
 	ms, epochs, cached, err := h.probe(r.Context(), ph, req.Realization, req.Predicate, req.Query, opts)
 	elapsed := time.Since(start)
@@ -376,7 +377,13 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, status(err), err)
 		return
 	}
-	s.met.predicate(req.Predicate).observe(elapsed)
+	if cached {
+		ri.cache = "hit"
+	} else {
+		ri.cache = "miss"
+	}
+	s.met.selects.Add(1)
+	s.met.predicate(req.Predicate).Observe(elapsed)
 	writeJSON(w, http.StatusOK, SelectResponse{
 		Matches:   toWire(ms),
 		Count:     len(ms),
@@ -406,6 +413,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, epochWaitStatus(err), err)
 		return
 	}
+	ri := requestInfo(r.Context())
+	ri.corpus, ri.predicate, ri.shards = h.name, req.Predicate, h.sc.Shards()
 	start := time.Now()
 	results := make([][]Match, len(req.Queries))
 	hits := 0
@@ -470,8 +479,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		h := s.met.predicate(req.Predicate)
 		per := elapsed / time.Duration(n)
 		for i := 0; i < n; i++ {
-			h.observe(per)
+			h.Observe(per)
 		}
+	}
+	if hits == len(req.Queries) {
+		ri.cache = "hit"
+	} else {
+		ri.cache = "miss"
 	}
 	resp := BatchResponse{
 		Results:   results,
@@ -495,10 +509,12 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Realization = normRealization(req.Realization)
-	_, ph, ok := s.resolve(w, req.Corpus, req.Predicate, req.Realization)
+	h, ph, ok := s.resolve(w, req.Corpus, req.Predicate, req.Realization)
 	if !ok {
 		return
 	}
+	ri := requestInfo(r.Context())
+	ri.corpus, ri.predicate, ri.shards = h.name, req.Predicate, h.sc.Shards()
 	start := time.Now()
 	pairs, err := func() ([]approxsel.JoinPair, error) {
 		if ph.mu != nil {
@@ -518,7 +534,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		h := s.met.predicate(req.Predicate)
 		per := elapsed / time.Duration(n)
 		for i := 0; i < n; i++ {
-			h.observe(per)
+			h.Observe(per)
 		}
 	}
 	out := make([]JoinPair, len(pairs))
@@ -583,7 +599,10 @@ func (s *Server) handleMutate(op mutateOp) http.HandlerFunc {
 			s.fail(w, status(err), err)
 			return
 		}
+		ri := requestInfo(r.Context())
+		ri.corpus, ri.shards = h.name, h.sc.Shards()
 		records := toRecords(req.Records)
+		_, ap := obs.StartSpan(r.Context(), "apply")
 		h.mmu.Lock()
 		if op == upsertOp {
 			err = h.sc.Upsert(records...)
@@ -592,6 +611,7 @@ func (s *Server) handleMutate(op mutateOp) http.HandlerFunc {
 		}
 		n, epochs := h.sc.State()
 		h.mmu.Unlock()
+		ap.End()
 		if err != nil {
 			s.fail(w, mutationStatus(err), err)
 			return
@@ -629,10 +649,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, status(err), err)
 		return
 	}
+	ri := requestInfo(r.Context())
+	ri.corpus, ri.shards = h.name, h.sc.Shards()
+	_, ap := obs.StartSpan(r.Context(), "apply")
 	h.mmu.Lock()
 	err = h.sc.Delete(req.TIDs...)
 	n, epochs := h.sc.State()
 	h.mmu.Unlock()
+	ap.End()
 	if err != nil {
 		s.fail(w, mutationStatus(err), err)
 		return
@@ -748,9 +772,9 @@ func (s *Server) stats() Stats {
 	uptime := time.Since(s.met.start).Seconds()
 	st := Stats{
 		UptimeSeconds: uptime,
-		Requests:      s.met.requests.Load(),
-		Rejected:      s.met.rejected.Load(),
-		Errors:        s.met.errors.Load(),
+		Requests:      s.met.requests.Value(),
+		Rejected:      s.met.rejected.Value(),
+		Errors:        s.met.errors.Value(),
 		Endpoints:     s.met.endpointCounts(),
 		Predicates:    s.met.predicateStats(),
 	}
@@ -792,5 +816,6 @@ func (s *Server) stats() Stats {
 	hp := core.HotPathSnapshot()
 	st.HotPath = HotPathStats{HotPathStats: hp, PruneRate: hp.PruneRate()}
 	st.Cluster = s.clusterStats()
+	st.Trace = s.traceStats()
 	return st
 }

@@ -26,6 +26,8 @@ import (
 	"reflect"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -33,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/dirty"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -134,6 +137,15 @@ type Report struct {
 	Speedup        float64     `json:"speedup"` // served QPS / naive QPS
 	DifferentialOK bool        `json:"differential_ok"`
 	EpochsVerified int         `json:"epochs_verified"`
+	// MetricsDelta is the change in every /metrics series over the timed
+	// replay (after-scrape minus before-scrape, zero deltas dropped) — the
+	// serve run's footprint in the unified metrics catalog.
+	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
+	// Stages is the per-stage span aggregate over the served phase — warm
+	// pass plus timed replay, traced at 1-in-8 sampling — attributing
+	// serve-path latency to admission, fan-out, per-shard selection, merge
+	// and cache stages.
+	Stages map[string]obs.StageAgg `json:"stages,omitempty"`
 }
 
 // Run executes the load test and returns the report.
@@ -175,7 +187,7 @@ func Run(o Options) (Report, error) {
 	}
 	r.Entries = append(r.Entries, naive)
 
-	served, verified, diffOK, err := runServed(o, records, queries, seq)
+	served, verified, diffOK, err := runServed(o, &r, records, queries, seq)
 	if err != nil {
 		return r, err
 	}
@@ -258,13 +270,18 @@ func runNaive(o Options, records []approxsel.Record, queries []string, seq []int
 // the cache with one pass over the distinct queries, replays the timed mix
 // from concurrent clients, and differential-tests cached responses against
 // direct computation at the same epoch — before and after a mutation.
-func runServed(o Options, records []approxsel.Record, queries []string, seq []int) (PathEntry, int, bool, error) {
+func runServed(o Options, r *Report, records []approxsel.Record, queries []string, seq []int) (PathEntry, int, bool, error) {
 	srv := server.New(server.Config{
 		Shards:       o.Shards,
 		CacheEntries: o.CacheEntries,
 		Workers:      o.Concurrency,
 		MaxInFlight:  o.Concurrency * 4,
+		// 1-in-8 sampling during the replay: the report's per-stage span
+		// aggregates come from real traced traffic, at a rate low enough
+		// not to distort the measured QPS.
+		TraceSample: 8,
 	})
+	defer obs.SetTraceSampling(0)
 	if err := srv.AddCorpus("main", records); err != nil {
 		return PathEntry{}, 0, false, err
 	}
@@ -272,11 +289,23 @@ func runServed(o Options, records []approxsel.Record, queries []string, seq []in
 	defer ts.Close()
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.Concurrency}}
 
-	// Warm pass: one request per distinct query fills the cache.
+	// Warm pass: one request per distinct query fills the cache. Stage
+	// aggregates are reset first so the report attributes latency across
+	// the whole served phase — the warm pass contributes the miss-path
+	// stages (fan-out, per-shard select, merge, cache fill) that the
+	// mostly-hit replay rarely exercises.
+	obs.ResetStageAggregates()
 	for _, q := range queries {
 		if _, err := doSelect(client, ts.URL, o, q); err != nil {
 			return PathEntry{}, 0, false, err
 		}
+	}
+
+	// Bracket the timed replay with /metrics scrapes, so the report carries
+	// the replay's exact footprint in the metrics catalog.
+	before, err := scrapeMetrics(client, ts.URL)
+	if err != nil {
+		return PathEntry{}, 0, false, err
 	}
 
 	// Timed replay from Concurrency client goroutines.
@@ -335,11 +364,18 @@ func runServed(o Options, records []approxsel.Record, queries []string, seq []in
 		entry.P50US = lats[len(lats)/2].Microseconds()
 		entry.P99US = lats[len(lats)*99/100].Microseconds()
 	}
+	after, err := scrapeMetrics(client, ts.URL)
+	if err != nil {
+		return PathEntry{}, 0, false, err
+	}
+	r.MetricsDelta = metricsDelta(before, after)
+
 	var stats server.Stats
 	if err := getJSON(client, ts.URL+"/v1/stats", &stats); err != nil {
 		return PathEntry{}, 0, false, err
 	}
 	entry.CacheHitRate = stats.Cache.HitRate
+	r.Stages = stats.Trace.Stages
 
 	verified, diffOK, err := differential(client, ts.URL, o, records, queries)
 	if err != nil {
@@ -432,6 +468,48 @@ func doSelect(client *http.Client, base string, o Options, query string) (server
 	return out, json.NewDecoder(resp.Body).Decode(&out)
 }
 
+// scrapeMetrics parses a /metrics exposition into series-name → value.
+func scrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadtest: /metrics status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[i+1:], 64); err == nil {
+			out[line[:i]] = v
+		}
+	}
+	return out, nil
+}
+
+// metricsDelta subtracts the before-scrape from the after-scrape, dropping
+// zero deltas and series that vanished.
+func metricsDelta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for name, v := range after {
+		if d := v - before[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
 func getJSON(client *http.Client, url string, v any) error {
 	resp, err := client.Get(url)
 	if err != nil {
@@ -468,4 +546,17 @@ func (r Report) Print(w io.Writer) {
 	}
 	fmt.Fprintf(w, "  speedup %.1fx  differential ok=%v (%d responses verified)\n",
 		r.Speedup, r.DifferentialOK, r.EpochsVerified)
+	if len(r.Stages) > 0 {
+		names := make([]string, 0, len(r.Stages))
+		for name := range r.Stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "  stages (1-in-8 sampled):")
+		for _, name := range names {
+			a := r.Stages[name]
+			fmt.Fprintf(w, " %s=%dµs", name, a.AvgUS)
+		}
+		fmt.Fprintln(w)
+	}
 }

@@ -1,63 +1,21 @@
 package server
 
 import (
-	"math/bits"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/store"
 )
 
-// histogram is a lock-free log2-bucketed latency histogram: bucket i counts
-// observations with ceil(log2(µs)) == i, so quantile estimates are accurate
-// to a factor of two — plenty for spotting regressions — while observation
-// is two atomic adds on the hot path.
-type histogram struct {
-	count   atomic.Uint64
-	sumUS   atomic.Uint64
-	buckets [32]atomic.Uint64
-}
-
-func bucketOf(us uint64) int {
-	if us == 0 {
-		return 0
-	}
-	b := bits.Len64(us) // ceil(log2)+1 for non-powers, fine for bucketing
-	if b >= len((&histogram{}).buckets) {
-		b = len((&histogram{}).buckets) - 1
-	}
-	return b
-}
-
-func (h *histogram) observe(d time.Duration) {
-	us := uint64(d.Microseconds())
-	h.count.Add(1)
-	h.sumUS.Add(us)
-	h.buckets[bucketOf(us)].Add(1)
-}
-
-// quantile returns an upper bound (the bucket boundary) for the q-quantile
-// latency in microseconds.
-func (h *histogram) quantile(q float64) uint64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := uint64(q * float64(total))
-	if target >= total {
-		target = total - 1
-	}
-	var seen uint64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen > target {
-			if i == 0 {
-				return 1
-			}
-			return uint64(1) << i
-		}
-	}
-	return uint64(1) << (len(h.buckets) - 1)
-}
+// The server's latency histograms are obs.Histogram: lock-free log2
+// buckets where bucket i counts observations v (µs) with
+// floor(log2(v))+1 == i, i.e. v ∈ [2^(i-1), 2^i), and quantiles report
+// the bucket's exclusive upper bound 2^i. (An earlier comment described
+// the bucketing as ceil(log2); the arithmetic was always floor-based —
+// bits.Len64 — so the wire-visible /v1/stats values are unchanged, only
+// the documentation moved to match the code.)
 
 // HistogramStats is the JSON shape of one predicate's latency histogram.
 type HistogramStats struct {
@@ -68,55 +26,107 @@ type HistogramStats struct {
 	P99US uint64 `json:"p99_us"`
 }
 
-func (h *histogram) snapshot() HistogramStats {
-	n := h.count.Load()
-	s := HistogramStats{Count: n}
-	if n > 0 {
-		s.AvgUS = h.sumUS.Load() / n
-		s.P50US = h.quantile(0.50)
-		s.P90US = h.quantile(0.90)
-		s.P99US = h.quantile(0.99)
-	}
-	return s
+func toHistogramStats(s obs.HistogramSnapshot) HistogramStats {
+	return HistogramStats{Count: s.Count, AvgUS: s.AvgUS, P50US: s.P50US, P90US: s.P90US, P99US: s.P99US}
 }
 
-// metrics aggregates the server-wide counters behind /v1/stats.
+// metrics aggregates the server-wide counters behind /v1/stats and owns
+// the obs registry behind GET /metrics — one unified catalog spanning
+// request admission, per-predicate latency, the result cache, the
+// selection engine's pruning counters, the durable store, watches and
+// (when attached) the replication cluster.
 type metrics struct {
-	start    time.Time
-	requests atomic.Uint64 // admitted requests
-	rejected atomic.Uint64 // 429s from admission
-	errors   atomic.Uint64 // non-2xx responses other than 429
+	start time.Time
+	reg   *obs.Registry
+
+	requests *obs.Counter // admitted requests
+	rejected *obs.Counter // 429s from admission
+	errors   *obs.Counter // non-2xx responses other than 429
+	selects  *obs.Counter // /v1/select probes served (approx_select_total)
 
 	mu          sync.Mutex
-	byEndpoint  map[string]*atomic.Uint64
-	byPredicate map[string]*histogram
+	byEndpoint  map[string]*obs.Counter
+	endpointDur map[string]*obs.Histogram
+	byPredicate map[string]*obs.Histogram
 }
 
 func newMetrics() *metrics {
-	return &metrics{
+	reg := obs.NewRegistry()
+	m := &metrics{
 		start:       time.Now(),
-		byEndpoint:  make(map[string]*atomic.Uint64),
-		byPredicate: make(map[string]*histogram),
+		reg:         reg,
+		requests:    reg.Counter("approx_requests_total", "requests admitted past the in-flight gate"),
+		rejected:    reg.Counter("approx_requests_rejected_total", "requests rejected with 429 at admission"),
+		errors:      reg.Counter("approx_request_errors_total", "non-2xx responses other than 429"),
+		selects:     reg.Counter("approx_select_total", "/v1/select probes served"),
+		byEndpoint:  make(map[string]*obs.Counter),
+		endpointDur: make(map[string]*obs.Histogram),
+		byPredicate: make(map[string]*obs.Histogram),
 	}
+
+	// Selection engine: the max-score pruning counters (process-wide, the
+	// cost the result cache cannot hide).
+	reg.CounterFunc("approx_hotpath_queries_total", "engine selections", func() uint64 {
+		return core.HotPathSnapshot().Queries
+	})
+	reg.CounterFunc("approx_hotpath_pruned_queries_total", "engine selections where admission closed early", func() uint64 {
+		return core.HotPathSnapshot().PrunedQueries
+	})
+	reg.CounterFunc("approx_hotpath_lists_total", "posting lists presented to the engine", func() uint64 {
+		return core.HotPathSnapshot().Lists
+	})
+	reg.CounterFunc("approx_hotpath_lists_skipped_total", "posting lists skipped entirely", func() uint64 {
+		return core.HotPathSnapshot().ListsSkipped
+	})
+	reg.CounterFunc("approx_hotpath_postings_skipped_total", "postings in skipped lists", func() uint64 {
+		return core.HotPathSnapshot().PostingsSkipped
+	})
+
+	// Durable store: WAL append/fsync and snapshot save/load latency
+	// (process-wide obs histograms owned by the store package).
+	reg.RegisterHistogram("approx_wal_append_us", "WAL append latency (framing + write)", store.WALAppendUS)
+	reg.RegisterHistogram("approx_wal_fsync_us", "WAL fsync latency", store.WALFsyncUS)
+	reg.RegisterHistogram("approx_snapshot_save_us", "snapshot segment write+fsync latency", store.SnapshotSaveUS)
+	reg.RegisterHistogram("approx_snapshot_load_us", "snapshot load (decode + WAL replay scan) latency", store.SnapshotLoadUS)
+
+	// Tracing: sampled traces since process start.
+	reg.CounterFunc("approx_traces_sampled_total", "requests traced by the sampler", obs.TracesSampled)
+
+	return m
 }
 
-func (m *metrics) endpoint(name string) *atomic.Uint64 {
+// endpoint returns the per-endpoint request counter, creating and
+// registering it on first use.
+func (m *metrics) endpoint(name string) *obs.Counter {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	c, ok := m.byEndpoint[name]
 	if !ok {
-		c = &atomic.Uint64{}
+		c = m.reg.Counter("approx_http_requests_total", "requests by endpoint", obs.Label{Key: "endpoint", Value: name})
 		m.byEndpoint[name] = c
 	}
 	return c
 }
 
-func (m *metrics) predicate(name string) *histogram {
+// endpointDuration returns the per-endpoint latency histogram.
+func (m *metrics) endpointDuration(name string) *obs.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.endpointDur[name]
+	if !ok {
+		h = m.reg.Histogram("approx_request_duration_us", "request latency by endpoint", obs.Label{Key: "endpoint", Value: name})
+		m.endpointDur[name] = h
+	}
+	return h
+}
+
+// predicate returns the per-predicate selection latency histogram.
+func (m *metrics) predicate(name string) *obs.Histogram {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	h, ok := m.byPredicate[name]
 	if !ok {
-		h = &histogram{}
+		h = m.reg.Histogram("approx_predicate_duration_us", "selection latency by predicate", obs.Label{Key: "predicate", Value: name})
 		m.byPredicate[name] = h
 	}
 	return h
@@ -127,7 +137,7 @@ func (m *metrics) endpointCounts() map[string]uint64 {
 	defer m.mu.Unlock()
 	out := make(map[string]uint64, len(m.byEndpoint))
 	for k, v := range m.byEndpoint {
-		out[k] = v.Load()
+		out[k] = v.Value()
 	}
 	return out
 }
@@ -137,7 +147,7 @@ func (m *metrics) predicateStats() map[string]HistogramStats {
 	defer m.mu.Unlock()
 	out := make(map[string]HistogramStats, len(m.byPredicate))
 	for k, h := range m.byPredicate {
-		out[k] = h.snapshot()
+		out[k] = toHistogramStats(h.Snapshot())
 	}
 	return out
 }

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the server's observability surface: the instrumentation
+// middleware wrapping every route (request IDs, trace roots, per-endpoint
+// counters and latency histograms, the structured access log, slow-query
+// retention), plus the GET /metrics Prometheus exposition and the
+// GET /v1/slowlog span-tree dump.
+
+// reqInfo is the per-request record the middleware and handlers share
+// through the request context: the middleware assigns identity and route,
+// handlers fill in what they learned (corpus, predicate, shard count,
+// cache outcome), and the access log line renders it all after the
+// response is written.
+type reqInfo struct {
+	id        string
+	route     string
+	corpus    string
+	predicate string
+	shards    int
+	cache     string // "hit", "miss", or "" when no probe ran
+}
+
+type reqInfoKey struct{}
+
+// requestInfo returns the context's request record; handlers outside the
+// instrumented chain (none today) get a throwaway so call sites never nil
+// check.
+func requestInfo(ctx context.Context) *reqInfo {
+	if ri, ok := ctx.Value(reqInfoKey{}).(*reqInfo); ok {
+		return ri
+	}
+	return &reqInfo{}
+}
+
+// statusWriter captures the response status for the access log and error
+// counters while passing Flush through for SSE streams.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		if w.status == 0 {
+			w.status = http.StatusOK
+		}
+		fl.Flush()
+	}
+}
+
+// instrument is the outermost middleware of every named route: it assigns
+// the request ID (honoring a client-supplied X-Request-Id) and echoes it
+// as the X-Request-Id response header, starts the sampled trace root,
+// counts the request per endpoint, observes its latency, retains slow
+// traces, and writes one structured access-log line per request.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	c := s.met.endpoint(route)
+	dur := s.met.endpointDuration(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Add(1)
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		ri := &reqInfo{id: id, route: route}
+		ctx := context.WithValue(r.Context(), reqInfoKey{}, ri)
+		ctx, root := obs.StartTrace(ctx, route, id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		dur.Observe(elapsed)
+		if root != nil {
+			root.SetAttr("id", id)
+			if ri.corpus != "" {
+				root.SetAttr("corpus", ri.corpus)
+			}
+			if ri.predicate != "" {
+				root.SetAttr("predicate", ri.predicate)
+			}
+			tr := root.Trace()
+			tr.Finish()
+			s.slow.Offer(tr.Snapshot())
+		}
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.accessLog(ri, sw.status, elapsed)
+	}
+}
+
+// accessLog writes the one-line structured (logfmt) record of a request:
+// request ID, route, HTTP status, latency, shard count and cache outcome.
+func (s *Server) accessLog(ri *reqInfo, status int, elapsed time.Duration) {
+	w := s.cfg.AccessLog
+	if w == nil {
+		return
+	}
+	line := fmt.Sprintf("ts=%s id=%s route=%s status=%d dur_us=%d corpus=%s predicate=%s shards=%d cache=%s\n",
+		time.Now().UTC().Format(time.RFC3339Nano), ri.id, ri.route, status, elapsed.Microseconds(),
+		orDash(ri.corpus), orDash(ri.predicate), ri.shards, orDash(ri.cache))
+	s.alogMu.Lock()
+	io.WriteString(w, line)
+	s.alogMu.Unlock()
+}
+
+func orDash(v string) string {
+	if v == "" {
+		return "-"
+	}
+	return v
+}
+
+// handleMetrics serves the unified registry in Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.met.reg.WritePrometheus(w)
+}
+
+// SlowLogResponse is the GET /v1/slowlog payload: the retained slowest
+// traces, slowest first, each with its full span tree.
+type SlowLogResponse struct {
+	SampleEvery int                 `json:"sample_every"`
+	Entries     []obs.TraceSnapshot `json:"entries"`
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SlowLogResponse{
+		SampleEvery: obs.TraceSampling(),
+		Entries:     s.slow.Snapshot(),
+	})
+}
+
+// TraceStats is the trace block of /v1/stats: sampling configuration,
+// retention counters, and the process-wide per-stage latency aggregates
+// (the per-stage attribution future hot-path work baselines against).
+type TraceStats struct {
+	SampleEvery    int                     `json:"sample_every"`
+	Sampled        uint64                  `json:"sampled"`
+	SlowLogEntries int                     `json:"slowlog_entries"`
+	Stages         map[string]obs.StageAgg `json:"stages"`
+}
+
+func (s *Server) traceStats() TraceStats {
+	return TraceStats{
+		SampleEvery:    obs.TraceSampling(),
+		Sampled:        obs.TracesSampled(),
+		SlowLogEntries: s.slow.Len(),
+		Stages:         obs.StageAggregates(),
+	}
+}
+
+// registerServerMetrics adds the gauges that read live server state —
+// cache, watch and store aggregates across corpora — to the registry.
+// They are registered once per server; reads take the corpora lock
+// exactly like /v1/stats.
+func (s *Server) registerServerMetrics() {
+	reg := s.met.reg
+	cacheTotal := func(f func(CacheStats) float64) func() float64 {
+		return func() float64 { return f(s.cacheTotals()) }
+	}
+	reg.GaugeFunc("approx_cache_hits_total", "result-cache hits across corpora",
+		cacheTotal(func(c CacheStats) float64 { return float64(c.Hits) }))
+	reg.GaugeFunc("approx_cache_misses_total", "result-cache misses across corpora",
+		cacheTotal(func(c CacheStats) float64 { return float64(c.Misses) }))
+	reg.GaugeFunc("approx_cache_evictions_total", "result-cache evictions across corpora",
+		cacheTotal(func(c CacheStats) float64 { return float64(c.Evictions) }))
+	reg.GaugeFunc("approx_cache_entries", "live result-cache entries across corpora",
+		cacheTotal(func(c CacheStats) float64 { return float64(c.Entries) }))
+
+	watchTotal := func(f func(WatchStats) float64) func() float64 {
+		return func() float64 { return f(s.watchTotals()) }
+	}
+	reg.GaugeFunc("approx_watch_active", "registered standing queries",
+		watchTotal(func(ws WatchStats) float64 { return float64(ws.Active) }))
+	reg.GaugeFunc("approx_watch_events_emitted_total", "watch events delivered or preloaded",
+		watchTotal(func(ws WatchStats) float64 { return float64(ws.EventsEmitted) }))
+	reg.GaugeFunc("approx_watch_events_replayed_total", "watch events replayed for resuming clients",
+		watchTotal(func(ws WatchStats) float64 { return float64(ws.EventsReplayed) }))
+	reg.GaugeFunc("approx_watch_max_lag_epochs", "widest consumer lag over active watches",
+		watchTotal(func(ws WatchStats) float64 { return float64(ws.MaxLagEpochs) }))
+	reg.GaugeFunc("approx_watch_derive_us_total", "cumulative watch event derivation time",
+		watchTotal(func(ws WatchStats) float64 { return float64(ws.DeriveUS) }))
+
+	reg.GaugeFunc("approx_corpora", "loaded corpora", func() float64 {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return float64(len(s.corpora))
+	})
+	if s.cfg.DataDir != "" {
+		reg.GaugeFunc("approx_wal_entries", "un-checkpointed WAL entries across corpora", func() float64 {
+			total := 0
+			for _, name := range s.corpusNames() {
+				if h, err := s.corpus(name); err == nil {
+					if ss, ok := h.sc.StoreStats(); ok {
+						total += ss.WALEntries
+					}
+				}
+			}
+			return float64(total)
+		})
+	}
+}
+
+// cacheTotals sums the per-corpus result-cache counters.
+func (s *Server) cacheTotals() CacheStats {
+	var out CacheStats
+	for _, name := range s.corpusNames() {
+		h, err := s.corpus(name)
+		if err != nil || h.cache == nil {
+			continue
+		}
+		cs := h.cache.Stats()
+		out.Hits += cs.Hits
+		out.Misses += cs.Misses
+		out.Evictions += cs.Evictions
+		out.Entries += cs.Entries
+	}
+	if total := out.Hits + out.Misses; total > 0 {
+		out.HitRate = float64(out.Hits) / float64(total)
+	}
+	return out
+}
+
+// watchTotals aggregates watch counters across corpora.
+func (s *Server) watchTotals() WatchStats {
+	var out WatchStats
+	for _, name := range s.corpusNames() {
+		h, err := s.corpus(name)
+		if err != nil {
+			continue
+		}
+		ws := h.sc.WatchStats()
+		out.Active += ws.Active
+		out.EventsEmitted += ws.Emitted
+		out.EventsReplayed += ws.Replayed
+		out.DeriveUS += ws.DeriveNS / 1000
+		if ws.MaxLagEpochs > out.MaxLagEpochs {
+			out.MaxLagEpochs = ws.MaxLagEpochs
+		}
+	}
+	return out
+}

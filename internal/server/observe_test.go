@@ -1,0 +1,184 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// postLocal drives one request through the handler chain without a
+// listener, so tests can assert on the server's side effects directly.
+func postLocal(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func TestRequestIDEcho(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceSample: -1}, 40)
+	body := `{"predicate":"BM25","query":"general electric","limit":3}`
+
+	// A client-supplied ID is echoed verbatim.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/select", strings.NewReader(body))
+	req.Header.Set("X-Request-Id", "client-id-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "client-id-42" {
+		t.Fatalf("client ID not echoed: got %q", got)
+	}
+
+	// Without one, the server assigns a non-empty ID.
+	resp, err = http.Post(ts.URL+"/v1/select", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got == "" {
+		t.Fatal("server did not assign a request ID")
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(Config{TraceSample: -1, AccessLog: &buf})
+	if err := s.AddCorpus("main", testRecords(40)); err != nil {
+		t.Fatal(err)
+	}
+	w := postLocal(t, s, "/v1/select", `{"predicate":"BM25","query":"general electric","limit":3}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("select: status %d: %s", w.Code, w.Body)
+	}
+	line := buf.String()
+	if n := strings.Count(line, "\n"); n != 1 {
+		t.Fatalf("want exactly one access-log line, got %d: %q", n, line)
+	}
+	for _, want := range []string{"route=select", "status=200", "corpus=main", "predicate=BM25", "shards=", "cache=miss", "dur_us=", "id="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access log line missing %q: %q", want, line)
+		}
+	}
+	buf.Reset()
+	postLocal(t, s, "/v1/select", `{"predicate":"BM25","query":"general electric","limit":3}`)
+	if !strings.Contains(buf.String(), "cache=hit") {
+		t.Errorf("repeat select should log cache=hit: %q", buf.String())
+	}
+}
+
+// expositionLine matches one Prometheus text-format sample line.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.e+-]+|\+Inf|NaN)$`)
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{TraceSample: -1}, 40)
+	post[map[string]any](t, ts, "/v1/select", map[string]any{"predicate": "BM25", "query": "general electric", "limit": 3})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	// Every line is either a comment or a well-formed sample.
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("unparseable exposition line: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE approx_requests_total counter",
+		"approx_select_total 1",
+		`approx_http_requests_total{endpoint="select"} 1`,
+		"# TYPE approx_request_duration_us histogram",
+		`approx_request_duration_us_count{endpoint="select"} 1`,
+		"approx_cache_misses_total 1",
+		"approx_corpora 1",
+		"approx_hotpath_queries_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestSlowlogSpanTree asserts the acceptance shape: with sampling on, a
+// /v1/select trace retained in the slow log shows admission → cache lookup
+// → shard fan-out → merge.
+func TestSlowlogSpanTree(t *testing.T) {
+	defer obs.SetTraceSampling(0)
+	_, ts := newTestServer(t, Config{TraceSample: 1}, 60)
+	post[map[string]any](t, ts, "/v1/select", map[string]any{"predicate": "BM25", "query": "general electric", "limit": 3})
+
+	slow, code := get[SlowLogResponse](t, ts, "/v1/slowlog")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/slowlog: status %d", code)
+	}
+	var sel *obs.TraceSnapshot
+	for i := range slow.Entries {
+		if slow.Entries[i].Name == "select" {
+			sel = &slow.Entries[i]
+			break
+		}
+	}
+	if sel == nil {
+		t.Fatalf("no select trace retained; entries: %+v", slow.Entries)
+	}
+	if sel.ID == "" || sel.DurUS < 0 {
+		t.Fatalf("malformed trace: %+v", sel)
+	}
+	names := map[string]bool{}
+	var walk func(sp obs.SpanSnapshot)
+	walk = func(sp obs.SpanSnapshot) {
+		names[sp.Name] = true
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	walk(sel.Spans)
+	for _, want := range []string{"select", "admit", "cache.lookup", "fanout", "shard.select", "merge"} {
+		if !names[want] {
+			t.Errorf("span tree missing %q; have %v", want, names)
+		}
+	}
+
+	// The stage aggregates saw the same stages.
+	st, _ := get[Stats](t, ts, "/v1/stats")
+	if st.Trace.SampleEvery != 1 || st.Trace.Sampled == 0 {
+		t.Fatalf("trace stats not reporting: %+v", st.Trace)
+	}
+	if _, ok := st.Trace.Stages["shard.select"]; !ok {
+		t.Errorf("stage aggregates missing shard.select: %v", st.Trace.Stages)
+	}
+}
+
+func TestInstrumentStatusRecorded(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(Config{TraceSample: -1, AccessLog: &buf})
+	// No corpus loaded: select resolves to 404.
+	w := postLocal(t, s, "/v1/select", `{"predicate":"BM25","query":"x"}`)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("want 404, got %d", w.Code)
+	}
+	if !strings.Contains(buf.String(), "status=404") {
+		t.Errorf("access log did not record status: %q", buf.String())
+	}
+}

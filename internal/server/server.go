@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"os"
@@ -33,6 +34,7 @@ import (
 	approxsel "repro"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server/cache"
 	"repro/internal/store"
 )
@@ -64,6 +66,18 @@ type Config struct {
 	// streams hold their handler for the stream's lifetime, so they are
 	// admitted separately from MaxInFlight). Values < 1 select 64.
 	MaxWatches int
+	// TraceSample sets the span tracer's sampling rate: one in every
+	// TraceSample requests is traced (1 traces everything). 0 selects the
+	// default (1 in 16); negative disables tracing, making every span site
+	// a single atomic load.
+	TraceSample int
+	// SlowLogEntries caps the slow-query log (the top-N slowest sampled
+	// traces, full span trees, served at GET /v1/slowlog). 0 selects 32.
+	SlowLogEntries int
+	// AccessLog, when set, receives one structured line per request
+	// (request ID, route, status, latency, shard count, cache outcome).
+	// Nil disables access logging.
+	AccessLog io.Writer
 	// DataDir, when set, makes every corpus durable under
 	// DataDir/<escaped corpus name>: an existing store there is loaded on
 	// AddCorpus instead of rebuilding from records, mutation endpoints are
@@ -105,6 +119,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxWatches < 1 {
 		c.MaxWatches = 64
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 16
+	}
+	if c.TraceSample < 0 {
+		c.TraceSample = -1
+	}
+	if c.SlowLogEntries < 1 {
+		c.SlowLogEntries = 32
+	}
 	return c
 }
 
@@ -114,7 +137,11 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 	met *metrics
-	sem chan struct{}
+	// slow retains the top-N slowest sampled traces (GET /v1/slowlog);
+	// alogMu serializes access-log writes so lines never interleave.
+	slow   *obs.SlowLog
+	alogMu sync.Mutex
+	sem    chan struct{}
 	// watchSem admits /v1/watch registrations; draining rejects new ones
 	// once graceful shutdown has begun.
 	watchSem chan struct{}
@@ -141,6 +168,16 @@ func New(cfg Config) *Server {
 		corpora:  make(map[string]*corpusHandle),
 		creating: make(map[string]bool),
 	}
+	s.slow = obs.NewSlowLog(s.cfg.SlowLogEntries)
+	// Sampling is process-wide (the engine's span sites read one global
+	// atomic); the last-constructed server's knob wins, which in practice
+	// is the daemon's single server.
+	if s.cfg.TraceSample < 0 {
+		obs.SetTraceSampling(0)
+	} else {
+		obs.SetTraceSampling(s.cfg.TraceSample)
+	}
+	s.registerServerMetrics()
 	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
 	s.watchSem = make(chan struct{}, s.cfg.MaxWatches)
 	s.handler = s.routes()
@@ -404,10 +441,15 @@ func (h *corpusHandle) probe(ctx context.Context, ph *predicateHandle, realizati
 	e1 := h.sc.Epochs()
 	var key string
 	if h.cache != nil {
+		_, lk := obs.StartSpan(ctx, "cache.lookup")
 		key = cacheKey(h.name, name, realization, opts, e1, query)
 		if ms, ok := h.cache.Get(key); ok {
+			lk.SetAttr("result", "hit")
+			lk.End()
 			return ms, e1, true, nil
 		}
+		lk.SetAttr("result", "miss")
+		lk.End()
 	}
 	if ph.mu != nil {
 		ph.mu.Lock()
@@ -422,7 +464,9 @@ func (h *corpusHandle) probe(ctx context.Context, ph *predicateHandle, realizati
 		return ms, nil, false, nil
 	}
 	if h.cache != nil && len(ms) <= maxCachedMatches {
+		_, fl := obs.StartSpan(ctx, "cache.fill")
 		h.cache.Put(key, ms)
+		fl.End()
 	}
 	return ms, e1, false, nil
 }
@@ -434,14 +478,18 @@ func epochsEqual(a, b []uint64) bool { return slices.Equal(a, b) }
 // per-request deadline.
 func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		_, sp := obs.StartSpan(r.Context(), "admit")
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
+			sp.SetAttr("rejected", "true")
+			sp.End()
 			s.met.rejected.Add(1)
 			writeError(w, http.StatusTooManyRequests, fmt.Errorf("server: at max in-flight requests (%d)", s.cfg.MaxInFlight))
 			return
 		}
+		sp.End()
 		s.met.requests.Add(1)
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()

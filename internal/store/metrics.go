@@ -1,0 +1,24 @@
+package store
+
+import "repro/internal/obs"
+
+// Process-wide durability latency histograms, exposed by the server's
+// /metrics registry as approx_wal_append_us, approx_wal_fsync_us,
+// approx_snapshot_save_us and approx_snapshot_load_us. They are owned
+// here so every Log in the process — per shard, per corpus — reports into
+// one catalog; observation is two atomic adds, cheap enough to stay
+// always-on in the mutation path.
+var (
+	// WALAppendUS times appendMutation: frame encoding plus the file write
+	// that must land before a mutation is acknowledged.
+	WALAppendUS = obs.NewHistogram()
+	// WALFsyncUS times explicit WAL flushes (Sync/Close — the server's
+	// graceful drain).
+	WALFsyncUS = obs.NewHistogram()
+	// SnapshotSaveUS times checkpoint segment writes (encode + fsync +
+	// rename).
+	SnapshotSaveUS = obs.NewHistogram()
+	// SnapshotLoadUS times Open: newest-segment decode plus WAL replay
+	// scan — the cold-start cost.
+	SnapshotLoadUS = obs.NewHistogram()
+)

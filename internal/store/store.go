@@ -284,6 +284,7 @@ func Open(dir string) (*Log, error) {
 		replay:    muts,
 		maxSeq:    maxSeq,
 	}
+	SnapshotLoadUS.Observe(l.loadDur)
 	c.SetMutationHook(l.appendMutation)
 	return l, nil
 }
@@ -334,6 +335,8 @@ func (l *Log) Stats() Stats {
 // rollback fails, the log poisons itself: better to stop acknowledging
 // than to acknowledge into a file that will not replay.
 func (l *Log) appendMutation(m core.Mutation) error {
+	start := time.Now()
+	defer func() { WALAppendUS.Observe(time.Since(start)) }()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -378,6 +381,8 @@ func (l *Log) Checkpoint() error {
 // fsyncs and renames it into place, then resets the WAL. Callers hold
 // whatever locks make the snapshot stable (Freeze and/or l.mu).
 func (l *Log) checkpointLocked(epoch uint64) error {
+	start := time.Now()
+	defer func() { SnapshotSaveUS.Observe(time.Since(start)) }()
 	final := filepath.Join(l.dir, segName(epoch))
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -439,7 +444,10 @@ func (l *Log) Sync() error {
 	if l.closed || l.f == nil {
 		return nil
 	}
-	return l.f.Sync()
+	start := time.Now()
+	err := l.f.Sync()
+	WALFsyncUS.Observe(time.Since(start))
+	return err
 }
 
 // Close fsyncs and closes the WAL and detaches the mutation hook; further
@@ -458,7 +466,10 @@ func (l *Log) Close() error {
 	if l.f == nil {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	start := time.Now()
+	err := l.f.Sync()
+	WALFsyncUS.Observe(time.Since(start))
+	if err != nil {
 		l.f.Close()
 		return err
 	}

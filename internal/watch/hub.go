@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // EventKind labels an event as asserting or retracting a match pair.
@@ -352,6 +353,9 @@ func (h *Hub) OnBatch(b Batch) {
 	h.hist = append(h.hist, b)
 	h.trimLocked()
 	h.deriveNS += time.Since(start).Nanoseconds()
+	if obs.TracingEnabled() {
+		obs.RecordStage("watch.derive", time.Since(start))
+	}
 
 	qsum := sumVec(h.epochs)
 	for _, w := range watches {

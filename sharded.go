@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/watch"
 )
@@ -454,22 +456,35 @@ func (v *shardedView) SelectCtx(ctx context.Context, query string, opts core.Sel
 	if !v.safe {
 		workers = 1
 	}
+	// Traced requests get one span per shard probe under a "fanout" parent
+	// and a "merge" span for the cross-shard heap merge; untraced requests
+	// pay one atomic load per StartSpan.
+	fanCtx, fan := obs.StartSpan(ctx, "fanout")
 	per := make([][]Match, len(v.views))
 	_, err := core.RunJobs(ctx, len(v.views), workers, func(i int) error {
-		ms, err := core.SelectWithOptions(ctx, v.views[i], query, opts)
+		shCtx, sp := obs.StartSpan(fanCtx, "shard.select")
+		if sp != nil {
+			sp.SetAttr("shard", strconv.Itoa(i))
+			defer sp.End()
+		}
+		ms, err := core.SelectWithOptions(shCtx, v.views[i], query, opts)
 		if err != nil {
 			return err
 		}
 		per[i] = ms
 		return nil
 	})
+	fan.End()
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return core.MergeRanked(per, opts.Limit), nil
+	_, mg := obs.StartSpan(ctx, "merge")
+	ms := core.MergeRanked(per, opts.Limit)
+	mg.End()
+	return ms, nil
 }
 
 // ConcurrentProbeSafe implements core.ConcurrentProber: a sharded view is
