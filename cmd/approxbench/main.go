@@ -13,6 +13,7 @@
 //	approxbench -exp persist -benchjson out/ # only the persistence benchmark (BENCH_persist.json)
 //	approxbench -exp watch -benchjson out/   # only the standing-query benchmark (BENCH_watch.json)
 //	approxbench -exp cluster -benchjson out/ # only the replicated-serving benchmark (BENCH_cluster.json)
+//	approxbench -exp chaos -benchjson out/   # only the fault-injection drill (BENCH_chaos.json)
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	approxsel "repro"
+	"repro/internal/cluster/nemesis"
 	"repro/internal/experiments"
 	"repro/internal/server/loadtest"
 )
@@ -83,6 +85,44 @@ func runClusterBench(o experiments.PerfOptions, w io.Writer, benchJSON string) e
 			return err
 		}
 		fmt.Fprintf(w, "wrote %s/BENCH_cluster.json\n", benchJSON)
+	}
+	return nil
+}
+
+// runChaosBench runs the nemesis fault-injection drill — a 3-node cluster
+// under the full randomized fault schedule (partitions, one-way links,
+// lossy/slow/duplicating networks, clock-skewed lease expiry, crash+rejoin
+// and a final rolling restart) with a concurrent mutating client — and
+// writes BENCH_chaos.json, the eighth machine-readable artifact. The run
+// fails if any replica hash diverged after a heal, any acked write was
+// lost, the watch resume was not exactly-once, or a client request failed
+// during the rolling restart.
+func runChaosBench(o experiments.PerfOptions, w io.Writer, benchJSON string) error {
+	records := o.Size
+	if records > 600 {
+		records = 600
+	}
+	r, err := nemesis.Run(nemesis.Options{Records: records, Seed: o.Seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	r.Print(w)
+	switch {
+	case !r.HashOK:
+		return fmt.Errorf("chaos bench: replica hashes diverged after heal")
+	case r.AckedWriteLoss > 0:
+		return fmt.Errorf("chaos bench: %d acked writes lost", r.AckedWriteLoss)
+	case !r.WatchExactlyOnce:
+		return fmt.Errorf("chaos bench: watch resume was not exactly-once")
+	case r.RollingRestartFailures > 0:
+		return fmt.Errorf("chaos bench: %d client requests failed during rolling restart", r.RollingRestartFailures)
+	}
+	if benchJSON != "" {
+		if err := r.WriteJSON(benchJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s/BENCH_chaos.json\n", benchJSON)
 	}
 	return nil
 }
@@ -167,7 +207,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	perfSizes := fs.String("perfsizes", "1000,2000,4000", "comma-separated sizes for Figure 5.4 (paper: 10000..100000)")
 	perfQueries := fs.Int("perfqueries", 20, "timed queries per performance point (paper: 100)")
 	impl := fs.String("impl", "declarative", "realization measured by performance experiments: declarative|native (bench also accepts: both)")
-	exp := fs.String("exp", "all", "experiment: all, bench, hotpath, persist, watch, cluster, table5.1, table5.3, qgram, table5.5, table5.6, figure5.1, table5.7, figure5.2, figure5.3, figure5.4, figure5.5, figure5.6, ablation.minhash, ablation.impl, ablation.q")
+	exp := fs.String("exp", "all", "experiment: all, bench, hotpath, persist, watch, cluster, chaos, table5.1, table5.3, qgram, table5.5, table5.6, figure5.1, table5.7, figure5.2, figure5.3, figure5.4, figure5.5, figure5.6, ablation.minhash, ablation.impl, ablation.q")
 	seed := fs.Int64("seed", 1, "generation seed")
 	benchJSON := fs.String("benchjson", "", "directory to write the BENCH_*.json artifacts (with -exp bench, hotpath or persist)")
 	list := fs.Bool("list", false, "list the registered predicates and realizations, then exit")
@@ -244,6 +284,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err == nil {
 			err = runClusterBench(po, w, *benchJSON)
 		}
+		if err == nil {
+			err = runChaosBench(po, w, *benchJSON)
+		}
 	case "hotpath":
 		err = runHotPathBench(po, w, *benchJSON)
 	case "persist":
@@ -252,6 +295,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = runWatchBench(po, w, *benchJSON)
 	case "cluster":
 		err = runClusterBench(po, w, *benchJSON)
+	case "chaos":
+		err = runChaosBench(po, w, *benchJSON)
 	case "table5.1":
 		experiments.Table51(ao).Print(w)
 	case "table5.3":

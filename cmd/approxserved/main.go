@@ -16,10 +16,13 @@
 //	approxserved -node-id n0 -peers n0=http://h0:8080,n1=http://h1:8080,n2=http://h2:8080
 //	                                              # replicated serving (approxcluster)
 //	approxserved -node-id n2 -peers ... -join     # join empty; corpora arrive from the leader
+//	approxserved -node-id n0 -peers ... -chaos-seed 7 -chaos-rules @rules.json
+//	                                              # fault injection on peer traffic (POST /chaos/rules to switch)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	approxsel "repro"
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/server/loadtest"
@@ -70,6 +74,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	nodeID := fs.String("node-id", "", "cluster: this node's ID (enables replication; must appear in -peers)")
 	peersSpec := fs.String("peers", "", "cluster: comma-separated id=url pairs, including this node")
 	join := fs.Bool("join", false, "cluster: start empty and receive corpora from the leader (skips -dataset)")
+	chaosSeed := fs.Int64("chaos-seed", 0, "chaos: enable fault injection on peer traffic with this RNG seed (cluster mode only; exposes GET/POST /chaos/rules)")
+	chaosRules := fs.String("chaos-rules", "", "chaos: initial fault rules as inline JSON, or @file to read them from a file")
 
 	selftest := fs.Bool("selftest", false, "run the bundled load test instead of serving")
 	ltRecords := fs.Int("records", 5000, "selftest: relation size")
@@ -147,17 +153,48 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		AccessLog:      alog,
 	})
 	var node *cluster.Node
+	var inj *chaos.Injector
+	if (*chaosSeed != 0 || *chaosRules != "") && *nodeID == "" {
+		fmt.Fprintln(stderr, "approxserved: -chaos-seed/-chaos-rules require cluster mode (-node-id and -peers)")
+		return 2
+	}
 	if *nodeID != "" || *peersSpec != "" {
 		peers, err := parsePeers(*peersSpec)
 		if err != nil {
 			fmt.Fprintf(stderr, "approxserved: %v\n", err)
 			return 2
 		}
+		var client *http.Client
+		if *chaosSeed != 0 || *chaosRules != "" {
+			// The injector sits on both sides of the peer mesh: every RPC
+			// this node sends goes through Transport, every RPC it receives
+			// through the Inbound wrapper mounted below. Client traffic
+			// (no chaos peer header) is never touched.
+			inj = chaos.New(*chaosSeed)
+			inj.SetPeers(peers)
+			spec := *chaosRules
+			if strings.HasPrefix(spec, "@") {
+				data, err := os.ReadFile(spec[1:])
+				if err != nil {
+					fmt.Fprintf(stderr, "approxserved: -chaos-rules: %v\n", err)
+					return 2
+				}
+				spec = string(data)
+			}
+			rules, err := chaos.ParseRules(spec)
+			if err != nil {
+				fmt.Fprintf(stderr, "approxserved: -chaos-rules: %v\n", err)
+				return 2
+			}
+			inj.SetRules(rules)
+			client = &http.Client{Transport: inj.Transport(*nodeID, nil)}
+		}
 		node, err = cluster.NewNode(cluster.Config{
 			ID:      *nodeID,
 			Peers:   peers,
 			DataDir: *dataDir,
 			Backend: srv.ClusterBackend(),
+			Client:  client,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(stderr, "approxserved: "+format+"\n", args...)
 			},
@@ -243,7 +280,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "approxserved: debug server (pprof, /metrics) on %s\n", dln.Addr())
 	}
 
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if inj != nil {
+		// The chaos mount wraps the whole serving surface: peer-originated
+		// RPCs pass the injector's Inbound gate, and /chaos/rules switches
+		// the active rule set at runtime without a restart.
+		cmux := http.NewServeMux()
+		cmux.HandleFunc("GET /chaos/rules", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(inj.Rules())
+		})
+		cmux.HandleFunc("POST /chaos/rules", func(w http.ResponseWriter, r *http.Request) {
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			rules, err := chaos.ParseRules(string(body))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			inj.SetRules(rules)
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"rules\":%d}\n", len(rules))
+		})
+		cmux.Handle("/", inj.Inbound(*nodeID, handler))
+		handler = cmux
+		fmt.Fprintf(stdout, "approxserved: chaos injection armed (seed %d, %d initial rules)\n", *chaosSeed, len(inj.Rules()))
+	}
+	hs := &http.Server{Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
 	if node != nil {

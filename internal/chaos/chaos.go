@@ -1,0 +1,334 @@
+// Package chaos implements approxchaos, the deterministic fault-injection
+// layer behind the nemesis drills: a seeded, rule-driven http.RoundTripper
+// (and matching inbound middleware) that injects network faults between
+// named cluster peers — full and asymmetric one-way partitions, dropped
+// requests, dropped replies, added latency, duplicated deliveries and
+// slow-close response bodies — switchable at runtime, plus a store fault
+// hook (StoreFaults) for failed fsyncs and torn WAL appends.
+//
+// Faults are injected at the sender: every node's cluster RPC client wraps
+// its transport with Injector.Transport, so votes, heartbeats, replication
+// pulls, snapshot joins AND the server's write forwarding all pass through
+// one rule set. The transport stamps each peer request with the sender's
+// node ID, which lets Injector.Inbound — mounted in front of a node's
+// handler — drop inbound traffic by origin too, the listener-side half of
+// a partition when the sender's process has no injector of its own.
+//
+// Everything is deterministic under a seed: the same rules over the same
+// request sequence roll the same probabilistic faults.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind names one fault a rule injects.
+type Kind string
+
+const (
+	// KindPartition fails requests between From and To in both directions —
+	// a full network partition between the two (wildcards isolate a node).
+	KindPartition Kind = "partition"
+	// KindOneWay fails requests From→To only; the reverse direction flows.
+	// With From a follower and To its leader, the follower still hears
+	// heartbeats while its own votes and pulls die — the asymmetric
+	// partition of the election livelock regression.
+	KindOneWay Kind = "oneway"
+	// KindReplyDrop delivers the request but drops the response: the
+	// receiver acts on the message, the sender never hears back. The other
+	// half of an asymmetric partition ("leader cannot hear the follower").
+	KindReplyDrop Kind = "replydrop"
+	// KindDrop fails requests From→To with probability P — a lossy link.
+	KindDrop Kind = "drop"
+	// KindLatency delays requests From→To by LatencyMS before delivery.
+	KindLatency Kind = "latency"
+	// KindDuplicate delivers the request twice (the duplicate first, its
+	// response discarded) — exercising idempotent application.
+	KindDuplicate Kind = "duplicate"
+	// KindSlowClose trickles the response body: every read stalls LatencyMS
+	// (default 2ms) — a slow-close connection.
+	KindSlowClose Kind = "slowclose"
+)
+
+// Kinds lists every fault kind in stable order (metrics registration and
+// report keys iterate it).
+func Kinds() []Kind {
+	return []Kind{KindPartition, KindOneWay, KindReplyDrop, KindDrop, KindLatency, KindDuplicate, KindSlowClose}
+}
+
+func validKind(k Kind) bool {
+	for _, v := range Kinds() {
+		if k == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Rule injects one fault between named peers. From and To match node IDs;
+// "*" (or empty) matches any. P is the per-message probability, defaulting
+// to 1. LatencyMS parameterizes KindLatency (added delay) and
+// KindSlowClose (per-read stall).
+type Rule struct {
+	From      string  `json:"from"`
+	To        string  `json:"to"`
+	Kind      Kind    `json:"kind"`
+	P         float64 `json:"p,omitempty"`
+	LatencyMS int     `json:"latency_ms,omitempty"`
+}
+
+func peerMatch(pat, id string) bool { return pat == "*" || pat == "" || pat == id }
+
+// matches reports whether the rule applies to a message from → to.
+// Partitions are bidirectional; every other kind is directional.
+func (r Rule) matches(from, to string) bool {
+	if r.Kind == KindPartition && peerMatch(r.From, to) && peerMatch(r.To, from) {
+		return true
+	}
+	return peerMatch(r.From, from) && peerMatch(r.To, to)
+}
+
+// ParseRules decodes a JSON rule array (the -chaos-rules wire format) and
+// validates every kind.
+func ParseRules(spec string) ([]Rule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	if err := json.Unmarshal([]byte(spec), &rules); err != nil {
+		return nil, fmt.Errorf("chaos: bad rules %q: %w", spec, err)
+	}
+	for i, r := range rules {
+		if !validKind(r.Kind) {
+			return nil, fmt.Errorf("chaos: rule %d has unknown kind %q", i, r.Kind)
+		}
+		if r.P < 0 || r.P > 1 {
+			return nil, fmt.Errorf("chaos: rule %d has probability %v outside [0,1]", i, r.P)
+		}
+	}
+	return rules, nil
+}
+
+// peerHeader carries the sending node's ID on chaos-wrapped peer requests,
+// so Inbound middleware on the receiver can attribute and filter by origin.
+const peerHeader = "X-Approx-Chaos-Peer"
+
+// Injector holds the active rule set and the seeded RNG behind the
+// probabilistic faults. One Injector is shared by every transport and
+// middleware of the process (or of the in-process nemesis cluster), so a
+// single SetRules switches the whole topology at runtime.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  []Rule
+	byHost map[string]string // URL host -> peer ID
+}
+
+// New returns an Injector with no rules; seed 0 selects 1 (chaos must stay
+// reproducible, so there is no time-derived fallback).
+func New(seed int64) *Injector {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{rng: rand.New(rand.NewSource(seed)), byHost: make(map[string]string)}
+}
+
+// SetPeers registers the cluster's id → base-URL map; the transport
+// resolves request hosts against it to name the destination peer. Requests
+// to unregistered hosts (ordinary client traffic) are never touched.
+func (in *Injector) SetPeers(peers map[string]string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.byHost = make(map[string]string, len(peers))
+	for id, base := range peers {
+		if u, err := url.Parse(base); err == nil && u.Host != "" {
+			in.byHost[u.Host] = id
+		}
+	}
+}
+
+// SetRules replaces the active rule set atomically — the runtime switch a
+// nemesis schedule (or POST /chaos/rules) flips between fault and heal.
+func (in *Injector) SetRules(rules []Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	activeRules.Add(int64(len(rules) - len(in.rules)))
+	in.rules = append([]Rule(nil), rules...)
+}
+
+// Rules returns a copy of the active rule set.
+func (in *Injector) Rules() []Rule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Rule(nil), in.rules...)
+}
+
+func (in *Injector) peerID(host string) string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.byHost[host]
+}
+
+// plan is the decided fault set for one message.
+type plan struct {
+	latency   time.Duration
+	slowRead  time.Duration
+	kill      Kind // partition, oneway or drop: fail before delivery
+	dropReply bool
+	dup       bool
+}
+
+// decide rolls the active rules for one message from → to. The first
+// matching terminal fault (partition, oneway, drop) wins; latency,
+// duplication, reply-drop and slow-close compose around delivery.
+func (in *Injector) decide(from, to string) plan {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var p plan
+	for _, r := range in.rules {
+		if !r.matches(from, to) {
+			continue
+		}
+		if r.P > 0 && r.P < 1 && in.rng.Float64() >= r.P {
+			continue
+		}
+		switch r.Kind {
+		case KindPartition, KindOneWay, KindDrop:
+			if p.kill == "" {
+				p.kill = r.Kind
+			}
+		case KindReplyDrop:
+			p.dropReply = true
+		case KindLatency:
+			p.latency += time.Duration(r.LatencyMS) * time.Millisecond
+		case KindDuplicate:
+			p.dup = true
+		case KindSlowClose:
+			p.slowRead = time.Duration(r.LatencyMS) * time.Millisecond
+			if p.slowRead <= 0 {
+				p.slowRead = 2 * time.Millisecond
+			}
+		}
+	}
+	return p
+}
+
+// InjectedError marks a fault injected by the chaos layer, so logs can
+// tell injected failures from real ones.
+type InjectedError struct {
+	Kind     Kind
+	From, To string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("chaos: injected %s fault %s -> %s", e.Kind, e.From, e.To)
+}
+
+// Transport wraps base (nil selects http.DefaultTransport) with the
+// injector's rules, acting as node self. Requests to hosts that are not
+// registered peers pass through untouched.
+func (in *Injector) Transport(self string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{in: in, self: self, base: base}
+}
+
+type transport struct {
+	in   *Injector
+	self string
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	to := t.in.peerID(req.URL.Host)
+	if to == "" || to == t.self {
+		return t.base.RoundTrip(req)
+	}
+	req.Header.Set(peerHeader, t.self)
+	p := t.in.decide(t.self, to)
+	if p.latency > 0 {
+		countFault(KindLatency)
+		select {
+		case <-time.After(p.latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if p.kill != "" {
+		countFault(p.kill)
+		return nil, &InjectedError{Kind: p.kill, From: t.self, To: to}
+	}
+	if p.dup && req.GetBody != nil {
+		// Deliver a full duplicate first and discard its response — the
+		// receiver sees the message twice, exactly a retransmitted delivery.
+		if body, err := req.GetBody(); err == nil {
+			countFault(KindDuplicate)
+			dup := req.Clone(req.Context())
+			dup.Body = body
+			if resp, err := t.base.RoundTrip(dup); err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if p.dropReply {
+		// The request was delivered and processed; the sender never learns.
+		countFault(KindReplyDrop)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &InjectedError{Kind: KindReplyDrop, From: t.self, To: to}
+	}
+	if p.slowRead > 0 {
+		countFault(KindSlowClose)
+		resp.Body = &slowBody{rc: resp.Body, delay: p.slowRead}
+	}
+	return resp, nil
+}
+
+// slowBody stalls every read — a connection whose peer trickles and
+// slow-closes.
+type slowBody struct {
+	rc    io.ReadCloser
+	delay time.Duration
+}
+
+func (s *slowBody) Read(p []byte) (int, error) {
+	time.Sleep(s.delay)
+	return s.rc.Read(p)
+}
+
+func (s *slowBody) Close() error { return s.rc.Close() }
+
+// Inbound wraps a node's handler with the receiver-side half of the rules:
+// peer requests whose origin is partitioned (or one-way blocked) toward
+// self are refused before they reach the node. Origin is read from the
+// header the chaos transport stamps; requests without it — ordinary client
+// traffic, or peers without an injector — pass through.
+func (in *Injector) Inbound(self string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		from := r.Header.Get(peerHeader)
+		if from != "" && from != self {
+			p := in.decide(from, self)
+			if p.kill == KindPartition || p.kill == KindOneWay {
+				countFault(p.kill)
+				http.Error(w, (&InjectedError{Kind: p.kill, From: from, To: self}).Error(), http.StatusBadGateway)
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}

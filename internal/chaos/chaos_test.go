@@ -1,0 +1,250 @@
+package chaos
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// twoPeers wires an injector between a fake sender "a" and a live server
+// "b", returning the chaos-wrapped client and the request count at b.
+func twoPeers(t *testing.T, inj *Injector) (*http.Client, *atomic.Int64, *httptest.Server) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(inj.Inbound("b", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte("ok"))
+	})))
+	t.Cleanup(srv.Close)
+	inj.SetPeers(map[string]string{"b": srv.URL})
+	client := &http.Client{Transport: inj.Transport("a", nil)}
+	return client, &hits, srv
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules(`[{"from":"a","to":"*","kind":"oneway"},{"kind":"drop","p":0.5}]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[0].Kind != KindOneWay || rules[1].P != 0.5 {
+		t.Fatalf("unexpected rules: %+v", rules)
+	}
+	if _, err := ParseRules(`[{"kind":"meteor"}]`); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := ParseRules(`[{"kind":"drop","p":1.5}]`); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+	if rules, err := ParseRules("  "); err != nil || rules != nil {
+		t.Fatalf("blank spec: rules=%v err=%v", rules, err)
+	}
+}
+
+func TestRuleMatching(t *testing.T) {
+	part := Rule{From: "a", To: "b", Kind: KindPartition}
+	if !part.matches("a", "b") || !part.matches("b", "a") {
+		t.Fatal("partition must match both directions")
+	}
+	if part.matches("a", "c") {
+		t.Fatal("partition matched unrelated pair")
+	}
+	ow := Rule{From: "a", To: "*", Kind: KindOneWay}
+	if !ow.matches("a", "b") || ow.matches("b", "a") {
+		t.Fatal("oneway must be directional")
+	}
+}
+
+func TestPartitionBlocksBothDirections(t *testing.T) {
+	inj := New(1)
+	client, hits, _ := twoPeers(t, inj)
+	inj.SetRules([]Rule{{From: "a", To: "b", Kind: KindPartition}})
+	if _, err := client.Get("http://" + hostOf(t, inj) + "/x"); err == nil {
+		t.Fatal("partitioned request succeeded")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("request reached peer through partition: hits=%d", hits.Load())
+	}
+	// Heal at runtime and the same client goes through.
+	inj.SetRules(nil)
+	if _, err := client.Get("http://" + hostOf(t, inj) + "/x"); err != nil {
+		t.Fatalf("healed request failed: %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("healed hits=%d", hits.Load())
+	}
+}
+
+func TestInboundBlocksByOrigin(t *testing.T) {
+	// The receiver-side middleware enforces a partition even when the
+	// sender direction is the one named blocked (bidirectional match).
+	inj := New(1)
+	client, hits, _ := twoPeers(t, inj)
+	inj.SetRules(nil)
+	// Send one clean request so the transport path is warm, then block b's
+	// inbound from a via a rule written in the reverse direction.
+	if _, err := client.Get("http://" + hostOf(t, inj) + "/x"); err != nil {
+		t.Fatal(err)
+	}
+	inj.SetRules([]Rule{{From: "b", To: "a", Kind: KindPartition}})
+	resp, err := client.Get("http://" + hostOf(t, inj) + "/x")
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("expected injected failure")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("blocked request reached handler: hits=%d", hits.Load())
+	}
+}
+
+func TestOneWayAndReplyDrop(t *testing.T) {
+	inj := New(1)
+	client, hits, _ := twoPeers(t, inj)
+	inj.SetRules([]Rule{{From: "a", To: "b", Kind: KindOneWay}})
+	if _, err := client.Get("http://" + hostOf(t, inj) + "/x"); err == nil {
+		t.Fatal("oneway a->b let the request through")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("oneway delivered the request")
+	}
+	// replydrop: delivered (hits increments) but the sender sees an error.
+	inj.SetRules([]Rule{{From: "a", To: "b", Kind: KindReplyDrop}})
+	if _, err := client.Get("http://" + hostOf(t, inj) + "/x"); err == nil {
+		t.Fatal("replydrop returned a response")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("replydrop did not deliver: hits=%d", hits.Load())
+	}
+}
+
+func TestDropProbabilistic(t *testing.T) {
+	inj := New(42)
+	client, hits, _ := twoPeers(t, inj)
+	inj.SetRules([]Rule{{Kind: KindDrop, P: 0.5}})
+	var failed int
+	for i := 0; i < 40; i++ {
+		resp, err := client.Get("http://" + hostOf(t, inj) + "/x")
+		if err != nil {
+			failed++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if failed == 0 || failed == 40 {
+		t.Fatalf("p=0.5 drop failed %d/40 requests", failed)
+	}
+	if got := int(hits.Load()); got != 40-failed {
+		t.Fatalf("delivered %d, expected %d", got, 40-failed)
+	}
+}
+
+func TestDuplicateDelivery(t *testing.T) {
+	inj := New(1)
+	client, hits, _ := twoPeers(t, inj)
+	inj.SetRules([]Rule{{Kind: KindDuplicate}})
+	resp, err := client.Post("http://"+hostOf(t, inj)+"/x", "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("duplicate rule delivered %d times, want 2", hits.Load())
+	}
+}
+
+func TestLatencyAndSlowClose(t *testing.T) {
+	inj := New(1)
+	client, _, _ := twoPeers(t, inj)
+	inj.SetRules([]Rule{{Kind: KindLatency, LatencyMS: 30}, {Kind: KindSlowClose, LatencyMS: 5}})
+	start := time.Now()
+	resp, err := client.Get("http://" + hostOf(t, inj) + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("latency rule not applied: %v", d)
+	}
+}
+
+func TestNonPeerTrafficUntouched(t *testing.T) {
+	inj := New(1)
+	inj.SetRules([]Rule{{Kind: KindPartition}})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(peerHeader) != "" {
+			t.Error("chaos header on non-peer request")
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	client := &http.Client{Transport: inj.Transport("a", nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("non-peer request was chaos'd: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestRulesRoundTripJSON(t *testing.T) {
+	in := []Rule{{From: "n0", To: "*", Kind: KindPartition}, {Kind: KindLatency, P: 0.5, LatencyMS: 15}}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseRules(string(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestStoreFaultsOneShot(t *testing.T) {
+	var sf StoreFaults
+	if err := sf.Fsync("x"); err != nil {
+		t.Fatal("unarmed fsync failed")
+	}
+	sf.FailNextFsync()
+	if err := sf.Fsync("x"); err == nil {
+		t.Fatal("armed fsync succeeded")
+	}
+	if err := sf.Fsync("x"); err != nil {
+		t.Fatal("fsync fault fired twice")
+	}
+	frame := []byte("0123456789")
+	if keep, err := sf.WALAppend("d", frame); err != nil || keep != len(frame) {
+		t.Fatalf("unarmed append: keep=%d err=%v", keep, err)
+	}
+	sf.TearNextAppend(3)
+	keep, err := sf.WALAppend("d", frame)
+	if err == nil || keep != 3 {
+		t.Fatalf("torn append: keep=%d err=%v", keep, err)
+	}
+	if keep, err := sf.WALAppend("d", frame); err != nil || keep != len(frame) {
+		t.Fatalf("tear fired twice: keep=%d err=%v", keep, err)
+	}
+	fs, tears := sf.Counts()
+	if fs != 1 || tears != 1 {
+		t.Fatalf("counts = (%d,%d), want (1,1)", fs, tears)
+	}
+}
+
+func hostOf(t *testing.T, inj *Injector) string {
+	t.Helper()
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for h := range inj.byHost {
+		return h
+	}
+	t.Fatal("no peers registered")
+	return ""
+}

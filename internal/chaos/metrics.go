@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Package-level fault counters, one per kind, exported by the server's
+// registry as approx_chaos_faults_total{kind=...}. Package vars (not
+// registry-owned) so in-process drills can read them without a server.
+var faultCounters = func() map[Kind]*obs.Counter {
+	m := make(map[Kind]*obs.Counter, len(Kinds()))
+	for _, k := range Kinds() {
+		m[k] = obs.NewCounter()
+	}
+	return m
+}()
+
+// MetricStoreFaults counts store faults (failed fsyncs, torn appends)
+// injected through StoreFaults, exported as approx_chaos_store_faults_total.
+var MetricStoreFaults = obs.NewCounter()
+
+// activeRules tracks the total active rule count across all injectors,
+// exported as the approx_chaos_active_rules gauge.
+var activeRules atomic.Int64
+
+// FaultKinds returns the kinds in stable registration order.
+func FaultKinds() []Kind { return Kinds() }
+
+// FaultCounter returns the injected-fault counter for one kind.
+func FaultCounter(k Kind) *obs.Counter { return faultCounters[k] }
+
+// FaultCounts snapshots every kind's injected-fault count.
+func FaultCounts() map[Kind]uint64 {
+	m := make(map[Kind]uint64, len(faultCounters))
+	for k, c := range faultCounters {
+		m[k] = c.Value()
+	}
+	return m
+}
+
+// TotalFaults sums injected faults across all kinds.
+func TotalFaults() uint64 {
+	var n uint64
+	for _, c := range faultCounters {
+		n += c.Value()
+	}
+	return n
+}
+
+// ActiveRuleCount reports the number of currently active rules across all
+// injectors in the process.
+func ActiveRuleCount() int64 { return activeRules.Load() }
+
+func countFault(k Kind) {
+	if c := faultCounters[k]; c != nil {
+		c.Inc()
+	}
+}

@@ -1,0 +1,74 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+)
+
+// StoreFaults injects storage faults. It structurally implements
+// store.FaultHook (chaos cannot import store without a cycle): install with
+// store.SetFaultHook(sf). Faults are one-shot — arm one, trigger the write
+// path, the fault fires once and disarms — so a test tears exactly the
+// append or fsync it means to.
+type StoreFaults struct {
+	mu         sync.Mutex
+	failFsync  bool
+	tearArmed  bool
+	tearKeep   int
+	fsyncCount uint64
+	tearCount  uint64
+}
+
+// FailNextFsync arms a one-shot fsync failure: the next Fsync call errors.
+func (s *StoreFaults) FailNextFsync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failFsync = true
+}
+
+// TearNextAppend arms a one-shot torn WAL append: the next WALAppend keeps
+// only the first keep bytes of the frame on disk and reports failure —
+// the on-disk state a crash mid-write leaves behind.
+func (s *StoreFaults) TearNextAppend(keep int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tearArmed = true
+	s.tearKeep = keep
+}
+
+// WALAppend implements the store fault hook for WAL writes.
+func (s *StoreFaults) WALAppend(dir string, frame []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.tearArmed {
+		return len(frame), nil
+	}
+	s.tearArmed = false
+	s.tearCount++
+	MetricStoreFaults.Inc()
+	keep := s.tearKeep
+	if keep > len(frame) {
+		keep = len(frame)
+	}
+	return keep, fmt.Errorf("chaos: injected torn append in %s (kept %d of %d bytes)", dir, keep, len(frame))
+}
+
+// Fsync implements the store fault hook for fsync calls.
+func (s *StoreFaults) Fsync(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.failFsync {
+		return nil
+	}
+	s.failFsync = false
+	s.fsyncCount++
+	MetricStoreFaults.Inc()
+	return fmt.Errorf("chaos: injected fsync failure on %s", path)
+}
+
+// Counts reports how many fsync failures and torn appends have fired.
+func (s *StoreFaults) Counts() (fsyncFails, tornAppends uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fsyncCount, s.tearCount
+}

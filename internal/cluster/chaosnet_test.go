@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// chaosCluster wires count members through one shared chaos.Injector: every
+// node's RPC client goes through Transport(id) and every handler sits
+// behind Inbound(id), so a single SetRules call reshapes the topology.
+func chaosCluster(t *testing.T, count int, inj *chaos.Injector) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, count)
+	peers := make(map[string]string, count)
+	for i := range nodes {
+		proxy := &handlerProxy{}
+		srv := httptest.NewServer(proxy)
+		t.Cleanup(srv.Close)
+		id := fmt.Sprintf("n%d", i)
+		nodes[i] = &testNode{id: id, srv: srv, proxy: proxy, backend: newTestBackend()}
+		peers[id] = srv.URL
+	}
+	inj.SetPeers(peers)
+	for i, tn := range nodes {
+		node, err := NewNode(Config{
+			ID:                tn.id,
+			Peers:             peers,
+			Backend:           tn.backend,
+			HeartbeatInterval: 20 * time.Millisecond,
+			ElectionTimeout:   120 * time.Millisecond,
+			PullWait:          100 * time.Millisecond,
+			Client:            &http.Client{Transport: inj.Transport(tn.id, nil)},
+			Seed:              int64(i + 1),
+			Logf:              t.Logf,
+		})
+		if err != nil {
+			t.Fatalf("NewNode %s: %v", tn.id, err)
+		}
+		tn.node = node
+		tn.backend.node = node
+		tn.proxy.mu.Lock()
+		tn.proxy.h = inj.Inbound(tn.id, node.Handler())
+		tn.proxy.mu.Unlock()
+		node.Start()
+		t.Cleanup(node.Stop)
+	}
+	return nodes
+}
+
+// TestOneWayPartitionNoEndlessReelection is the regression test for the
+// pre-vote fix. The failure it guards against: a follower is first fully
+// isolated (historically its election timer would ratchet its term far
+// above the leader's), then the partition turns asymmetric — the follower
+// hears the leader's heartbeats, but nothing the follower sends (votes,
+// heartbeat replies) gets through. Pre-fix, the inflated term made the
+// follower reject the heartbeats it could hear (no timer reset), and with
+// its own vote requests lost it stood for election forever. With pre-vote,
+// the isolated phase never inflates the term, so the asymmetric phase
+// finds a follower that still accepts the leader's heartbeats and stays
+// quietly in line.
+func TestOneWayPartitionNoEndlessReelection(t *testing.T) {
+	inj := chaos.New(11)
+	nodes := chaosCluster(t, 3, inj)
+	leader := waitLeader(t, nodes, nil)
+	_, leaderTerm, _ := leader.node.Role()
+
+	var follower *testNode
+	for _, tn := range nodes {
+		if tn != leader {
+			follower = tn
+			break
+		}
+	}
+	faultsBefore := chaos.TotalFaults()
+	preVotesBefore := MetricPreVotes.Value()
+
+	// Phase 1: fully isolate the follower for ~5 election timeouts. Its
+	// timer fires repeatedly; every stand must die in the pre-vote round
+	// without touching its term.
+	inj.SetRules([]chaos.Rule{{From: follower.id, To: "*", Kind: chaos.KindPartition}})
+	time.Sleep(600 * time.Millisecond)
+	if _, fterm, _ := follower.node.Role(); fterm != leaderTerm {
+		t.Fatalf("isolated follower inflated its term to %d (leader at %d)", fterm, leaderTerm)
+	}
+	if MetricPreVotes.Value() == preVotesBefore {
+		t.Fatal("isolated follower never ran a pre-vote round")
+	}
+
+	// Phase 2: asymmetric partition — the leader's requests reach the
+	// follower, but every reply is dropped and everything the follower
+	// originates is blocked. The follower must settle behind the leader it
+	// can hear, at the leader's term, for the whole window.
+	inj.SetRules([]chaos.Rule{
+		{From: follower.id, To: "*", Kind: chaos.KindOneWay},
+		{From: "*", To: follower.id, Kind: chaos.KindReplyDrop},
+	})
+	deadline := time.Now().Add(720 * time.Millisecond)
+	settled := false
+	for time.Now().Before(deadline) {
+		role, fterm, flead := follower.node.Role()
+		if fterm > leaderTerm {
+			t.Fatalf("follower inflated its term to %d under asymmetric partition (leader at %d)", fterm, leaderTerm)
+		}
+		if lrole, lterm, _ := leader.node.Role(); lrole != RoleLeader || lterm != leaderTerm {
+			t.Fatalf("leader destabilized: role=%s term=%d (was %d)", lrole, lterm, leaderTerm)
+		}
+		if role == RoleFollower && fterm == leaderTerm && flead == leader.id {
+			settled = true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !settled {
+		t.Fatal("follower never settled behind the audible leader during the asymmetric phase")
+	}
+
+	// Heal: the same leader at the same term, and the follower in line.
+	inj.SetRules(nil)
+	healed := waitLeader(t, nodes, nil)
+	if healed.id != leader.id {
+		t.Fatalf("leadership moved to %s after heal (was %s)", healed.id, leader.id)
+	}
+	if _, term, _ := healed.node.Role(); term != leaderTerm {
+		t.Fatalf("term inflated to %d across the drill (was %d)", term, leaderTerm)
+	}
+	if chaos.TotalFaults() == faultsBefore {
+		t.Fatal("no chaos faults were counted")
+	}
+}

@@ -152,6 +152,23 @@ type Config struct {
 	PullWait time.Duration
 	// MaxPullBatches caps batches per pull response; < 1 selects 256.
 	MaxPullBatches int
+	// RPCTimeout bounds one vote, heartbeat or pull-handshake attempt;
+	// <= 0 selects 2×ElectionTimeout — an answer that arrives later than
+	// that is useless, because the election timer it should have reset has
+	// already fired. Replication pulls get PullWait+RPCTimeout (the server
+	// holds a long-poll for up to PullWait by design).
+	RPCTimeout time.Duration
+	// SnapshotTimeout bounds one snapshot-join stream; <= 0 selects
+	// 120×ElectionTimeout. Joins ship the whole corpus, so they scale with
+	// data size, not with election cadence — but they must still terminate.
+	SnapshotTimeout time.Duration
+	// RetryBudget caps attempts (with jittered exponential backoff) for
+	// forwarded mutations and replication pulls; < 1 selects 4. Votes and
+	// heartbeats never retry — the election and heartbeat loops re-fire
+	// them every tick. A follower that exhausts the budget×RPCTimeout
+	// window without leader contact reports Degraded, and the server
+	// serves stale-marked reads instead of erroring.
+	RetryBudget int
 	// HistoryEntries / HistoryBytes bound the per-corpus re-ship window;
 	// < 1 selects the History defaults.
 	HistoryEntries int
@@ -183,8 +200,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxPullBatches < 1 {
 		c.MaxPullBatches = 256
 	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 2 * c.ElectionTimeout
+	}
+	if c.SnapshotTimeout <= 0 {
+		c.SnapshotTimeout = 120 * c.ElectionTimeout
+	}
+	if c.RetryBudget < 1 {
+		c.RetryBudget = 4
+	}
 	if c.Client == nil {
-		c.Client = &http.Client{Timeout: 10 * time.Second}
+		// No flat client timeout: every RPC carries a per-attempt context
+		// deadline derived from ElectionTimeout (RPCTimeout, PullWait+
+		// RPCTimeout, or SnapshotTimeout depending on the call).
+		c.Client = &http.Client{}
 	}
 	return c
 }
@@ -381,6 +410,22 @@ func (n *Node) LeaderURL() string {
 		return ""
 	}
 	return n.peers[n.leaderID]
+}
+
+// Degraded reports whether this node has gone longer than its full retry
+// budget (RetryBudget × RPCTimeout) without valid leader contact — the
+// point past which forwarding is hopeless and the server downgrades to
+// stale-marked reads for requests without min_epochs pins. The returned
+// duration is the current leader-contact lag.
+func (n *Node) Degraded() (time.Duration, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.started || n.role == RoleLeader {
+		return 0, false
+	}
+	lag := time.Since(n.lastContact)
+	budget := time.Duration(n.cfg.RetryBudget) * n.cfg.RPCTimeout
+	return lag, lag > budget
 }
 
 // ---- replication source hooks ----
@@ -654,9 +699,84 @@ func (n *Node) positions() map[string]Position {
 	return out
 }
 
+// preVote polls peers at term+1 without bumping the node's own term: a
+// node that cannot win (isolated, behind, or facing a live leader) learns
+// so without inflating its term. Without this, an asymmetrically
+// partitioned follower — one that still hears the leader's heartbeats but
+// whose own messages are lost — ratchets its term above the leader's,
+// starts rejecting the heartbeats it can hear, and stands for election
+// forever. Voters answer pre-votes statelessly (no term adoption, no
+// votedFor, no timer reset), so a failed round perturbs nothing.
+func (n *Node) preVote(term uint64, pos map[string]Position) bool {
+	MetricPreVotes.Inc()
+	req := VoteRequest{Term: term, Candidate: n.id, Position: pos, PreVote: true}
+	type result struct {
+		id   string
+		resp VoteResponse
+	}
+	ch := make(chan result, len(n.peers))
+	for id, url := range n.peers {
+		id, url := id, url
+		go func() {
+			var resp VoteResponse
+			if err := n.post(url, "/cluster/vote", req, &resp); err != nil {
+				return
+			}
+			ch <- result{id, resp}
+		}()
+	}
+	votes := 1 // self
+	deadline := time.NewTimer(n.cfg.RPCTimeout)
+	defer deadline.Stop()
+	for range n.peers {
+		select {
+		case r := <-ch:
+			n.mu.Lock()
+			if r.resp.Term > n.term {
+				n.stepDownLocked(r.resp.Term)
+				n.mu.Unlock()
+				return false
+			}
+			n.peerSeen[r.id] = time.Now()
+			n.mu.Unlock()
+			if r.resp.Granted {
+				votes++
+				if votes >= n.majority() {
+					return true
+				}
+			}
+		case <-deadline.C:
+			return false
+		case <-n.stopCh:
+			return false
+		}
+	}
+	return votes >= n.majority()
+}
+
 func (n *Node) startElection() {
-	MetricElections.Inc()
 	pos := n.positions()
+	n.mu.Lock()
+	// Reset the timer first: a failed pre-vote round must wait a full
+	// randomized timeout before the next attempt, not busy-loop.
+	n.resetElectionLocked()
+	preTerm := n.term + 1
+	solo := n.majority() == 1
+	n.mu.Unlock()
+	if !solo {
+		if !n.preVote(preTerm, pos) {
+			return
+		}
+		// The pre-vote round may have taken a while; if a valid leader
+		// surfaced meanwhile, standing now would only disrupt it.
+		n.mu.Lock()
+		settled := n.role == RoleFollower && time.Since(n.lastContact) < n.cfg.ElectionTimeout && !n.stranded
+		n.mu.Unlock()
+		if settled {
+			return
+		}
+	}
+	MetricElections.Inc()
 	n.mu.Lock()
 	n.term++
 	n.votedFor = n.id

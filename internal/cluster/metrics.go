@@ -19,4 +19,12 @@ var (
 	MetricAcksRecorded = obs.NewCounter()
 	// MetricHeartbeatsSent counts heartbeat RPCs sent as leader.
 	MetricHeartbeatsSent = obs.NewCounter()
+	// MetricPreVotes counts pre-vote rounds run before real elections.
+	MetricPreVotes = obs.NewCounter()
+	// MetricRPCRetries counts peer RPC retry attempts (forwarded mutations
+	// and replication pulls; first attempts are not retries).
+	MetricRPCRetries = obs.NewCounter()
+	// RPCBackoffMS distributes the jittered backoff sleeps between retry
+	// attempts, in milliseconds.
+	RPCBackoffMS = obs.NewHistogram()
 )

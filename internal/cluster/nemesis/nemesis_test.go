@@ -1,0 +1,44 @@
+package nemesis
+
+import (
+	"testing"
+)
+
+// TestNemesisSmoke runs a single-step drill — partition the leader, force a
+// re-election, heal, converge — with the full client/audit machinery: this
+// is the CI (-race) face of the chaos harness.
+func TestNemesisSmoke(t *testing.T) {
+	rep, err := Run(Options{
+		Records: 120,
+		Seed:    11,
+		Steps:   []string{"partition_leader"},
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("nemesis run: %v", err)
+	}
+	if rep.AckedWriteLoss != 0 {
+		t.Fatalf("acked write loss: %d of %d", rep.AckedWriteLoss, rep.AckedWrites)
+	}
+	if !rep.HashOK {
+		t.Fatal("replica hashes diverged")
+	}
+	if rep.HashChecks == 0 {
+		t.Fatal("no hash checks ran")
+	}
+	if !rep.WatchExactlyOnce {
+		t.Fatal("watch resume was not exactly-once")
+	}
+	if rep.TotalFaults == 0 {
+		t.Fatal("no faults were injected")
+	}
+	if rep.MetricsFaultsTotal == 0 {
+		t.Fatal("chaos fault counters missing from /metrics export")
+	}
+	if len(rep.Steps) != 1 || rep.Steps[0].Step != "partition_leader" {
+		t.Fatalf("unexpected steps: %+v", rep.Steps)
+	}
+	if rep.Steps[0].ReelectionMS <= 0 {
+		t.Fatalf("no re-election measured: %+v", rep.Steps[0])
+	}
+}

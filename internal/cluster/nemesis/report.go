@@ -1,0 +1,113 @@
+package nemesis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// StepResult records one nemesis step: which faults it injected, how long
+// re-election took when the step deposed a leader, and how long the
+// cluster took to reconverge — identical /v1/hash on every replica at a
+// pinned epoch vector — after the heal.
+type StepResult struct {
+	Step          string   `json:"step"`
+	FaultKinds    []string `json:"fault_kinds,omitempty"`
+	ReelectionMS  int64    `json:"reelection_ms,omitempty"`
+	ConvergenceMS int64    `json:"convergence_ms"`
+	HashOK        bool     `json:"hash_ok"`
+}
+
+// Report is the machine-readable result of one nemesis drill, written as
+// BENCH_chaos.json.
+type Report struct {
+	Nodes   int   `json:"nodes"`
+	Records int   `json:"records"`
+	Seed    int64 `json:"seed"`
+
+	Steps []StepResult `json:"steps"`
+
+	// FaultsInjected counts injected faults per kind over the whole drill.
+	FaultsInjected     map[string]uint64 `json:"faults_injected"`
+	TotalFaults        uint64            `json:"total_faults"`
+	DistinctFaultKinds int               `json:"distinct_fault_kinds"`
+
+	MedianReelectionMS  int64 `json:"median_reelection_ms"`
+	MedianConvergenceMS int64 `json:"median_convergence_ms"`
+
+	// AckedWrites is the number of client writes acknowledged during the
+	// drill; AckedWriteLoss counts those missing from any replica at the
+	// final converged vector (the invariant: always 0).
+	AckedWrites    int `json:"acked_writes"`
+	AckedWriteLoss int `json:"acked_write_loss"`
+
+	// HashChecks counts replica hash probes across all convergence
+	// checkpoints; HashOK is false if any replica ever disagreed.
+	HashChecks int  `json:"hash_checks"`
+	HashOK     bool `json:"hash_ok"`
+
+	// WatchEvents / WatchExactlyOnce report the post-drill watch resume
+	// check: every replica replays the identical event list, no event
+	// delivered twice.
+	WatchEvents      int  `json:"watch_events"`
+	WatchExactlyOnce bool `json:"watch_exactly_once"`
+
+	// RollingRestart* cover the final staggered-restart drill; the
+	// invariant is zero failed client requests (retries allowed).
+	RollingRestartRequests int `json:"rolling_restart_requests"`
+	RollingRestartFailures int `json:"rolling_restart_failures"`
+
+	ClientRequests     int `json:"client_requests"`
+	ClientRetries      int `json:"client_retries"`
+	ClientFailures     int `json:"client_failures"`
+	StaleReadsObserved int `json:"stale_reads_observed"`
+
+	// MetricsFaultsTotal is the approx_chaos_faults_total sum scraped from
+	// a node's /metrics before teardown — proof the fault counters export.
+	MetricsFaultsTotal uint64 `json:"metrics_faults_total"`
+}
+
+func median(ms []int64) int64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), ms...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// WriteJSON writes the report as BENCH_chaos.json in dir (created if
+// missing).
+func (r Report) WriteJSON(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_chaos.json"), append(data, '\n'), 0o644)
+}
+
+// Print writes a human-readable summary.
+func (r Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "Nemesis drill — %d nodes, %d records, seed %d\n", r.Nodes, r.Records, r.Seed)
+	for _, s := range r.Steps {
+		fmt.Fprintf(w, "  %-18s faults=%v", s.Step, s.FaultKinds)
+		if s.ReelectionMS > 0 {
+			fmt.Fprintf(w, "  reelect %v", time.Duration(s.ReelectionMS)*time.Millisecond)
+		}
+		fmt.Fprintf(w, "  converge %v  hash ok=%v\n", time.Duration(s.ConvergenceMS)*time.Millisecond, s.HashOK)
+	}
+	fmt.Fprintf(w, "  faults injected: %d total across %d kinds %v\n", r.TotalFaults, r.DistinctFaultKinds, r.FaultsInjected)
+	fmt.Fprintf(w, "  median reelection %v, median convergence %v\n",
+		time.Duration(r.MedianReelectionMS)*time.Millisecond, time.Duration(r.MedianConvergenceMS)*time.Millisecond)
+	fmt.Fprintf(w, "  acked writes %d (loss %d), hash checks %d ok=%v, watch events %d exactly-once=%v\n",
+		r.AckedWrites, r.AckedWriteLoss, r.HashChecks, r.HashOK, r.WatchEvents, r.WatchExactlyOnce)
+	fmt.Fprintf(w, "  client: %d requests, %d retries, %d failures, %d stale reads observed; rolling restart: %d requests, %d failures\n",
+		r.ClientRequests, r.ClientRetries, r.ClientFailures, r.StaleReadsObserved, r.RollingRestartRequests, r.RollingRestartFailures)
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import "time"
+
+// Backoff computes the jittered exponential delay before retry attempt
+// (attempt >= 1, i.e. before the second try): full jitter over a window
+// that doubles per attempt, from RPCTimeout/8 up to RPCTimeout. Jitter
+// draws from the node's seeded RNG, so drills stay reproducible.
+func (n *Node) Backoff(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	base := n.cfg.RPCTimeout / 8
+	if base < time.Millisecond {
+		base = time.Millisecond
+	}
+	window := base
+	for i := 1; i < attempt && window < n.cfg.RPCTimeout; i++ {
+		window *= 2
+	}
+	if window > n.cfg.RPCTimeout {
+		window = n.cfg.RPCTimeout
+	}
+	n.mu.Lock()
+	d := base/2 + time.Duration(n.rng.Int63n(int64(window)))
+	n.mu.Unlock()
+	if d > n.cfg.RPCTimeout {
+		d = n.cfg.RPCTimeout
+	}
+	return d
+}
+
+// sleepBackoff records and serves the backoff before retry attempt; it
+// returns false if the node stopped while sleeping.
+func (n *Node) sleepBackoff(attempt int) bool {
+	d := n.Backoff(attempt)
+	MetricRPCRetries.Inc()
+	RPCBackoffMS.ObserveUS(uint64(d.Milliseconds()))
+	select {
+	case <-time.After(d):
+		return true
+	case <-n.stopCh:
+		return false
+	}
+}
+
+// retry runs op up to RetryBudget times with jittered backoff between
+// attempts, returning nil on the first success or the last error.
+func (n *Node) retry(op func() error) error {
+	var err error
+	for attempt := 0; attempt < n.cfg.RetryBudget; attempt++ {
+		if attempt > 0 && !n.sleepBackoff(attempt) {
+			return err
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// RetryBudget reports the configured per-operation attempt cap.
+func (n *Node) RetryBudget() int { return n.cfg.RetryBudget }
+
+// AttemptTimeout reports the per-attempt RPC deadline, derived from
+// ElectionTimeout (see Config.RPCTimeout).
+func (n *Node) AttemptTimeout() time.Duration { return n.cfg.RPCTimeout }

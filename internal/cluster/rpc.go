@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -19,6 +20,12 @@ type VoteRequest struct {
 	Term      uint64              `json:"term"`
 	Candidate string              `json:"candidate"`
 	Position  map[string]Position `json:"position"`
+	// PreVote marks a trial ballot: the candidate probes whether it could
+	// win at Term before bumping its own term. Voters answer statelessly —
+	// no term adoption, no votedFor consumption, no election-timer reset —
+	// so an unwinnable candidacy (an isolated node) cannot inflate terms
+	// and depose a healthy leader when the partition heals.
+	PreVote bool `json:"pre_vote,omitempty"`
 }
 
 // VoteResponse reports the voter's term and whether the vote was granted.
@@ -93,12 +100,23 @@ type PeerStatus struct {
 
 // ---- peer client ----
 
+// post issues one RPC attempt under the standard per-attempt deadline
+// (Config.RPCTimeout, derived from ElectionTimeout).
 func (n *Node) post(baseURL, path string, req, resp any) error {
+	return n.postTimeout(baseURL, path, n.cfg.RPCTimeout, req, resp)
+}
+
+// postTimeout issues one RPC attempt bounded by the given deadline; the
+// context cancellation tears down the connection, so a hung peer costs at
+// most the deadline, never a stuck goroutine.
+func (n *Node) postTimeout(baseURL, path string, timeout time.Duration, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	r, err := http.NewRequest(http.MethodPost, baseURL+path, bytes.NewReader(body))
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	r, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -148,6 +166,27 @@ func (n *Node) handleVote(w http.ResponseWriter, r *http.Request) {
 	mine := n.positions()
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if req.PreVote {
+		// Trial ballot: answer from current state without changing any of
+		// it. The same refusal reasons as a real vote apply — a candidate
+		// that would lose the real election must learn so here, before it
+		// inflates its term.
+		resp := VoteResponse{Term: n.term}
+		switch {
+		case req.Term < n.term:
+			// Stale candidate.
+		case n.leaderID != "" && n.leaderID != req.Candidate && time.Since(n.lastContact) < n.cfg.ElectionTimeout &&
+			!strictlyAhead(req.Position, n.leaderPos):
+			// A live leader exists (same suppression — and the same
+			// stranded-corpus exception — as the real ballot below).
+		case !candidateCurrent(req.Position, mine):
+			// The candidate is behind us on some corpus.
+		default:
+			resp.Granted = true
+		}
+		rpcJSON(w, resp)
+		return
+	}
 	if req.Term > n.term {
 		n.term = req.Term
 		n.votedFor = ""

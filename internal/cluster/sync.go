@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -10,6 +12,21 @@ import (
 
 	approxsel "repro"
 )
+
+// cancelBody ties a request context's cancel to the response body's Close,
+// so the snapshot stream's deadline is released exactly when the stream is.
+type cancelBody struct {
+	rc     io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Read(p []byte) (int, error) { return b.rc.Read(p) }
+
+func (b *cancelBody) Close() error {
+	err := b.rc.Close()
+	b.cancel()
+	return err
+}
 
 // The follower sync loop: pull-based streaming replication. Each follower
 // long-polls the leader per corpus from its own epoch vector; the leader
@@ -82,7 +99,13 @@ func (n *Node) syncCorpus(leaderURL, corpus string) (bool, error) {
 		WaitMS:   int(n.cfg.PullWait / time.Millisecond),
 	}
 	var resp PullResponse
-	if err := n.post(leaderURL, "/cluster/pull", req, &resp); err != nil {
+	// The pull long-polls for up to PullWait on the serving side, so its
+	// per-attempt deadline is PullWait+RPCTimeout; transient failures retry
+	// with jittered backoff inside the budget.
+	if err := n.retry(func() error {
+		resp = PullResponse{}
+		return n.postTimeout(leaderURL, "/cluster/pull", n.cfg.PullWait+n.cfg.RPCTimeout, req, &resp)
+	}); err != nil {
 		return false, err
 	}
 	if resp.TooOld || resp.Diverged {
@@ -132,14 +155,36 @@ func (n *Node) syncCorpus(leaderURL, corpus string) (bool, error) {
 // retained history window.
 func (n *Node) joinCorpus(leaderURL, corpus string) error {
 	n.logf("cluster %s: joining corpus %q from %s", n.id, corpus, leaderURL)
-	resp, err := n.cfg.Client.Get(leaderURL + "/cluster/snapshot?corpus=" + url.QueryEscape(corpus))
+	var resp *http.Response
+	// The join streams a whole corpus: bounded by SnapshotTimeout (not
+	// RPCTimeout), retried with backoff, and the context cancels with the
+	// body so an abandoned stream never leaks.
+	err := n.retry(func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.SnapshotTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			leaderURL+"/cluster/snapshot?corpus="+url.QueryEscape(corpus), nil)
+		if err != nil {
+			cancel()
+			return err
+		}
+		r, err := n.cfg.Client.Do(req)
+		if err != nil {
+			cancel()
+			return err
+		}
+		if r.StatusCode != http.StatusOK {
+			r.Body.Close()
+			cancel()
+			return fmt.Errorf("cluster: snapshot of %q: HTTP %d", corpus, r.StatusCode)
+		}
+		r.Body = &cancelBody{rc: r.Body, cancel: cancel}
+		resp = r
+		return nil
+	})
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("cluster: snapshot of %q: HTTP %d", corpus, resp.StatusCode)
-	}
 	hdrSeq, _ := strconv.ParseUint(resp.Header.Get(snapshotSeqHeader), 10, 64)
 	hdrTerm, _ := strconv.ParseUint(resp.Header.Get(snapshotTermHeader), 10, 64)
 	if err := n.cfg.Backend.InstallSnapshot(corpus, resp.Body); err != nil {

@@ -11,9 +11,11 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	approxsel "repro"
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -57,6 +59,17 @@ func (s *Server) registerClusterMetrics() {
 	reg.RegisterCounter("approx_cluster_pulls_served_total", "replication pull RPCs served", cluster.MetricPullsServed)
 	reg.RegisterCounter("approx_cluster_acks_recorded_total", "follower acknowledgements recorded", cluster.MetricAcksRecorded)
 	reg.RegisterCounter("approx_cluster_heartbeats_sent_total", "leader heartbeats sent", cluster.MetricHeartbeatsSent)
+	reg.RegisterCounter("approx_cluster_prevotes_total", "pre-vote rounds run before standing for election", cluster.MetricPreVotes)
+	reg.RegisterCounter("approx_rpc_retries_total", "peer RPC retry attempts (forwards and pulls)", cluster.MetricRPCRetries)
+	reg.RegisterHistogram("approx_rpc_backoff_ms", "jittered backoff sleeps between RPC retries (ms)", cluster.RPCBackoffMS)
+	for _, k := range chaos.FaultKinds() {
+		reg.RegisterCounter("approx_chaos_faults_total", "faults injected by the chaos layer",
+			chaos.FaultCounter(k), obs.Label{Key: "kind", Value: string(k)})
+	}
+	reg.RegisterCounter("approx_chaos_store_faults_total", "store faults (fsync/torn append) injected by the chaos layer", chaos.MetricStoreFaults)
+	reg.GaugeFunc("approx_chaos_active_rules", "chaos rules currently active in this process", func() float64 {
+		return float64(chaos.ActiveRuleCount())
+	})
 	reg.GaugeFunc("approx_cluster_is_leader", "1 when this node is the leader", func() float64 {
 		n := s.clusterNode()
 		if n == nil {
@@ -313,6 +326,9 @@ func (s *Server) handleHash(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, epochWaitStatus(err), err)
 		return
 	}
+	if len(req.MinEpochs) == 0 {
+		s.markStale(w)
+	}
 	start := time.Now()
 	// The hash must name one exact version: retry the probe until the
 	// vector is stable across it (mutations make this a short race).
@@ -338,6 +354,27 @@ func (s *Server) handleHash(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// staleHeader marks a response served by a degraded follower — one that
+// exhausted its retry budget without leader contact. Its value is the
+// leader-contact lag in milliseconds. Only reads WITHOUT min_epochs are
+// ever stale-marked: a pinned read keeps its hard consistency contract
+// (it waits or 504s), while an unpinned read prefers a possibly-stale
+// answer over an error.
+const staleHeader = "X-Approx-Stale"
+
+// markStale stamps w when this node is degraded; call only on read paths
+// without a min_epochs pin, before writing the response.
+func (s *Server) markStale(w http.ResponseWriter) {
+	n := s.clusterNode()
+	if n == nil {
+		return
+	}
+	if lag, degraded := n.Degraded(); degraded {
+		w.Header().Set(staleHeader, strconv.FormatInt(lag.Milliseconds(), 10))
+		s.met.staleReads.Add(1)
+	}
+}
+
 // ---- write forwarding ----
 
 // forwardHeader guards against forwarding loops: a node that receives an
@@ -345,10 +382,17 @@ func (s *Server) handleHash(w http.ResponseWriter, r *http.Request) {
 // bouncing it onward.
 const forwardHeader = "X-Approxcluster-Forwarded"
 
+// maxRetryAfter caps how long a leader-advertised Retry-After can hold a
+// forwarding attempt (a misconfigured peer must not park requests).
+const maxRetryAfter = 2 * time.Second
+
 // forwardMutation routes a mutation arriving at a follower to the leader,
 // relaying the response verbatim. It reports whether it handled the
 // request (false = this node is the leader or no cluster is attached, the
-// caller proceeds locally).
+// caller proceeds locally). Transient failures — no leader yet, transport
+// errors, a target answering 503 — retry inside the cluster's backoff
+// budget, re-resolving the leader each attempt and honoring Retry-After;
+// any other status is the leader's authoritative answer.
 func (s *Server) forwardMutation(w http.ResponseWriter, r *http.Request, body []byte) bool {
 	n := s.clusterNode()
 	if n == nil || n.IsLeader() {
@@ -358,36 +402,79 @@ func (s *Server) forwardMutation(w http.ResponseWriter, r *http.Request, body []
 		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("server: not the leader (forwarding loop)"))
 		return true
 	}
-	leaderURL := n.LeaderURL()
-	if leaderURL == "" {
-		w.Header().Set("Retry-After", "1")
-		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("server: no leader elected; retry"))
+	budget := n.RetryBudget()
+	var lastErr error
+	retryAfter := time.Duration(0)
+	for attempt := 0; attempt < budget; attempt++ {
+		if attempt > 0 {
+			d := n.Backoff(attempt)
+			if retryAfter > d {
+				d = retryAfter
+			}
+			if d > maxRetryAfter {
+				d = maxRetryAfter
+			}
+			cluster.MetricRPCRetries.Inc()
+			cluster.RPCBackoffMS.ObserveUS(uint64(d.Milliseconds()))
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+				s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("server: forwarding abandoned: %w", r.Context().Err()))
+				return true
+			}
+		}
+		retryAfter = 0
+		// Re-resolve each attempt: elections move the leader mid-retry.
+		leaderURL := n.LeaderURL()
+		if leaderURL == "" {
+			lastErr = fmt.Errorf("server: no leader elected")
+			continue
+		}
+		target := leaderURL + r.URL.Path
+		if r.URL.RawQuery != "" {
+			target += "?" + r.URL.RawQuery
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), n.AttemptTimeout())
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			s.fail(w, http.StatusInternalServerError, err)
+			return true
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(forwardHeader, "1")
+		// The cluster's own RPC client: bounded per-attempt deadlines, one
+		// policy for all intra-cluster traffic (http.DefaultClient would
+		// hang forever on a wedged leader).
+		resp, err := n.Client().Do(req)
+		if err != nil {
+			cancel()
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// The target is not (or no longer) the leader; honor its
+			// Retry-After hint on the next backoff.
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			cancel()
+			lastErr = fmt.Errorf("server: leader %s answered 503", leaderURL)
+			continue
+		}
+		// Authoritative answer (success or a real client error): relay it.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		resp.Body.Close()
+		cancel()
 		return true
 	}
-	target := leaderURL + r.URL.Path
-	if r.URL.RawQuery != "" {
-		target += "?" + r.URL.RawQuery
-	}
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, target, bytes.NewReader(body))
-	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
-		return true
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(forwardHeader, "1")
-	// The cluster's own RPC client: bounded timeouts, one policy for all
-	// intra-cluster traffic (http.DefaultClient would hang forever on a
-	// wedged leader).
-	resp, err := n.Client().Do(req)
-	if err != nil {
-		w.Header().Set("Retry-After", "1")
-		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("server: forwarding to leader: %w", err))
-		return true
-	}
-	defer resp.Body.Close()
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	w.Header().Set("Retry-After", "1")
+	s.fail(w, http.StatusServiceUnavailable,
+		fmt.Errorf("server: forwarding to leader failed after %d attempts: %w", budget, lastErr))
 	return true
 }
 
@@ -447,6 +534,9 @@ type ClusterStats struct {
 	Lag map[string]cluster.LagInfo `json:"lag,omitempty"`
 	// Peers reports liveness per peer.
 	Peers map[string]cluster.PeerStatus `json:"peers,omitempty"`
+	// DegradedStaleReads counts reads served with the X-Approx-Stale marker
+	// while this node could not reach a leader within its retry budget.
+	DegradedStaleReads uint64 `json:"degraded_stale_reads"`
 }
 
 func (s *Server) clusterStats() *ClusterStats {
@@ -456,12 +546,13 @@ func (s *Server) clusterStats() *ClusterStats {
 	}
 	st := n.StatusSnapshot()
 	cs := &ClusterStats{
-		NodeID:  st.ID,
-		Role:    string(st.Role),
-		Term:    st.Term,
-		Leader:  st.Leader,
-		Applied: st.Position,
-		Peers:   st.Peers,
+		NodeID:             st.ID,
+		Role:               string(st.Role),
+		Term:               st.Term,
+		Leader:             st.Leader,
+		Applied:            st.Position,
+		Peers:              st.Peers,
+		DegradedStaleReads: s.met.staleReads.Value(),
 	}
 	if st.Role == cluster.RoleLeader {
 		cs.Lag = n.ReplicationLag()

@@ -368,6 +368,9 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, epochWaitStatus(err), err)
 		return
 	}
+	if len(req.MinEpochs) == 0 {
+		s.markStale(w)
+	}
 	ri := requestInfo(r.Context())
 	ri.corpus, ri.predicate, ri.shards = h.name, req.Predicate, h.sc.Shards()
 	start := time.Now()
@@ -412,6 +415,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err := h.awaitEpochs(r.Context(), req.MinEpochs); err != nil {
 		s.fail(w, epochWaitStatus(err), err)
 		return
+	}
+	if len(req.MinEpochs) == 0 {
+		s.markStale(w)
 	}
 	ri := requestInfo(r.Context())
 	ri.corpus, ri.predicate, ri.shards = h.name, req.Predicate, h.sc.Shards()

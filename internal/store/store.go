@@ -346,6 +346,22 @@ func (l *Log) appendMutation(m core.Mutation) error {
 	if len(buf) > maxWALEntrySize {
 		return fmt.Errorf("approxstore: mutation batch (%d bytes) exceeds the %d-byte wal entry bound", len(buf), maxWALEntrySize)
 	}
+	if h := faultHook(); h != nil {
+		if keep, herr := h.WALAppend(l.dir, buf); herr != nil {
+			// Leave exactly the torn prefix a crash would: write keep bytes,
+			// then poison the log. The mutation is not acknowledged, and the
+			// replay scanner truncates the torn tail on the next open.
+			if keep > 0 {
+				if keep > len(buf) {
+					keep = len(buf)
+				}
+				l.f.WriteAt(buf[:keep], l.off)
+			}
+			l.closed = true
+			l.f.Close()
+			return fmt.Errorf("approxstore: wal append failed (%v); log closed", herr)
+		}
+	}
 	n, err := l.f.WriteAt(buf, l.off)
 	if err != nil {
 		if n > 0 {
@@ -393,6 +409,15 @@ func (l *Log) checkpointLocked(epoch uint64) error {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("approxstore: %w", err)
+	}
+	if h := faultHook(); h != nil {
+		if herr := h.Fsync(tmp); herr != nil {
+			// The tmp segment never becomes durable: abort the checkpoint
+			// cleanly, leaving the previous (segment, WAL) pair authoritative.
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("approxstore: %w", herr)
+		}
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -443,6 +468,11 @@ func (l *Log) Sync() error {
 	defer l.mu.Unlock()
 	if l.closed || l.f == nil {
 		return nil
+	}
+	if h := faultHook(); h != nil {
+		if herr := h.Fsync(l.dir); herr != nil {
+			return herr
+		}
 	}
 	start := time.Now()
 	err := l.f.Sync()
